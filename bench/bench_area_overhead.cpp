@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Section 7.6: area overhead of the two added memory-controller
+ * modules, from the analytic gate model, against the paper's
+ * synthesised numbers (scheduler 0.112 mm^2, polling 0.003 mm^2, in a
+ * ~13 mm^2 8-channel controller).
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "memctrl/area_model.hpp"
+
+using namespace pushtap;
+
+int
+main()
+{
+    const auto est = memctrl::AreaModel::estimate(8);
+    const auto paper = memctrl::AreaModel::paperReported();
+
+    std::printf("Section 7.6: area overhead (8-channel controller, "
+                "90 nm)\n\n");
+    TablePrinter tp({"module", "model (mm^2)", "paper (mm^2)"});
+    tp.addRow({"scheduler", TablePrinter::num(est.schedulerMm2, 3),
+               TablePrinter::num(paper.schedulerMm2, 3)});
+    tp.addRow({"polling module",
+               TablePrinter::num(est.pollingMm2, 3),
+               TablePrinter::num(paper.pollingMm2, 3)});
+    tp.addRow({"total", TablePrinter::num(est.total(), 3),
+               TablePrinter::num(paper.total(), 3)});
+    tp.print();
+    std::printf("\nfraction of a %.0f mm^2 memory controller: "
+                "%.2f%%\n",
+                memctrl::AreaModel::kControllerMm2,
+                est.total() / memctrl::AreaModel::kControllerMm2 *
+                    100.0);
+    return 0;
+}

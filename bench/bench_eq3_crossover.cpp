@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Section 5.3, Eq. (3): the row-width crossover between the CPU-copy
+ * and PIM-copy defragmentation strategies, swept over the newest-
+ * version fraction p and the PIM:CPU bandwidth ratio. Includes the
+ * paper's worked example (m = 16, p ~ 1, 3:1 ratio -> w > 16).
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "mvcc/defragmenter.hpp"
+
+using namespace pushtap;
+
+int
+main()
+{
+    std::printf("Eq. (3): defragmentation strategy crossover width "
+                "(bytes per device)\n\n");
+    TablePrinter tp({"bdw ratio (PIM:CPU)", "p=0.25", "p=0.5",
+                     "p=1.0"});
+    for (double ratio : {2.0, 3.0, 5.0, 10.0}) {
+        const mvcc::Defragmenter d(
+            Bandwidth::gbPerSec(100.0),
+            Bandwidth::gbPerSec(100.0 * ratio), 8);
+        tp.addRow({TablePrinter::num(ratio, 0) + ":1",
+                   TablePrinter::num(d.crossoverWidth(0.25), 1),
+                   TablePrinter::num(d.crossoverWidth(0.5), 1),
+                   TablePrinter::num(d.crossoverWidth(1.0), 1)});
+    }
+    tp.print();
+
+    const mvcc::Defragmenter paper(Bandwidth::gbPerSec(100.0),
+                                   Bandwidth::gbPerSec(300.0), 8);
+    std::printf("\npaper example: m=16, p~1, 3:1 ratio -> w > %.0f "
+                "(paper: w > 16)\n",
+                paper.crossoverWidth(1.0));
+    return 0;
+}

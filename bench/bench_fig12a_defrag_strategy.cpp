@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 12(a): defragmentation time with (1) CPU-only copying, (2)
+ * PIM-only copying, and (3) the hybrid strategy of section 5.3 that
+ * picks per table by row width (Eq. 3). The hybrid tracks the minimum
+ * of the two envelopes.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table_printer.hpp"
+#include "htap/pushtap_db.hpp"
+#include "mvcc/defragmenter.hpp"
+#include "workload/query_catalog.hpp"
+
+using namespace pushtap;
+
+namespace {
+
+constexpr double kScale = 0.001;
+
+double
+defragTime(std::uint64_t txns, mvcc::DefragStrategy strategy)
+{
+    htap::PushtapOptions opts;
+    opts.database.scale = kScale;
+    opts.database.deltaFraction = 4.0;
+    opts.database.insertHeadroom = 2.0;
+    opts.defragInterval = 0;
+    htap::PushtapDB db(opts);
+    db.mixed(txns);
+    return db.olap().runDefragmentation(strategy);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig. 12(a): defragmentation time by strategy "
+                "(scale 1/1000)\n\n");
+    TablePrinter tp({"txns (paper)", "CPU only (us)",
+                     "PIM only (us)", "hybrid (us)",
+                     "hybrid <= min(cpu,pim)?"});
+    for (std::uint64_t paper_txns :
+         {2'000'000ull, 4'000'000ull, 6'000'000ull, 8'000'000ull}) {
+        const auto txns = static_cast<std::uint64_t>(
+            static_cast<double>(paper_txns) * kScale);
+        const double cpu =
+            defragTime(txns, mvcc::DefragStrategy::CpuOnly);
+        const double pim =
+            defragTime(txns, mvcc::DefragStrategy::PimOnly);
+        const double hybrid =
+            defragTime(txns, mvcc::DefragStrategy::Hybrid);
+        tp.addRow({std::to_string(paper_txns),
+                   TablePrinter::num(cpu / 1e3, 1),
+                   TablePrinter::num(pim / 1e3, 1),
+                   TablePrinter::num(hybrid / 1e3, 1),
+                   hybrid <= std::min(cpu, pim) + 1.0 ? "yes"
+                                                      : "no"});
+    }
+    tp.print();
+    std::printf("\npaper: neither pure strategy is optimal; the "
+                "hybrid picks per table by row width (Eq. 3) and "
+                "tracks the minimum\n");
+
+    // Also show the per-table choice the hybrid makes.
+    std::printf("\nper-table hybrid choice (Eq. 3 crossover):\n\n");
+    const dram::BatchTimingModel tm(dram::Geometry::dimmDefault(),
+                                    dram::TimingParams::ddr5_3200());
+    const mvcc::Defragmenter model(
+        tm.cpuPeakBandwidth(),
+        tm.pimAggregateBandwidth(Bandwidth::gbPerSec(1.0)), 8);
+    auto schemas = workload::chBenchmarkSchemas();
+    workload::markKeyColumns(schemas, 22);
+    TablePrinter tt({"table", "w (B/device)", "strategy"});
+    for (const auto &schema : schemas) {
+        const auto layout = format::compactAligned(schema, 8, 0.6);
+        const auto w = std::max<std::uint32_t>(
+            1, (layout.paddedRowBytes() + 7) / 8);
+        tt.addRow({schema.name(), std::to_string(w),
+                   mvcc::defragStrategyName(
+                       model.pickStrategy(w, 1.0))});
+    }
+    tt.print();
+    return 0;
+}

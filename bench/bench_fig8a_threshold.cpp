@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 8(a): CPU and PIM effective bandwidth of the compact aligned
+ * format across the threshold hyperparameter th, on the full
+ * CH-benCHmark (all 22 queries define the key columns).
+ *
+ * Paper reference points: th=0 -> CPU 74.8% (max), PIM 51.9% (min);
+ * th=0.6 -> PIM 97.4%, CPU 59.8%; th=1 -> PIM max, CPU min.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+using namespace pushtap;
+
+int
+main()
+{
+    auto schemas = workload::chBenchmarkSchemas();
+    workload::markKeyColumns(schemas, 22);
+    const auto counts = workload::chRowCounts(1.0);
+    const auto freqs = workload::scanFrequencies(22);
+    const format::BandwidthModel bw(8, 8, true);
+
+    std::printf("Fig. 8(a): effective bandwidth vs threshold th "
+                "(CH-benCHmark, Q1-Q22 key columns)\n\n");
+    TablePrinter tp({"th", "CPU eff BW", "PIM eff BW"});
+    for (int i = 0; i <= 10; ++i) {
+        const double th = 0.1 * i;
+        const auto eff = benchutil::evaluateFormat(
+            schemas, counts, freqs, th, 8, bw);
+        tp.addRow({TablePrinter::num(th, 1),
+                   benchutil::pct(eff.cpuEff),
+                   benchutil::pct(eff.pimEff)});
+    }
+    tp.print();
+
+    const auto at0 =
+        benchutil::evaluateFormat(schemas, counts, freqs, 0.0, 8, bw);
+    const auto at06 =
+        benchutil::evaluateFormat(schemas, counts, freqs, 0.6, 8, bw);
+    const auto at1 =
+        benchutil::evaluateFormat(schemas, counts, freqs, 1.0, 8, bw);
+    std::printf("\npaper: th=0 CPU 74.8%% / PIM 51.9%%; "
+                "th=0.6 CPU 59.8%% / PIM 97.4%%; th=1 CPU min / "
+                "PIM max\n");
+    std::printf("ours : th=0 CPU %s / PIM %s; th=0.6 CPU %s / PIM "
+                "%s; th=1 CPU %s / PIM %s\n",
+                benchutil::pct(at0.cpuEff).c_str(),
+                benchutil::pct(at0.pimEff).c_str(),
+                benchutil::pct(at06.cpuEff).c_str(),
+                benchutil::pct(at06.pimEff).c_str(),
+                benchutil::pct(at1.cpuEff).c_str(),
+                benchutil::pct(at1.pimEff).c_str());
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fig. 8(c,d): the impact of key-column count. For each OLAP workload
+ * subset (Q1, Q1-2, Q1-3, Q1-10, Q1-22, ALL) find
+ *
+ *  (c) the maximum CPU effective bandwidth at the minimum th that
+ *      keeps PIM effective bandwidth > 70%, and
+ *  (d) the maximum PIM effective bandwidth at the maximum th that
+ *      keeps CPU effective bandwidth > 70%.
+ *
+ * Paper reference: max CPU falls 74.8% -> 26.7% and max PIM falls
+ * 100% -> 54.7% from Q1 to ALL; with ALL key columns the CPU side
+ * never reaches 70%.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+using namespace pushtap;
+
+namespace {
+
+struct SubsetResult
+{
+    std::size_t keyColumns;
+    double maxCpuGivenPim70 = 0.0;
+    double maxPimGivenCpu70 = 0.0;
+    double maxPimUnconstrained = 0.0;
+    double maxCpuUnconstrained = 0.0;
+    bool cpuReaches70 = false;
+    bool pimReaches70 = false;
+};
+
+SubsetResult
+evaluateSubset(int n_queries, bool all_keys)
+{
+    auto schemas = workload::chBenchmarkSchemas();
+    std::size_t marked;
+    if (all_keys) {
+        for (auto &s : schemas)
+            s.setAllKeys();
+        marked = 0;
+        for (const auto &s : schemas)
+            marked += s.columnCount();
+    } else {
+        marked = workload::markKeyColumns(schemas, n_queries);
+    }
+    const auto counts = workload::chRowCounts(1.0);
+    const auto freqs =
+        workload::scanFrequencies(all_keys ? 22 : n_queries);
+    const format::BandwidthModel bw(8, 8, true);
+
+    SubsetResult res;
+    res.keyColumns = marked;
+    for (int i = 0; i <= 50; ++i) {
+        const double th = i / 50.0;
+        // "ALL" degrades to the naive aligned format (section 7.2).
+        const auto eff = benchutil::evaluateFormat(
+            schemas, counts, freqs, th, 8, bw, all_keys);
+        if (eff.pimEff > 0.70) {
+            res.pimReaches70 = true;
+            res.maxCpuGivenPim70 =
+                std::max(res.maxCpuGivenPim70, eff.cpuEff);
+        }
+        if (eff.cpuEff > 0.70) {
+            res.cpuReaches70 = true;
+            res.maxPimGivenCpu70 =
+                std::max(res.maxPimGivenCpu70, eff.pimEff);
+        }
+        res.maxPimUnconstrained =
+            std::max(res.maxPimUnconstrained, eff.pimEff);
+        res.maxCpuUnconstrained =
+            std::max(res.maxCpuUnconstrained, eff.cpuEff);
+    }
+    // When one side can never reach 70% (the ALL case), report the
+    // unconstrained maximum like the paper does.
+    if (!res.cpuReaches70)
+        res.maxPimGivenCpu70 = res.maxPimUnconstrained;
+    if (!res.pimReaches70)
+        res.maxCpuGivenPim70 = res.maxCpuUnconstrained;
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig. 8(c,d): achievable effective bandwidth vs OLAP "
+                "workload subset\n\n");
+    TablePrinter tp({"subset", "key cols", "max CPU (PIM>70%)",
+                     "max PIM (CPU>70%)", "CPU reaches 70%?"});
+    struct Subset
+    {
+        const char *name;
+        int n;
+        bool all;
+    };
+    for (const auto &s :
+         std::vector<Subset>{{"Q1", 1, false},
+                             {"Q1-2", 2, false},
+                             {"Q1-3", 3, false},
+                             {"Q1-10", 10, false},
+                             {"Q1-22", 22, false},
+                             {"ALL", 22, true}}) {
+        const auto r = evaluateSubset(s.n, s.all);
+        tp.addRow({s.name, std::to_string(r.keyColumns),
+                   benchutil::pct(r.maxCpuGivenPim70),
+                   benchutil::pct(r.maxPimGivenCpu70),
+                   r.cpuReaches70 ? "yes" : "no"});
+    }
+    tp.print();
+    std::printf("\npaper: max CPU 74.8%% (Q1) -> 26.7%% (ALL); max "
+                "PIM 100%% (Q1) -> 54.7%% (ALL); ALL never reaches "
+                "70%% CPU\n");
+    return 0;
+}

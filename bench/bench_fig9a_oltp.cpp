@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 9(a): OLTP transaction execution time under the three storage
+ * formats — row store (the OLTP ideal), column store, and PUSHtap's
+ * unified format — plus the HBM-based variant of the unified format.
+ *
+ * Paper reference: CS +28.1% and PUSHtap +3.5% over RS; PUSHtap(HBM)
+ * gains merely 2.5% over the DIMM system.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "txn/tpcc_engine.hpp"
+
+using namespace pushtap;
+
+namespace {
+
+double
+runFormat(txn::InstanceFormat fmt, const format::BandwidthModel &bw,
+          const dram::BatchTimingModel &timing, int txns)
+{
+    txn::DatabaseConfig cfg;
+    cfg.scale = 0.001;
+    txn::Database db(cfg);
+    txn::TpccEngine engine(db, fmt, bw, timing, 99);
+    for (int i = 0; i < txns; ++i)
+        engine.executeMixed();
+    return engine.stats().avgTxnNs();
+}
+
+} // namespace
+
+int
+main()
+{
+    const int txns = 2000;
+    const format::BandwidthModel dimm_bw(8, 8, true);
+    const dram::BatchTimingModel dimm(
+        dram::Geometry::dimmDefault(),
+        dram::TimingParams::ddr5_3200());
+    const format::BandwidthModel hbm_bw(8, 64, false);
+    const dram::BatchTimingModel hbm(dram::Geometry::hbmDefault(),
+                                     dram::TimingParams::hbm3());
+
+    const double rs =
+        runFormat(txn::InstanceFormat::RowStore, dimm_bw, dimm, txns);
+    const double cs = runFormat(txn::InstanceFormat::ColumnStore,
+                                dimm_bw, dimm, txns);
+    const double unified =
+        runFormat(txn::InstanceFormat::Unified, dimm_bw, dimm, txns);
+    const double unified_hbm =
+        runFormat(txn::InstanceFormat::Unified, hbm_bw, hbm, txns);
+
+    std::printf("Fig. 9(a): transaction execution time by format "
+                "(%d mixed TPC-C txns, scale 1/1000)\n\n",
+                txns);
+    TablePrinter tp(
+        {"format", "avg txn (ns)", "vs RS", "paper vs RS"});
+    auto rel = [&](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                      (v / rs - 1.0) * 100.0);
+        return std::string(buf);
+    };
+    tp.addRow({"RS (ideal)", TablePrinter::num(rs, 0), "+0.0%",
+               "+0.0%"});
+    tp.addRow({"CS", TablePrinter::num(cs, 0), rel(cs), "+28.1%"});
+    tp.addRow({"PUSHtap", TablePrinter::num(unified, 0),
+               rel(unified), "+3.5%"});
+    tp.addRow({"PUSHtap (HBM)", TablePrinter::num(unified_hbm, 0),
+               rel(unified_hbm), "-2.5% (2.5% speedup)"});
+    tp.print();
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks for the core kernels: compact
+ * aligned bin-packing, row scatter/gather re-layout, snapshot bitmap
+ * updates, PIM filter throughput, and hash-index lookups.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/rng.hpp"
+#include "format/generators.hpp"
+#include "format/row_codec.hpp"
+#include "pim/pim_unit.hpp"
+#include "txn/hash_index.hpp"
+#include "workload/ch_schema.hpp"
+
+using namespace pushtap;
+
+namespace {
+
+void
+BM_CompactAlignedGeneration(benchmark::State &state)
+{
+    auto schema =
+        workload::chTableSchema(workload::ChTable::Customer);
+    schema.setKeyColumns({"c_id", "c_balance", "c_ytd_payment",
+                          "c_state", "c_since"});
+    const double th = static_cast<double>(state.range(0)) / 10.0;
+    for (auto _ : state) {
+        auto layout = format::compactAligned(schema, 8, th);
+        benchmark::DoNotOptimize(layout.parts().size());
+    }
+}
+BENCHMARK(BM_CompactAlignedGeneration)->Arg(0)->Arg(6)->Arg(10);
+
+void
+BM_RowScatterGather(benchmark::State &state)
+{
+    auto schema =
+        workload::chTableSchema(workload::ChTable::OrderLine);
+    schema.setKeyColumns({"ol_o_id", "ol_amount", "ol_quantity",
+                          "ol_delivery_d"});
+    const auto layout = format::compactAligned(schema, 8, 0.6);
+    const format::RowCodec codec(layout,
+                                 format::BlockCirculant(8, 1024));
+
+    // Flat per-(part, device) regions.
+    std::vector<std::vector<std::vector<std::uint8_t>>> regions(
+        layout.parts().size());
+    for (std::size_t p = 0; p < layout.parts().size(); ++p)
+        regions[p].assign(8, std::vector<std::uint8_t>(
+                                 4096 * layout.parts()[p].rowWidth));
+
+    std::vector<std::uint8_t> row(schema.rowBytes(), 7);
+    std::vector<std::uint8_t> out(schema.rowBytes());
+    RowId r = 0;
+    for (auto _ : state) {
+        codec.scatter(r % 4096, row,
+                      [&](std::uint32_t p, std::uint32_t d,
+                          std::uint64_t off,
+                          std::span<const std::uint8_t> data) {
+                          std::copy(data.begin(), data.end(),
+                                    regions[p][d].begin() +
+                                        static_cast<long>(off));
+                      });
+        codec.gather(r % 4096,
+                     [&](std::uint32_t p, std::uint32_t d,
+                         std::uint64_t off,
+                         std::span<std::uint8_t> dst) {
+                         std::copy_n(regions[p][d].begin() +
+                                         static_cast<long>(off),
+                                     dst.size(), dst.begin());
+                     },
+                     out);
+        benchmark::DoNotOptimize(out.data());
+        ++r;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2 *
+        schema.rowBytes());
+}
+BENCHMARK(BM_RowScatterGather);
+
+void
+BM_SnapshotBitmapUpdate(benchmark::State &state)
+{
+    Bitmap data(1 << 20, true), delta(1 << 20, false);
+    Rng rng(5);
+    for (auto _ : state) {
+        const auto row = rng.below(1 << 20);
+        data.clear(row);
+        delta.set(row);
+        benchmark::DoNotOptimize(delta.test(row));
+    }
+}
+BENCHMARK(BM_SnapshotBitmapUpdate);
+
+void
+BM_BitmapFindNext(benchmark::State &state)
+{
+    Bitmap b(1 << 20);
+    for (std::size_t i = 0; i < (1 << 20); i += 97)
+        b.set(i);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        pos = b.findNext(pos + 1);
+        if (pos >= b.size())
+            pos = 0;
+        benchmark::DoNotOptimize(pos);
+    }
+}
+BENCHMARK(BM_BitmapFindNext);
+
+void
+BM_PimFilter(benchmark::State &state)
+{
+    pim::PimUnit unit;
+    const std::uint64_t n = 4096;
+    for (std::uint64_t i = 0; i < n; ++i)
+        unit.writeInt(static_cast<std::uint32_t>(i * 4), 4,
+                      static_cast<std::int64_t>(i));
+    pim::FilterParams p{pim::kNoBitmap, 0, 20000, 4,
+                        pim::encodeCondition(pim::CompareOp::Gt,
+                                             2048)};
+    for (auto _ : state) {
+        unit.execFilter(p, n);
+        benchmark::DoNotOptimize(unit.wram().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PimFilter);
+
+void
+BM_HashIndexLookup(benchmark::State &state)
+{
+    txn::HashIndex idx(1 << 16);
+    Rng rng(9);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < (1 << 16); ++i) {
+        keys.push_back(rng());
+        idx.insert(keys.back(), static_cast<RowId>(i));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            idx.lookup(keys[i++ & (keys.size() - 1)]));
+    }
+}
+BENCHMARK(BM_HashIndexLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the figure/table benches: benchmark-wide
+ * effective-bandwidth evaluation (Fig. 8 family) and common setup.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "format/bandwidth.hpp"
+#include "format/generators.hpp"
+#include "workload/ch_schema.hpp"
+#include "workload/query_catalog.hpp"
+
+namespace pushtap::benchutil {
+
+struct FormatEffectiveness
+{
+    double cpuEff = 0.0; ///< Full-row read efficiency, byte-weighted.
+    double pimEff = 0.0; ///< Key-column scan efficiency, weighted.
+};
+
+/**
+ * Evaluate the compact aligned format at threshold @p th over a set of
+ * schemas (key columns already marked). With @p naive, the naive
+ * aligned format of Fig. 3(b) is evaluated instead (the paper's
+ * "ALL" case: every column a key column degrades to it).
+ *
+ * CPU: useful/fetched bytes for full-row reads, weighted by each
+ * table's total bytes. PIM: column width over slot width for every
+ * scanned key column, weighted by scan frequency x rows x width.
+ */
+inline FormatEffectiveness
+evaluateFormat(
+    const std::vector<format::TableSchema> &schemas,
+    const std::map<workload::ChTable, std::uint64_t> &row_counts,
+    const std::map<std::pair<workload::ChTable, std::string>,
+                   std::uint32_t> &scan_freqs,
+    double th, std::uint32_t devices,
+    const format::BandwidthModel &bw, bool naive = false)
+{
+    double cpu_useful = 0.0, cpu_fetched = 0.0;
+    double pim_useful = 0.0, pim_fetched = 0.0;
+
+    for (std::size_t i = 0; i < schemas.size(); ++i) {
+        const auto table = static_cast<workload::ChTable>(i);
+        const auto &schema = schemas[i];
+        const auto layout =
+            naive ? format::naiveAligned(schema, devices)
+                  : format::compactAligned(schema, devices, th);
+        const auto rows =
+            static_cast<double>(row_counts.at(table));
+
+        const auto row_access = bw.fullRowAccess(layout);
+        cpu_useful += rows * row_access.usefulBytes;
+        cpu_fetched += rows * row_access.fetchedBytes;
+
+        for (const auto &[key, freq] : scan_freqs) {
+            if (key.first != table || !schema.hasColumn(key.second))
+                continue;
+            const auto col = schema.columnId(key.second);
+            if (!schema.column(col).isKey)
+                continue; // normal column: CPU-scanned, not PIM
+            const auto &pl = layout.keyPlacement(col);
+            const double w = layout.parts()[pl.part].rowWidth;
+            const double width = schema.column(col).width;
+            pim_useful += freq * rows * width;
+            pim_fetched += freq * rows * w;
+        }
+    }
+
+    FormatEffectiveness eff;
+    eff.cpuEff = cpu_fetched > 0.0 ? cpu_useful / cpu_fetched : 0.0;
+    eff.pimEff = pim_fetched > 0.0 ? pim_useful / pim_fetched : 0.0;
+    return eff;
+}
+
+/** Percentage formatting shorthand. */
+inline std::string
+pct(double fraction, int precision = 1)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace pushtap::benchutil

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Format explorer: shows how the compact aligned format lays out a
+ * table at different thresholds — the part/slot structure, which
+ * columns are PIM-scannable at what efficiency, and what a CPU row
+ * access fetches. Useful when choosing th for a new workload
+ * (section 4.1.2's design trade-off).
+ *
+ * Usage: format_explorer [th]     (default 0.6)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table_printer.hpp"
+#include "format/bandwidth.hpp"
+#include "format/generators.hpp"
+#include "workload/ch_schema.hpp"
+#include "workload/query_catalog.hpp"
+
+using namespace pushtap;
+
+int
+main(int argc, char **argv)
+{
+    const double th = argc > 1 ? std::atof(argv[1]) : 0.6;
+
+    auto schemas = workload::chBenchmarkSchemas();
+    workload::markKeyColumns(schemas, 22);
+    const auto &schema =
+        schemas[static_cast<std::size_t>(workload::ChTable::OrderLine)];
+
+    std::printf("compact aligned layout of ORDERLINE at th = %.2f\n\n",
+                th);
+    const auto layout = format::compactAligned(schema, 8, th);
+
+    for (std::size_t p = 0; p < layout.parts().size(); ++p) {
+        const auto &part = layout.parts()[p];
+        std::printf("part %zu  (row width %u B, %zu slots)\n", p,
+                    part.rowWidth, part.slots.size());
+        for (std::size_t s = 0; s < part.slots.size(); ++s) {
+            std::printf("  slot %zu: ", s);
+            for (const auto &f : part.slots[s].fragments) {
+                const auto &col = schema.column(f.column);
+                if (f.byteCount == col.width)
+                    std::printf("%s(%u)%s ", col.name.c_str(),
+                                f.byteCount, col.isKey ? "*" : "");
+                else
+                    std::printf("%s[%u:%u] ", col.name.c_str(),
+                                f.byteOffset,
+                                f.byteOffset + f.byteCount);
+            }
+            const auto pad = part.rowWidth -
+                             part.slots[s].usedBytes();
+            if (pad)
+                std::printf("pad(%u)", pad);
+            std::printf("\n");
+        }
+    }
+    std::printf("(* = key column)\n\n");
+
+    const format::BandwidthModel bw(8, 8, true);
+    TablePrinter tp({"column", "kind", "PIM scan efficiency"});
+    for (ColumnId c = 0; c < schema.columnCount(); ++c) {
+        const auto &col = schema.column(c);
+        const double eff = bw.pimScanEfficiency(layout, c);
+        tp.addRow({col.name, col.isKey ? "key" : "normal",
+                   eff > 0.0
+                       ? TablePrinter::num(eff * 100.0, 1) + "%"
+                       : std::string("CPU only (fragmented)")});
+    }
+    tp.print();
+
+    const auto row = bw.fullRowAccess(layout);
+    std::printf("\nCPU full-row access: %.2f lines, %.0f B fetched "
+                "for %.0f B useful (%.1f%% effective bandwidth)\n",
+                row.avgLines, row.fetchedBytes, row.usefulBytes,
+                row.efficiency() * 100.0);
+    std::printf("padding: %u B per row of %u B\n",
+                layout.paddingBytesPerRow(), schema.rowBytes());
+    return 0;
+}

@@ -1,0 +1,24 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace pushtap {
+namespace log_detail {
+
+bool &
+verboseFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+void
+emit(std::string_view level, std::string_view msg)
+{
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(level.size()), level.data(),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+} // namespace log_detail
+} // namespace pushtap

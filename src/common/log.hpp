@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal gem5-style status logging: inform / warn / fatal / panic.
+ *
+ * fatal() is for user errors (bad configuration); it throws a
+ * FatalError so library users and tests can recover. panic() is for
+ * internal invariant violations and aborts.
+ */
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/strfmt.hpp"
+
+namespace pushtap {
+
+/** Exception thrown by fatal(): a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace log_detail {
+
+/** Global verbosity toggle for inform(); warn() always prints. */
+bool &verboseFlag();
+
+void emit(std::string_view level, std::string_view msg);
+
+} // namespace log_detail
+
+/** Enable or disable inform() output (default: disabled, quiet tests). */
+inline void
+setVerbose(bool on)
+{
+    log_detail::verboseFlag() = on;
+}
+
+inline bool
+verbose()
+{
+    return log_detail::verboseFlag();
+}
+
+/** Informative status message, hidden unless setVerbose(true). */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    if (log_detail::verboseFlag())
+        log_detail::emit("info",
+                         strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Warning about suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    log_detail::emit("warn",
+                     strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** User error: throw FatalError with a formatted message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    std::string msg = strFormat(fmt, std::forward<Args>(args)...);
+    log_detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Internal bug: print and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    log_detail::emit("panic",
+                     strFormat(fmt, std::forward<Args>(args)...));
+    std::abort();
+}
+
+} // namespace pushtap

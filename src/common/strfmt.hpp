@@ -1,0 +1,118 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal brace formatting for diagnostics (GCC 12 lacks <format>).
+ * Supports positional "{}" placeholders; any format spec between the
+ * braces is ignored (arguments render in their natural form). "{{"
+ * and "}}" escape literal braces.
+ */
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace pushtap {
+namespace strfmt_detail {
+
+inline std::string
+toDisplay(bool v)
+{
+    return v ? "true" : "false";
+}
+
+inline std::string toDisplay(char v) { return std::string(1, v); }
+
+inline std::string
+toDisplay(const char *v)
+{
+    return v ? std::string(v) : std::string("(null)");
+}
+
+inline std::string toDisplay(const std::string &v) { return v; }
+
+inline std::string
+toDisplay(std::string_view v)
+{
+    return std::string(v);
+}
+
+template <typename T>
+    requires std::is_integral_v<T>
+std::string
+toDisplay(T v)
+{
+    return std::to_string(v);
+}
+
+template <typename T>
+    requires std::is_floating_point_v<T>
+std::string
+toDisplay(T v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(v));
+    return buf;
+}
+
+template <typename T>
+    requires std::is_enum_v<T>
+std::string
+toDisplay(T v)
+{
+    return std::to_string(
+        static_cast<std::underlying_type_t<T>>(v));
+}
+
+inline std::string
+substitute(std::string_view fmt, const std::vector<std::string> &args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16 * args.size());
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out += '{';
+                ++i;
+                continue;
+            }
+            // Skip to the closing brace; the spec inside is ignored.
+            std::size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos) {
+                out += fmt.substr(i);
+                break;
+            }
+            out += next < args.size() ? args[next] : "{?}";
+            ++next;
+            i = close;
+        } else if (c == '}') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '}')
+                ++i;
+            out += '}';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace strfmt_detail
+
+/** Format @p fmt replacing successive "{}" with the arguments. */
+template <typename... Args>
+std::string
+strFormat(std::string_view fmt, Args &&...args)
+{
+    std::vector<std::string> rendered;
+    rendered.reserve(sizeof...(Args));
+    (rendered.push_back(
+         strfmt_detail::toDisplay(std::forward<Args>(args))),
+     ...);
+    return strfmt_detail::substitute(fmt, rendered);
+}
+
+} // namespace pushtap

@@ -1,0 +1,70 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace pushtap {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("TablePrinter row arity {} != header arity {}",
+              cells.size(), headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += " " + row[c];
+            out += std::string(widths[c] - row[c].size() + 1, ' ');
+            out += "|";
+        }
+        out += "\n";
+        return out;
+    };
+
+    std::string out = renderRow(headers_);
+    out += "|";
+    for (auto w : widths)
+        out += std::string(w + 2, '-') + "|";
+    out += "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace pushtap

@@ -1,0 +1,37 @@
+#pragma once
+
+/**
+ * @file
+ * Aligned ASCII table printing for bench output. Every figure/table
+ * bench emits its series through this so EXPERIMENTS.md rows can be
+ * pasted directly from bench output.
+ */
+
+#include <string>
+#include <vector>
+
+namespace pushtap {
+
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table to a string (markdown-ish pipe format). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pushtap

@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Unit helpers: byte-size literals and bandwidth conversions.
+ */
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pushtap {
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+namespace literals {
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+} // namespace literals
+
+/**
+ * Bandwidth expressed in bytes per nanosecond (== GB/s in SI giga).
+ *
+ * Stored as a plain double so arithmetic composes naturally; the named
+ * constructors keep call sites self-describing.
+ */
+class Bandwidth
+{
+  public:
+    constexpr Bandwidth() : bytesPerNs_(0.0) {}
+
+    /** Construct from GB/s (1 GB/s == 1 byte/ns). */
+    static constexpr Bandwidth
+    gbPerSec(double gbps)
+    {
+        return Bandwidth(gbps);
+    }
+
+    /** Construct from bytes transferred over a duration. */
+    static constexpr Bandwidth
+    fromTransfer(Bytes bytes, TimeNs duration_ns)
+    {
+        return Bandwidth(duration_ns > 0.0
+                             ? static_cast<double>(bytes) / duration_ns
+                             : 0.0);
+    }
+
+    constexpr double bytesPerNs() const { return bytesPerNs_; }
+    constexpr double gbPerSecValue() const { return bytesPerNs_; }
+
+    /** Time to move @p bytes at this bandwidth. */
+    constexpr TimeNs
+    transferTime(Bytes bytes) const
+    {
+        return bytesPerNs_ > 0.0
+                   ? static_cast<double>(bytes) / bytesPerNs_
+                   : 0.0;
+    }
+
+    constexpr Bandwidth operator+(Bandwidth o) const
+    {
+        return Bandwidth(bytesPerNs_ + o.bytesPerNs_);
+    }
+
+    constexpr Bandwidth operator*(double k) const
+    {
+        return Bandwidth(bytesPerNs_ * k);
+    }
+
+    constexpr bool operator<(Bandwidth o) const
+    {
+        return bytesPerNs_ < o.bytesPerNs_;
+    }
+
+    constexpr bool operator>(Bandwidth o) const
+    {
+        return bytesPerNs_ > o.bytesPerNs_;
+    }
+
+  private:
+    explicit constexpr Bandwidth(double bytes_per_ns)
+        : bytesPerNs_(bytes_per_ns)
+    {}
+
+    double bytesPerNs_;
+};
+
+} // namespace pushtap

@@ -1,0 +1,77 @@
+#include "dram/address.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::dram {
+
+Coord
+AddressMap::decompose(std::uint64_t addr) const
+{
+    const auto &g = geom_;
+    if (addr >= capacity())
+        panic("address {:#x} beyond capacity {:#x}", addr, capacity());
+
+    const std::uint64_t line = addr / g.lineBytes;
+    const std::uint64_t off = addr % g.lineBytes;
+
+    Coord c;
+    c.channel = static_cast<std::uint32_t>(line % g.channels);
+    const std::uint64_t inChannel = line / g.channels;
+    c.rank = static_cast<std::uint32_t>(inChannel % g.ranksPerChannel);
+    const std::uint64_t lineInRank = inChannel / g.ranksPerChannel;
+
+    std::uint64_t deviceLocal;
+    if (g.stripedLines) {
+        // ADE stripe: device selected by position inside the line.
+        c.device = static_cast<std::uint32_t>(off / g.interleaveGranularity);
+        deviceLocal = lineInRank * g.interleaveGranularity +
+                      off % g.interleaveGranularity;
+    } else {
+        // Whole line from a single device granule (HBM-style).
+        const std::uint64_t granule = lineInRank;
+        c.device = static_cast<std::uint32_t>(granule % g.devicesPerRank);
+        deviceLocal = (granule / g.devicesPerRank) * g.lineBytes + off;
+    }
+
+    const std::uint64_t chunk = deviceLocal / g.columnsPerRow;
+    c.column = deviceLocal % g.columnsPerRow;
+    c.bank = static_cast<std::uint32_t>(chunk % g.banksPerDevice);
+    c.row = chunk / g.banksPerDevice;
+    return c;
+}
+
+std::uint64_t
+AddressMap::compose(const Coord &c) const
+{
+    const auto &g = geom_;
+    const std::uint64_t chunk = c.row * g.banksPerDevice + c.bank;
+    const std::uint64_t deviceLocal = chunk * g.columnsPerRow + c.column;
+
+    std::uint64_t lineInRank;
+    std::uint64_t off;
+    if (g.stripedLines) {
+        lineInRank = deviceLocal / g.interleaveGranularity;
+        off = static_cast<std::uint64_t>(c.device) *
+                  g.interleaveGranularity +
+              deviceLocal % g.interleaveGranularity;
+    } else {
+        const std::uint64_t granuleInDevice = deviceLocal / g.lineBytes;
+        lineInRank = granuleInDevice * g.devicesPerRank + c.device;
+        off = deviceLocal % g.lineBytes;
+    }
+
+    const std::uint64_t inChannel =
+        lineInRank * g.ranksPerChannel + c.rank;
+    const std::uint64_t line = inChannel * g.channels + c.channel;
+    return line * g.lineBytes + off;
+}
+
+std::uint64_t
+AddressMap::deviceLocal(const Coord &c) const
+{
+    const auto &g = geom_;
+    return (c.row * g.banksPerDevice + c.bank) * g.columnsPerRow +
+           c.column;
+}
+
+} // namespace pushtap::dram

@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Physical address mapping for the interleaved PIM DRAM space.
+ *
+ * The CPU sees a flat byte-addressable space. Lines (64 B) interleave
+ * round-robin across channels, then ranks; within a rank each line is
+ * an ADE stripe: g bytes from every device at the same device-local
+ * offset. Device-local bytes then spread row-buffer-sized chunks
+ * round-robin across the device's banks for bank-level parallelism.
+ *
+ * PIM units address the same cells through bank-local coordinates
+ * (the IDE dimension); decompose()/compose() are exact inverses so the
+ * two views are provably consistent.
+ */
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/geometry.hpp"
+
+namespace pushtap::dram {
+
+/** Full coordinates of one byte in the PIM DRAM system. */
+struct Coord
+{
+    std::uint32_t channel;
+    std::uint32_t rank;
+    std::uint32_t device;
+    std::uint32_t bank;     ///< Bank index within the device.
+    std::uint64_t row;
+    std::uint64_t column;   ///< Byte offset within the device row.
+
+    bool
+    operator==(const Coord &o) const
+    {
+        return channel == o.channel && rank == o.rank &&
+               device == o.device && bank == o.bank && row == o.row &&
+               column == o.column;
+    }
+};
+
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Geometry &geom) : geom_(geom) {}
+
+    const Geometry &geometry() const { return geom_; }
+
+    /** Decompose a flat physical address into DRAM coordinates. */
+    Coord decompose(std::uint64_t addr) const;
+
+    /** Recompose coordinates into the flat physical address. */
+    std::uint64_t compose(const Coord &c) const;
+
+    /**
+     * Flat index of the bank holding @p c, unique across the system;
+     * equals the id of the PIM unit owning that bank.
+     */
+    BankId
+    flatBank(const Coord &c) const
+    {
+        const auto &g = geom_;
+        return ((c.channel * g.ranksPerChannel + c.rank) *
+                    g.devicesPerRank + c.device) * g.banksPerDevice +
+               c.bank;
+    }
+
+    /**
+     * Device-local byte address (the IDE offset a PIM unit's DMA uses),
+     * covering all banks of the device.
+     */
+    std::uint64_t deviceLocal(const Coord &c) const;
+
+    /** Total addressable bytes. */
+    Bytes capacity() const { return geom_.totalBytes(); }
+
+  private:
+    Geometry geom_;
+};
+
+} // namespace pushtap::dram

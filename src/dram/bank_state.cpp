@@ -1,0 +1,76 @@
+#include "dram/bank_state.hpp"
+
+#include <algorithm>
+
+namespace pushtap::dram {
+
+Tick
+BankState::prepareRow(Tick start, std::uint64_t row)
+{
+    // Returns the tick at which a column command for `row` may issue.
+    if (openRow_ && *openRow_ == row) {
+        ++rowHits_;
+        return start;
+    }
+    ++rowMisses_;
+    Tick t = start;
+    if (openRow_) {
+        // Honour tRAS before precharging, then tRP.
+        const Tick ras_done = activatedAt_ + nsToTicks(timing_->tRAS);
+        t = std::max(t, ras_done) + nsToTicks(timing_->tRP);
+    }
+    // Activate: column command allowed tRCD later.
+    activatedAt_ = t;
+    openRow_ = row;
+    return t + nsToTicks(timing_->tRCD);
+}
+
+Tick
+BankState::accessRead(Tick now, std::uint64_t row)
+{
+    const Tick start = std::max(now, readyAt_);
+    const Tick col = prepareRow(start, row);
+    const Tick done =
+        col + nsToTicks(timing_->tCL) + nsToTicks(timing_->tBURST);
+    // Next command may overlap CAS latency but not the burst; keep the
+    // model simple and conservative: bank busy until read-to-precharge
+    // constraint clears.
+    readyAt_ = std::max(done, col + nsToTicks(timing_->tRTP));
+    return done;
+}
+
+Tick
+BankState::accessWrite(Tick now, std::uint64_t row)
+{
+    const Tick start = std::max(now, readyAt_);
+    const Tick col = prepareRow(start, row);
+    const Tick done =
+        col + nsToTicks(timing_->tCL) + nsToTicks(timing_->tBURST);
+    // Write recovery keeps the bank busy beyond the burst.
+    readyAt_ = done + nsToTicks(timing_->tWR);
+    return done;
+}
+
+Tick
+BankState::precharge(Tick now)
+{
+    Tick t = std::max(now, readyAt_);
+    if (openRow_) {
+        const Tick ras_done = activatedAt_ + nsToTicks(timing_->tRAS);
+        t = std::max(t, ras_done) + nsToTicks(timing_->tRP);
+        openRow_.reset();
+    }
+    readyAt_ = t;
+    return t;
+}
+
+Tick
+BankState::refresh(Tick now)
+{
+    Tick t = precharge(now);
+    t += nsToTicks(timing_->tRFC);
+    readyAt_ = t;
+    return t;
+}
+
+} // namespace pushtap::dram

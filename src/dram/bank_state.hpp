@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Per-bank DRAM state machine used by the event-driven memory
+ * controller model: tracks the open row and the earliest tick at which
+ * the next command may issue, honouring tRCD/tCL/tRP/tRAS/tWR/tRTP.
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "dram/timing_params.hpp"
+
+namespace pushtap::dram {
+
+/** Who currently owns the bank's data bus (two-mode PIM design). */
+enum class BankOwner
+{
+    Cpu, ///< Normal mode: CPU accesses, PIM locked out.
+    Pim, ///< PIM mode: bank handed to the local PIM unit.
+};
+
+class BankState
+{
+  public:
+    explicit BankState(const TimingParams &t) : timing_(&t) {}
+
+    BankOwner owner() const { return owner_; }
+    void setOwner(BankOwner o) { owner_ = o; }
+
+    std::optional<std::uint64_t> openRow() const { return openRow_; }
+
+    /** Earliest tick the bank can accept a new command. */
+    Tick readyAt() const { return readyAt_; }
+
+    /**
+     * Issue a read of one line in @p row starting no earlier than
+     * @p now. Returns the tick at which data transfer completes.
+     * Updates the open row and bank-ready time.
+     */
+    Tick accessRead(Tick now, std::uint64_t row);
+
+    /** Issue a write of one line; returns data completion tick. */
+    Tick accessWrite(Tick now, std::uint64_t row);
+
+    /** Precharge (close the open row); returns completion tick. */
+    Tick precharge(Tick now);
+
+    /** Refresh the bank; returns completion tick. */
+    Tick refresh(Tick now);
+
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+
+  private:
+    Tick prepareRow(Tick start, std::uint64_t row);
+
+    const TimingParams *timing_;
+    BankOwner owner_ = BankOwner::Cpu;
+    std::optional<std::uint64_t> openRow_;
+    Tick readyAt_ = 0;
+    Tick activatedAt_ = 0;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace pushtap::dram

@@ -1,0 +1,39 @@
+#include "dram/geometry.hpp"
+
+namespace pushtap::dram {
+
+Geometry
+Geometry::dimmDefault()
+{
+    Geometry g;
+    g.name = "DIMM-DDR5";
+    g.channels = 4;
+    g.ranksPerChannel = 4;
+    g.devicesPerRank = 8;
+    g.banksPerDevice = 8;
+    g.rowsPerBank = 131072;
+    g.columnsPerRow = 1024;
+    g.interleaveGranularity = 8;
+    g.lineBytes = 64;
+    g.stripedLines = true;
+    return g;
+}
+
+Geometry
+Geometry::hbmDefault()
+{
+    Geometry g;
+    g.name = "HBM3";
+    g.channels = 32;
+    g.ranksPerChannel = 1;   // pseudo-channel pairs folded into devices
+    g.devicesPerRank = 2;    // 2 pseudo-channels
+    g.banksPerDevice = 16;   // 4 bank groups x 4 banks
+    g.rowsPerBank = 32768;
+    g.columnsPerRow = 2048;  // 8 Gb/bank / 32768 rows / 16 (col width)
+    g.interleaveGranularity = 64;
+    g.lineBytes = 64;
+    g.stripedLines = false;
+    return g;
+}
+
+} // namespace pushtap::dram

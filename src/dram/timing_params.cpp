@@ -1,0 +1,47 @@
+#include "dram/timing_params.hpp"
+
+namespace pushtap::dram {
+
+TimingParams
+TimingParams::ddr5_3200()
+{
+    TimingParams p;
+    p.name = "DDR5-3200";
+    p.tBURST = 2.5;
+    p.tRCD = 7.5;
+    p.tCL = 7.5;
+    p.tRP = 7.5;
+    p.tRAS = 16.3;
+    p.tRRD = 2.5;
+    p.tRFC = 121.9;
+    p.tWR = 15.0;
+    p.tWTR = 11.2;
+    p.tRTP = 3.75;
+    p.tRTW = 4.4;
+    p.tCS = 4.4;
+    p.tREFI = 3900.0;
+    return p;
+}
+
+TimingParams
+TimingParams::hbm3()
+{
+    TimingParams p;
+    p.name = "HBM3-2Gbps";
+    p.tBURST = 2.0;
+    p.tRCD = 3.5;
+    p.tCL = 3.5;
+    p.tRP = 3.5;
+    p.tRAS = 8.5;
+    p.tRRD = 2.0;
+    p.tRFC = 175.0;
+    p.tWR = 4.0;
+    p.tWTR = 1.5;
+    p.tRTP = 1.0;
+    p.tRTW = 1.5;
+    p.tCS = 1.5;
+    p.tREFI = 2000.0;
+    return p;
+}
+
+} // namespace pushtap::dram

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * DRAM timing parameters, exactly the fields of Table 1 of the paper.
+ * Two presets are provided: the default DIMM-based system (DDR5-3200)
+ * and the HBM-based comparison system (HBM3-2Gbps).
+ */
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pushtap::dram {
+
+/** All values in nanoseconds. */
+struct TimingParams
+{
+    std::string name;
+
+    double tBURST; ///< Data burst time for one full-line transfer.
+    double tRCD;   ///< ACT -> column command.
+    double tCL;    ///< Column command -> data.
+    double tRP;    ///< PRE -> ACT.
+    double tRAS;   ///< ACT -> PRE minimum.
+    double tRRD;   ///< ACT -> ACT (different banks).
+    double tRFC;   ///< Refresh cycle time.
+    double tWR;    ///< Write recovery.
+    double tWTR;   ///< Write -> read turnaround.
+    double tRTP;   ///< Read -> PRE.
+    double tRTW;   ///< Read -> write turnaround.
+    double tCS;    ///< Rank-to-rank switch.
+    double tREFI;  ///< Refresh interval.
+
+    /** Random-access (row miss) latency: PRE + ACT + CAS + burst. */
+    double
+    rowMissLatency() const
+    {
+        return tRP + tRCD + tCL + tBURST;
+    }
+
+    /** Row-hit latency: CAS + burst. */
+    double
+    rowHitLatency() const
+    {
+        return tCL + tBURST;
+    }
+
+    /**
+     * Fraction of time the DRAM is available (not refreshing).
+     * tRFC out of every tREFI is lost to refresh.
+     */
+    double
+    refreshAvailability() const
+    {
+        return 1.0 - tRFC / tREFI;
+    }
+
+    /** DDR5-3200 preset (Table 1, "DRAM DIMM"). */
+    static TimingParams ddr5_3200();
+
+    /** HBM3-2Gbps preset (Table 1, "HBM-based System"). */
+    static TimingParams hbm3();
+};
+
+} // namespace pushtap::dram

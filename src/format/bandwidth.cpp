@@ -1,0 +1,201 @@
+#include "format/bandwidth.hpp"
+
+#include <numeric>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace pushtap::format {
+
+namespace {
+
+/**
+ * Average distinct granule-chunks touched per access for ranges
+ * anchored at r * stride, averaged over alignment phases.
+ */
+double
+averageChunks(std::uint64_t granule, std::uint32_t stride,
+              const std::vector<std::pair<std::uint32_t,
+                                          std::uint32_t>> &ranges)
+{
+    if (ranges.empty() || stride == 0)
+        return 0.0;
+    const std::uint64_t period =
+        granule / std::gcd<std::uint64_t>(granule, stride);
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < period; ++k) {
+        const std::uint64_t base = k * stride;
+        std::set<std::uint64_t> chunks;
+        for (const auto &[lo, hi] : ranges) {
+            if (hi <= lo)
+                continue;
+            const std::uint64_t first = (base + lo) / granule;
+            const std::uint64_t last = (base + hi - 1) / granule;
+            for (std::uint64_t c = first; c <= last; ++c)
+                chunks.insert(c);
+        }
+        total += static_cast<double>(chunks.size());
+    }
+    return total / static_cast<double>(period);
+}
+
+} // namespace
+
+BandwidthModel::BandwidthModel(std::uint32_t devices, Bytes granule,
+                               bool striped)
+    : devices_(devices), granule_(granule), striped_(striped)
+{
+    if (devices == 0 || granule == 0)
+        fatal("BandwidthModel: zero devices or granule");
+}
+
+double
+BandwidthModel::averageChunksPerRow(std::uint32_t width) const
+{
+    return averageChunks(granule_, width, {{0u, width}});
+}
+
+double
+BandwidthModel::averageChunksForRanges(
+    std::uint32_t stride,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &ranges)
+    const
+{
+    return averageChunks(granule_, stride, ranges);
+}
+
+CpuAccessStats
+BandwidthModel::fullRowAccess(const TableLayout &layout) const
+{
+    // Parts pack side by side across the device dimension, so fetch
+    // cost is charged per occupied slot: each slot's row bytes cost
+    // whole granules (8 B device bursts on DIMM, 64 B granules on
+    // HBM). The line count (latency) on the striped system is one
+    // line per chunk index of the part, shared by all its slots.
+    CpuAccessStats s;
+    s.usefulBytes = layout.usedBytesPerRow();
+    for (const auto &part : layout.parts()) {
+        if (part.rowWidth == 0 || part.slots.empty())
+            continue;
+        const double chunks = averageChunksForRanges(
+            part.rowWidth, {{0u, part.rowWidth}});
+        s.fetchedBytes += chunks * static_cast<double>(granule_) *
+                          static_cast<double>(part.slots.size());
+        s.avgLines += striped_
+                          ? chunks
+                          : chunks * static_cast<double>(
+                                         part.slots.size());
+    }
+    return s;
+}
+
+CpuAccessStats
+BandwidthModel::columnSetAccess(
+    const TableLayout &layout,
+    const std::vector<ColumnId> &columns) const
+{
+    std::vector<bool> wanted(layout.schema().columnCount(), false);
+    CpuAccessStats s;
+    for (ColumnId c : columns) {
+        wanted.at(c) = true;
+        s.usefulBytes += layout.schema().column(c).width;
+    }
+
+    for (const auto &part : layout.parts()) {
+        if (part.rowWidth == 0)
+            continue;
+        // Per-slot granule fetches; on the striped system the lines
+        // of a part are shared across its slots (union of chunk
+        // indices).
+        std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            union_ranges;
+        for (const auto &slot : part.slots) {
+            std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                ranges;
+            std::uint32_t off = 0;
+            for (const auto &f : slot.fragments) {
+                if (wanted[f.column]) {
+                    ranges.emplace_back(off, off + f.byteCount);
+                    union_ranges.emplace_back(off,
+                                              off + f.byteCount);
+                }
+                off += f.byteCount;
+            }
+            if (!ranges.empty()) {
+                const double chunks =
+                    averageChunksForRanges(part.rowWidth, ranges);
+                s.fetchedBytes +=
+                    chunks * static_cast<double>(granule_);
+                if (!striped_)
+                    s.avgLines += chunks;
+            }
+        }
+        if (striped_ && !union_ranges.empty()) {
+            s.avgLines +=
+                averageChunksForRanges(part.rowWidth, union_ranges);
+        }
+    }
+    return s;
+}
+
+double
+BandwidthModel::pimScanEfficiency(const TableLayout &layout,
+                                  ColumnId id) const
+{
+    const auto &pls = layout.placements(id);
+    if (pls.size() != 1)
+        return 0.0; // fragmented: not locally scannable
+    const auto &part = layout.parts()[pls.front().part];
+    return static_cast<double>(layout.schema().column(id).width) /
+           static_cast<double>(part.rowWidth);
+}
+
+CpuAccessStats
+BandwidthModel::rowStoreFullRow(const TableSchema &schema) const
+{
+    const std::uint32_t w = schema.rowBytes();
+    const Bytes line = lineBytes();
+    CpuAccessStats s;
+    s.usefulBytes = w;
+    s.avgLines = averageChunks(line, w, {{0u, w}});
+    s.fetchedBytes = s.avgLines * static_cast<double>(line);
+    return s;
+}
+
+CpuAccessStats
+BandwidthModel::rowStoreColumns(
+    const TableSchema &schema,
+    const std::vector<ColumnId> &columns) const
+{
+    const Bytes line = lineBytes();
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    CpuAccessStats s;
+    for (ColumnId c : columns) {
+        const std::uint32_t off = schema.canonicalOffset(c);
+        const std::uint32_t width = schema.column(c).width;
+        ranges.emplace_back(off, off + width);
+        s.usefulBytes += width;
+    }
+    s.avgLines = averageChunks(line, schema.rowBytes(), ranges);
+    s.fetchedBytes = s.avgLines * static_cast<double>(line);
+    return s;
+}
+
+CpuAccessStats
+BandwidthModel::columnStoreColumns(
+    const TableSchema &schema,
+    const std::vector<ColumnId> &columns) const
+{
+    const Bytes line = lineBytes();
+    CpuAccessStats s;
+    for (ColumnId c : columns) {
+        const std::uint32_t width = schema.column(c).width;
+        s.usefulBytes += width;
+        // Each column element is fetched from its own region.
+        s.avgLines += averageChunks(line, width, {{0u, width}});
+    }
+    s.fetchedBytes = s.avgLines * static_cast<double>(line);
+    return s;
+}
+
+} // namespace pushtap::format

@@ -1,0 +1,128 @@
+#pragma once
+
+/**
+ * @file
+ * Effective-bandwidth models (sections 4.1, 7.2).
+ *
+ * CPU side: a transaction touching a set of columns of one row fetches
+ * whole interleaved lines; effective bandwidth is useful bytes over
+ * fetched bytes, averaged over row alignment phases. On the DIMM
+ * system a line is an ADE stripe (g bytes from each device); on the
+ * HBM system each slot's granule is an independent fetch.
+ *
+ * PIM side: a unit streams a key column at the part's row-width
+ * stride, so scan efficiency is column width over part row width.
+ * Fragmented (normal) columns cannot be PIM-scanned at all.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "format/layout.hpp"
+#include "format/schema.hpp"
+
+namespace pushtap::format {
+
+/** Result of a CPU access-cost evaluation. */
+struct CpuAccessStats
+{
+    double avgLines = 0.0;     ///< Lines fetched per row access.
+    double fetchedBytes = 0.0; ///< Bytes moved over the bus per access.
+    double usefulBytes = 0.0;  ///< Bytes the engine needed.
+
+    double
+    efficiency() const
+    {
+        return fetchedBytes > 0.0 ? usefulBytes / fetchedBytes : 0.0;
+    }
+};
+
+class BandwidthModel
+{
+  public:
+    /**
+     * @param devices  Devices per stripe (ADE width).
+     * @param granule  Interleave granularity g in bytes.
+     * @param striped  True on DIMM (one line covers the same granule
+     *                 index on every device); false on HBM.
+     */
+    BandwidthModel(std::uint32_t devices, Bytes granule, bool striped);
+
+    std::uint32_t devices() const { return devices_; }
+    Bytes granule() const { return granule_; }
+    Bytes lineBytes() const { return striped_ ? granule_ * devices_
+                                              : granule_; }
+
+    /**
+     * Average granule-chunks an object of @p width bytes at stride
+     * @p width touches, over all alignment phases.
+     */
+    double averageChunksPerRow(std::uint32_t width) const;
+
+    /** CPU cost of reading a full row through @p layout. */
+    CpuAccessStats fullRowAccess(const TableLayout &layout) const;
+
+    /**
+     * CPU cost of touching only @p columns of one row (the OLTP
+     * engine's per-transaction footprint).
+     */
+    CpuAccessStats columnSetAccess(const TableLayout &layout,
+                                   const std::vector<ColumnId> &columns)
+        const;
+
+    /**
+     * PIM scan efficiency of column @p id: width / part row width for
+     * single-fragment columns, 0 for fragmented columns (a PIM unit
+     * cannot reassemble them locally).
+     */
+    double pimScanEfficiency(const TableLayout &layout,
+                             ColumnId id) const;
+
+    // --- Baseline formats -------------------------------------------------
+
+    /** CPU cost of a full-row read in a packed row store. */
+    CpuAccessStats rowStoreFullRow(const TableSchema &schema) const;
+
+    /** CPU cost of touching @p columns in a packed row store. */
+    CpuAccessStats rowStoreColumns(const TableSchema &schema,
+                                   const std::vector<ColumnId> &columns)
+        const;
+
+    /**
+     * CPU cost of reassembling @p columns of one row from a column
+     * store: every touched column is one line fetch in its own region.
+     */
+    CpuAccessStats columnStoreColumns(const TableSchema &schema,
+                                      const std::vector<ColumnId>
+                                          &columns) const;
+
+    /**
+     * PIM scan efficiency of @p id in a packed row store: the column
+     * is not IDE-aligned, so the unit streams whole rows.
+     */
+    double
+    rowStorePimScanEfficiency(const TableSchema &schema,
+                              ColumnId id) const
+    {
+        return static_cast<double>(schema.column(id).width) /
+               static_cast<double>(schema.rowBytes());
+    }
+
+  private:
+    /**
+     * Average distinct chunks per row access when, for each alignment
+     * phase r, the touched device-local byte ranges are
+     * [r*stride + lo_i, r*stride + hi_i).
+     */
+    double averageChunksForRanges(
+        std::uint32_t stride,
+        const std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            &ranges) const;
+
+    std::uint32_t devices_;
+    Bytes granule_;
+    bool striped_;
+};
+
+} // namespace pushtap::format

@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Block-circulant data placement (section 4.2, Fig. 5): the table is
+ * cut into blocks of B rows (default 1024, at least one DRAM row
+ * buffer) and the slot->device mapping rotates by one device per
+ * block, so every column spreads evenly over all PIM units of the
+ * stripe regardless of which columns a query scans.
+ */
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pushtap::format {
+
+class BlockCirculant
+{
+  public:
+    /** Paper default block size (rows). */
+    static constexpr std::uint32_t kDefaultBlockRows = 1024;
+
+    /**
+     * @param devices    Devices per stripe (rotation modulus).
+     * @param block_rows Rows per block; 0 disables rotation
+     *                   (Fig. 5(a) straight placement).
+     */
+    explicit BlockCirculant(std::uint32_t devices,
+                            std::uint32_t block_rows = kDefaultBlockRows)
+        : devices_(devices), blockRows_(block_rows)
+    {}
+
+    std::uint32_t devices() const { return devices_; }
+    std::uint32_t blockRows() const { return blockRows_; }
+    bool enabled() const { return blockRows_ != 0; }
+
+    /** Block index of row @p r (0 when rotation is disabled). */
+    std::uint64_t
+    blockOf(RowId r) const
+    {
+        return enabled() ? r / blockRows_ : 0;
+    }
+
+    /** Physical device holding slot @p slot of row @p r. */
+    std::uint32_t
+    deviceFor(std::uint32_t slot, RowId r) const
+    {
+        return static_cast<std::uint32_t>(
+            (slot + blockOf(r)) % devices_);
+    }
+
+    /** Inverse: which slot does device @p dev hold for row @p r. */
+    std::uint32_t
+    slotFor(std::uint32_t dev, RowId r) const
+    {
+        const auto rot = blockOf(r) % devices_;
+        return static_cast<std::uint32_t>(
+            (dev + devices_ - rot % devices_) % devices_);
+    }
+
+  private:
+    std::uint32_t devices_;
+    std::uint32_t blockRows_;
+};
+
+} // namespace pushtap::format

@@ -1,0 +1,197 @@
+#include "format/generators.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace pushtap::format {
+
+namespace {
+
+/** Pending normal-column bytes, consumed in schema order. */
+class NormalPool
+{
+  public:
+    NormalPool(const TableSchema &schema,
+               const std::vector<ColumnId> &normals)
+    {
+        for (ColumnId c : normals)
+            pending_.push_back(
+                Fragment{c, 0, schema.column(c).width});
+    }
+
+    bool empty() const { return pending_.empty(); }
+
+    std::uint32_t
+    remainingBytes() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &f : pending_)
+            n += f.byteCount;
+        return n;
+    }
+
+    /** Take up to @p want bytes, splitting fragments as needed. */
+    std::vector<Fragment>
+    take(std::uint32_t want)
+    {
+        std::vector<Fragment> out;
+        while (want > 0 && !pending_.empty()) {
+            Fragment &f = pending_.front();
+            const std::uint32_t n = std::min(want, f.byteCount);
+            out.push_back(Fragment{f.column, f.byteOffset, n});
+            f.byteOffset += n;
+            f.byteCount -= n;
+            want -= n;
+            if (f.byteCount == 0)
+                pending_.pop_front();
+        }
+        return out;
+    }
+
+  private:
+    std::deque<Fragment> pending_;
+};
+
+/** Key columns sorted widest-first (name breaks ties, deterministic). */
+std::vector<ColumnId>
+sortedKeys(const TableSchema &schema)
+{
+    auto keys = schema.keyColumnIds();
+    std::sort(keys.begin(), keys.end(),
+              [&](ColumnId a, ColumnId b) {
+                  const auto &ca = schema.column(a);
+                  const auto &cb = schema.column(b);
+                  if (ca.width != cb.width)
+                      return ca.width > cb.width;
+                  return ca.name < cb.name;
+              });
+    return keys;
+}
+
+} // namespace
+
+TableLayout
+naiveAligned(const TableSchema &schema, std::uint32_t devices)
+{
+    if (devices == 0)
+        fatal("naiveAligned: zero devices");
+
+    std::vector<Part> parts;
+    const auto &cols = schema.columns();
+    for (std::size_t base = 0; base < cols.size(); base += devices) {
+        Part part;
+        part.slots.resize(devices);
+        const std::size_t n =
+            std::min<std::size_t>(devices, cols.size() - base);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto c = static_cast<ColumnId>(base + i);
+            part.slots[i].fragments.push_back(
+                Fragment{c, 0, cols[base + i].width});
+            part.rowWidth = std::max(part.rowWidth,
+                                     cols[base + i].width);
+        }
+        parts.push_back(std::move(part));
+    }
+    return TableLayout(schema, std::move(parts), devices);
+}
+
+TableLayout
+compactAligned(const TableSchema &schema, std::uint32_t devices,
+               double th)
+{
+    if (devices == 0)
+        fatal("compactAligned: zero devices");
+    if (th < 0.0 || th > 1.0)
+        fatal("compactAligned: threshold {} outside [0, 1]", th);
+
+    std::deque<ColumnId> keys;
+    for (ColumnId c : sortedKeys(schema))
+        keys.push_back(c);
+    NormalPool normals(schema, schema.normalColumnIds());
+
+    std::vector<Part> parts;
+
+    // Key-anchored parts (Fig. 4 iterations). Slots open on demand
+    // (a part may span fewer devices than the stripe has) and key
+    // columns bin-pack into shared slots first-fit-decreasing: a key
+    // of width k in a w-wide part scans at k/w efficiency whether or
+    // not it shares the slot, so stacking only removes padding.
+    while (!keys.empty()) {
+        Part part;
+        part.rowWidth = schema.column(keys.front()).width;
+        const double min_width =
+            th * static_cast<double>(part.rowWidth);
+
+        while (!keys.empty()) {
+            const Column &col = schema.column(keys.front());
+            const bool qualifies =
+                part.slots.empty() ||
+                static_cast<double>(col.width) >= min_width;
+            if (!qualifies)
+                break; // remaining keys are narrower (sorted)
+            // First fit into an open slot, else open a new one.
+            Slot *target = nullptr;
+            for (auto &slot : part.slots) {
+                if (slot.usedBytes() + col.width <= part.rowWidth) {
+                    target = &slot;
+                    break;
+                }
+            }
+            if (!target) {
+                if (part.slots.size() == devices)
+                    break; // part full: next iteration's part
+                part.slots.emplace_back();
+                target = &part.slots.back();
+            }
+            target->fragments.push_back(
+                Fragment{keys.front(), 0, col.width});
+            keys.pop_front();
+        }
+
+        // Step 3: fill leftover bytes — slot tails first, then fresh
+        // slots up to the device limit — with normal fragments. New
+        // slots open only while a full slot's worth of normal bytes
+        // remains; shorter residues pack tighter in the final
+        // compact part.
+        for (auto &slot : part.slots) {
+            const std::uint32_t space =
+                part.rowWidth - slot.usedBytes();
+            for (auto &f : normals.take(space))
+                slot.fragments.push_back(f);
+        }
+        while (normals.remainingBytes() >= part.rowWidth &&
+               part.slots.size() < devices) {
+            part.slots.emplace_back();
+            for (auto &f : normals.take(part.rowWidth))
+                part.slots.back().fragments.push_back(f);
+        }
+        parts.push_back(std::move(part));
+    }
+
+    // Residual normal bytes: final compact parts of at most d slots.
+    // Slots narrower than the 8 B interleave granule would fetch a
+    // whole granule for a sliver, so residues prefer granule-wide
+    // slots (section 4.1's bandwidth-effectiveness goal).
+    constexpr std::uint32_t kGranule = 8;
+    while (!normals.empty()) {
+        const std::uint32_t remaining = normals.remainingBytes();
+        Part part;
+        if (remaining < kGranule)
+            part.rowWidth = remaining;
+        else
+            part.rowWidth = std::max(
+                kGranule, (remaining + devices - 1) / devices);
+        while (!normals.empty() && part.slots.size() < devices) {
+            part.slots.emplace_back();
+            for (auto &f : normals.take(part.rowWidth))
+                part.slots.back().fragments.push_back(f);
+        }
+        parts.push_back(std::move(part));
+    }
+
+    return TableLayout(schema, std::move(parts), devices);
+}
+
+} // namespace pushtap::format

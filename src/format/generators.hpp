@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Unified-format generators (section 4.1).
+ *
+ * naiveAligned: every column gets its own device slot, padded to the
+ * widest column of its part (Fig. 3(b)).
+ *
+ * compactAligned: the bin-packing strategy of Fig. 4. Per iteration:
+ * (1) start a part from the widest remaining key column, fixing the
+ * part's row width w; (2) add further key columns of width >= th * w,
+ * one per slot, widest first; (3) fill every leftover byte (key-slot
+ * tails and empty slots) with fragments of normal columns, which are
+ * divisible to byte granularity; residual normal bytes pack into a
+ * final compact part of width ceil(remaining / d).
+ */
+
+#include <cstdint>
+
+#include "format/layout.hpp"
+#include "format/schema.hpp"
+
+namespace pushtap::format {
+
+/** Generate the naive aligned format of Fig. 3(b). */
+TableLayout naiveAligned(const TableSchema &schema,
+                         std::uint32_t devices);
+
+/**
+ * Generate the compact aligned format of Fig. 4.
+ *
+ * @param th  Threshold hyperparameter in [0, 1]: a key column may
+ *            join a part of row width w only if width >= th * w.
+ */
+TableLayout compactAligned(const TableSchema &schema,
+                           std::uint32_t devices, double th);
+
+} // namespace pushtap::format

@@ -1,0 +1,115 @@
+#include "format/layout.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace pushtap::format {
+
+TableLayout::TableLayout(const TableSchema &schema,
+                         std::vector<Part> parts, std::uint32_t devices)
+    : schema_(&schema), parts_(std::move(parts)), devices_(devices)
+{
+    byColumn_.resize(schema.columnCount());
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+        const Part &part = parts_[p];
+        for (std::uint32_t s = 0; s < part.slots.size(); ++s) {
+            std::uint32_t off = 0;
+            for (const auto &f : part.slots[s].fragments) {
+                byColumn_[f.column].push_back(
+                    Placement{p, s, off, f});
+                off += f.byteCount;
+            }
+        }
+    }
+    // Keep placements in column-byte order so gather/scatter walk the
+    // canonical row left to right.
+    for (auto &v : byColumn_) {
+        std::sort(v.begin(), v.end(),
+                  [](const Placement &a, const Placement &b) {
+                      return a.fragment.byteOffset <
+                             b.fragment.byteOffset;
+                  });
+    }
+    validate();
+}
+
+const Placement &
+TableLayout::keyPlacement(ColumnId id) const
+{
+    const auto &v = byColumn_.at(id);
+    if (v.size() != 1)
+        fatal("column {} of table {} is fragmented into {} pieces; "
+              "not a key placement",
+              schema_->column(id).name, schema_->name(), v.size());
+    return v.front();
+}
+
+std::uint32_t
+TableLayout::bytesPerDevicePerRow() const
+{
+    std::uint32_t n = 0;
+    for (const auto &p : parts_)
+        n += p.rowWidth;
+    return n;
+}
+
+std::uint32_t
+TableLayout::paddedRowBytes() const
+{
+    std::uint32_t n = 0;
+    for (const auto &p : parts_)
+        n += p.totalBytes();
+    return n;
+}
+
+std::uint32_t
+TableLayout::usedBytesPerRow() const
+{
+    return schema_->rowBytes();
+}
+
+std::uint32_t
+TableLayout::paddingBytesPerRow() const
+{
+    return paddedRowBytes() - usedBytesPerRow();
+}
+
+void
+TableLayout::validate() const
+{
+    // Each column's bytes must be covered exactly once, in pieces that
+    // do not overlap; key columns must be a single fragment.
+    for (ColumnId c = 0; c < schema_->columnCount(); ++c) {
+        const Column &col = schema_->column(c);
+        const auto &pls = byColumn_[c];
+        if (col.isKey && pls.size() != 1)
+            fatal("key column {} fragmented into {} pieces", col.name,
+                  pls.size());
+        std::uint32_t covered = 0;
+        std::uint32_t expect_next = 0;
+        for (const auto &pl : pls) {
+            if (pl.fragment.byteOffset != expect_next)
+                fatal("column {}: fragment gap/overlap at byte {}",
+                      col.name, pl.fragment.byteOffset);
+            expect_next += pl.fragment.byteCount;
+            covered += pl.fragment.byteCount;
+        }
+        if (covered != col.width)
+            fatal("column {}: {} bytes placed, width {}", col.name,
+                  covered, col.width);
+    }
+    // Slot capacity checks.
+    for (const auto &part : parts_) {
+        if (part.slots.empty() || part.slots.size() > devices_)
+            fatal("part has {} slots, device limit {}",
+                  part.slots.size(), devices_);
+        for (const auto &slot : part.slots) {
+            if (slot.usedBytes() > part.rowWidth)
+                fatal("slot uses {} bytes > row width {}",
+                      slot.usedBytes(), part.rowWidth);
+        }
+    }
+}
+
+} // namespace pushtap::format

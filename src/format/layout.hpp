@@ -1,0 +1,144 @@
+#pragma once
+
+/**
+ * @file
+ * The layout algebra of the unified data format (section 4).
+ *
+ * A table layout is a list of *parts*. A part spans all d devices of a
+ * bank stripe; each device contributes one *slot* of the part's row
+ * width w_p bytes per row. A slot contains an ordered list of
+ * *fragments* — byte ranges of columns — followed by zero padding.
+ * Key columns are indivisible (exactly one fragment covering the whole
+ * column); normal columns may shred into byte fragments anywhere.
+ *
+ * Device-local placement: within a part, row r's slot bytes live at
+ * device-local offset r * w_p (block-circulant rotation permutes which
+ * physical device holds which slot per 1024-row block, section 4.2).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "format/schema.hpp"
+
+namespace pushtap::format {
+
+/** A contiguous byte range of one column placed in a slot. */
+struct Fragment
+{
+    ColumnId column;
+    std::uint32_t byteOffset; ///< First covered byte of the column.
+    std::uint32_t byteCount;  ///< Covered bytes.
+
+    bool operator==(const Fragment &) const = default;
+};
+
+/** One device slot of a part. */
+struct Slot
+{
+    std::vector<Fragment> fragments;
+
+    std::uint32_t
+    usedBytes() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &f : fragments)
+            n += f.byteCount;
+        return n;
+    }
+};
+
+/**
+ * One part: up to `devices` slots of rowWidth bytes per row each. A
+ * part may occupy fewer slots than there are devices — parts pack
+ * side by side across the device dimension, so unoccupied slots cost
+ * no storage.
+ */
+struct Part
+{
+    std::uint32_t rowWidth = 0;
+    std::vector<Slot> slots;
+
+    /** Real (non-padding) bytes of one row stored in this part. */
+    std::uint32_t
+    usedBytes() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &s : slots)
+            n += s.usedBytes();
+        return n;
+    }
+
+    /** Total bytes of one row including padding. */
+    std::uint32_t
+    totalBytes() const
+    {
+        return rowWidth * static_cast<std::uint32_t>(slots.size());
+    }
+};
+
+/** Where one byte range of a column lives. */
+struct Placement
+{
+    std::uint32_t part;
+    std::uint32_t slot;
+    std::uint32_t slotOffset; ///< Byte offset inside the slot.
+    Fragment fragment;
+};
+
+/**
+ * Complete unified layout of one table over a d-device stripe.
+ * Produced by the generators in format/generators.hpp; immutable
+ * afterwards.
+ */
+class TableLayout
+{
+  public:
+    TableLayout(const TableSchema &schema, std::vector<Part> parts,
+                std::uint32_t devices);
+
+    const TableSchema &schema() const { return *schema_; }
+    const std::vector<Part> &parts() const { return parts_; }
+    std::uint32_t devices() const { return devices_; }
+
+    /** All placements of column @p id, in column-byte order. */
+    const std::vector<Placement> &placements(ColumnId id) const
+    {
+        return byColumn_.at(id);
+    }
+
+    /**
+     * The single placement of an indivisible key column (fatal if the
+     * column is fragmented).
+     */
+    const Placement &keyPlacement(ColumnId id) const;
+
+    /** Sum of rowWidth over parts: device-local bytes per row. */
+    std::uint32_t bytesPerDevicePerRow() const;
+
+    /** Provisioned bytes of one row: sum of slots x width per part. */
+    std::uint32_t paddedRowBytes() const;
+
+    /** Real bytes of one row (== schema().rowBytes()). */
+    std::uint32_t usedBytesPerRow() const;
+
+    /** Padding bytes of one row (paddedRowBytes - usedBytesPerRow). */
+    std::uint32_t paddingBytesPerRow() const;
+
+    /**
+     * Verify structural invariants: every column byte placed exactly
+     * once, key columns unfragmented, slot widths within rowWidth.
+     * fatal() on violation (generators call this).
+     */
+    void validate() const;
+
+  private:
+    const TableSchema *schema_;
+    std::vector<Part> parts_;
+    std::uint32_t devices_;
+    std::vector<std::vector<Placement>> byColumn_;
+};
+
+} // namespace pushtap::format

@@ -1,0 +1,73 @@
+#include "format/row_codec.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::format {
+
+void
+RowCodec::scatter(RowId r, std::span<const std::uint8_t> row,
+                  const Writer &write) const
+{
+    const auto &schema = layout_->schema();
+    if (row.size() < schema.rowBytes())
+        panic("scatter: row buffer {} < row bytes {}", row.size(),
+              schema.rowBytes());
+
+    const auto &parts = layout_->parts();
+    for (std::uint32_t p = 0; p < parts.size(); ++p) {
+        const Part &part = parts[p];
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(r) * part.rowWidth;
+        for (std::uint32_t s = 0; s < part.slots.size(); ++s) {
+            const std::uint32_t dev = circulant_.deviceFor(s, r);
+            std::uint32_t off = 0;
+            for (const auto &f : part.slots[s].fragments) {
+                const std::uint32_t src =
+                    schema.canonicalOffset(f.column) + f.byteOffset;
+                write(p, dev, base + off,
+                      row.subspan(src, f.byteCount));
+                off += f.byteCount;
+            }
+        }
+    }
+}
+
+void
+RowCodec::gather(RowId r, const Reader &read,
+                 std::span<std::uint8_t> row) const
+{
+    const auto &schema = layout_->schema();
+    if (row.size() < schema.rowBytes())
+        panic("gather: row buffer {} < row bytes {}", row.size(),
+              schema.rowBytes());
+
+    const auto &parts = layout_->parts();
+    for (std::uint32_t p = 0; p < parts.size(); ++p) {
+        const Part &part = parts[p];
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(r) * part.rowWidth;
+        for (std::uint32_t s = 0; s < part.slots.size(); ++s) {
+            const std::uint32_t dev = circulant_.deviceFor(s, r);
+            std::uint32_t off = 0;
+            for (const auto &f : part.slots[s].fragments) {
+                const std::uint32_t dst =
+                    schema.canonicalOffset(f.column) + f.byteOffset;
+                read(p, dev, base + off,
+                     row.subspan(dst, f.byteCount));
+                off += f.byteCount;
+            }
+        }
+    }
+}
+
+std::uint32_t
+RowCodec::fragmentsPerRow() const
+{
+    std::uint32_t n = 0;
+    for (const auto &part : layout_->parts())
+        for (const auto &slot : part.slots)
+            n += static_cast<std::uint32_t>(slot.fragments.size());
+    return n;
+}
+
+} // namespace pushtap::format

@@ -1,0 +1,76 @@
+#include "format/schema.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::format {
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns))
+{
+    if (columns_.empty())
+        fatal("table {} has no columns", name_);
+    offsets_.reserve(columns_.size());
+    for (const auto &c : columns_) {
+        if (c.width == 0 || (c.type == ColType::Int && c.width > 8))
+            fatal("table {}: column {} has invalid width {}", name_,
+                  c.name, c.width);
+        offsets_.push_back(rowBytes_);
+        rowBytes_ += c.width;
+    }
+}
+
+ColumnId
+TableSchema::columnId(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i].name == name)
+            return static_cast<ColumnId>(i);
+    fatal("table {}: no column named {}", name_, name);
+}
+
+bool
+TableSchema::hasColumn(const std::string &name) const
+{
+    for (const auto &c : columns_)
+        if (c.name == name)
+            return true;
+    return false;
+}
+
+void
+TableSchema::setKeyColumns(const std::vector<std::string> &names)
+{
+    for (auto &c : columns_)
+        c.isKey = false;
+    for (const auto &n : names)
+        columns_[columnId(n)].isKey = true;
+}
+
+void
+TableSchema::setAllKeys()
+{
+    for (auto &c : columns_)
+        c.isKey = true;
+}
+
+std::vector<ColumnId>
+TableSchema::keyColumnIds() const
+{
+    std::vector<ColumnId> ids;
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i].isKey)
+            ids.push_back(static_cast<ColumnId>(i));
+    return ids;
+}
+
+std::vector<ColumnId>
+TableSchema::normalColumnIds() const
+{
+    std::vector<ColumnId> ids;
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (!columns_[i].isKey)
+            ids.push_back(static_cast<ColumnId>(i));
+    return ids;
+}
+
+} // namespace pushtap::format

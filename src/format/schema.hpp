@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Table schema model. Columns are fixed-width (variable-width data is
+ * handled by traditional length-prefix methods per section 4.1.2 and
+ * modelled here as fixed reserved widths). A column is a *key column*
+ * when some analytical query in the configured OLAP workload scans it
+ * (section 4.1.2); all other columns are *normal columns* that the
+ * compact aligned format may split across devices.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pushtap::format {
+
+/** Value interpretation for the functional engine. */
+enum class ColType : std::uint8_t
+{
+    Int,  ///< Little-endian signed integer, width 1..8.
+    Char, ///< Raw bytes (fixed-width strings, addresses, ...).
+};
+
+struct Column
+{
+    std::string name;
+    std::uint32_t width;   ///< Bytes.
+    ColType type = ColType::Char;
+    bool isKey = false;    ///< Scanned by the OLAP workload.
+};
+
+class TableSchema
+{
+  public:
+    TableSchema() = default;
+    TableSchema(std::string name, std::vector<Column> columns);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Column> &columns() const { return columns_; }
+    const Column &column(ColumnId id) const { return columns_.at(id); }
+    std::size_t columnCount() const { return columns_.size(); }
+
+    /** Look up a column id by name; fatal() if absent. */
+    ColumnId columnId(const std::string &name) const;
+
+    /** True if @p name names a column. */
+    bool hasColumn(const std::string &name) const;
+
+    /** Total bytes of one row (no padding). */
+    std::uint32_t rowBytes() const { return rowBytes_; }
+
+    /** Byte offset of column @p id in the canonical packed row. */
+    std::uint32_t canonicalOffset(ColumnId id) const
+    {
+        return offsets_.at(id);
+    }
+
+    /** Mark the set of key columns (clears previous marks). */
+    void setKeyColumns(const std::vector<std::string> &names);
+
+    /** Mark every column as a key column (degrades to naive format). */
+    void setAllKeys();
+
+    std::vector<ColumnId> keyColumnIds() const;
+    std::vector<ColumnId> normalColumnIds() const;
+
+  private:
+    std::string name_;
+    std::vector<Column> columns_;
+    std::vector<std::uint32_t> offsets_;
+    std::uint32_t rowBytes_ = 0;
+};
+
+} // namespace pushtap::format

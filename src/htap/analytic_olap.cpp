@@ -1,0 +1,146 @@
+#include "htap/analytic_olap.hpp"
+
+#include "workload/ch_schema.hpp"
+
+namespace pushtap::htap {
+
+using workload::ChTable;
+
+AnalyticOlapModel::AnalyticOlapModel(
+    const txn::Database &db, const dram::Geometry &geom,
+    const dram::TimingParams &timing, const pim::PimConfig &pim_cfg,
+    const pim::OffloadOverheads &overheads, double accel_speedup)
+    : db_(db), geom_(geom), timing_(geom, timing), pimCfg_(pim_cfg),
+      twoPhase_(pim::CostModel(pim_cfg), overheads),
+      accelSpeedup_(accel_speedup)
+{
+}
+
+pim::TwoPhaseSchedule
+AnalyticOlapModel::idealColumnScan(std::uint64_t rows,
+                                   std::uint32_t width) const
+{
+    const Bytes total = rows * width;
+    const std::uint32_t units = geom_.totalPimUnits();
+    const Bytes per_unit = (total + units - 1) / units;
+    return twoPhase_.schedule(pim::OpType::Filter, per_unit, width);
+}
+
+TimeNs
+AnalyticOlapModel::rebuildTime(std::uint64_t versions,
+                               bool accel) const
+{
+    if (versions == 0)
+        return 0.0;
+    // Average row bytes across the write-heavy tables.
+    const auto &lines = db_.table(ChTable::OrderLine);
+    const Bytes row_bytes = lines.schema().rowBytes();
+
+    // CPU pushes rows + metadata over the bus...
+    const Bytes transfer =
+        versions * (row_bytes + mvcc::kMetadataBytes);
+    TimeNs t = timing_.cpuPeakBandwidth().transferTime(transfer);
+    // ...then the PIM units merge metadata and install the rows into
+    // the column store (read + write inside the banks).
+    const Bytes pim_moved =
+        versions * (2 * row_bytes + mvcc::kMetadataBytes);
+    t += timing_
+             .pimAggregateBandwidth(pimCfg_.streamBandwidth)
+             .transferTime(pim_moved);
+    // The general-purpose units also re-execute the merge logic.
+    pim::CostModel cm(pimCfg_);
+    t += cm.computeTime(pim::OpType::Defragment,
+                        versions * row_bytes /
+                            geom_.totalPimUnits());
+    return accel ? t / accelSpeedup_ : t;
+}
+
+TimeNs
+AnalyticOlapModel::consistency(BaselineKind kind,
+                               std::uint64_t pending_versions) const
+{
+    switch (kind) {
+      case BaselineKind::Ideal:
+        return 0.0;
+      case BaselineKind::MultiInstance:
+        return rebuildTime(pending_versions, false);
+      case BaselineKind::MultiInstanceAccel:
+        return rebuildTime(pending_versions, true);
+    }
+    return 0.0;
+}
+
+namespace {
+
+const char *
+kindName(BaselineKind k)
+{
+    switch (k) {
+      case BaselineKind::Ideal: return "Ideal";
+      case BaselineKind::MultiInstance: return "MI";
+      case BaselineKind::MultiInstanceAccel: return "MI(accel)";
+    }
+    return "?";
+}
+
+} // namespace
+
+BaselineReport
+AnalyticOlapModel::q1(BaselineKind kind,
+                      std::uint64_t pending_versions) const
+{
+    const auto &tbl = db_.table(ChTable::OrderLine);
+    const std::uint64_t rows = tbl.usedDataRows();
+    BaselineReport rep;
+    rep.name = std::string(kindName(kind)) + "/Q1";
+    for (std::uint32_t w : {8u, 1u, 2u, 8u}) // delivery,number,qty,amt
+        rep.pimNs += idealColumnScan(rows, w).total();
+    rep.cpuNs += timing_.cpuPeakBandwidth().transferTime(rows * 2);
+    rep.consistencyNs = consistency(kind, pending_versions);
+    return rep;
+}
+
+BaselineReport
+AnalyticOlapModel::q6(BaselineKind kind,
+                      std::uint64_t pending_versions) const
+{
+    const auto &tbl = db_.table(ChTable::OrderLine);
+    const std::uint64_t rows = tbl.usedDataRows();
+    BaselineReport rep;
+    rep.name = std::string(kindName(kind)) + "/Q6";
+    for (std::uint32_t w : {8u, 2u, 8u}) // delivery, qty, amount
+        rep.pimNs += idealColumnScan(rows, w).total();
+    rep.cpuNs += timing_.cpuPeakBandwidth().transferTime(
+        static_cast<Bytes>(geom_.totalPimUnits()) * 8);
+    rep.consistencyNs = consistency(kind, pending_versions);
+    return rep;
+}
+
+BaselineReport
+AnalyticOlapModel::q9(BaselineKind kind,
+                      std::uint64_t pending_versions) const
+{
+    const auto &lines = db_.table(ChTable::OrderLine);
+    const auto &items = db_.table(ChTable::Item);
+    const std::uint64_t n_lines = lines.usedDataRows();
+    const std::uint64_t n_items = items.usedDataRows();
+
+    BaselineReport rep;
+    rep.name = std::string(kindName(kind)) + "/Q9";
+    rep.pimNs += idealColumnScan(n_items, 4).total();  // hash i_id
+    rep.pimNs += idealColumnScan(n_items, 50).total(); // i_data filter
+    rep.pimNs += idealColumnScan(n_lines, 4).total();  // hash ol_i_id
+    rep.pimNs += idealColumnScan(n_lines, 8).total();  // amount agg
+    rep.pimNs += idealColumnScan(n_lines, 2).total();  // supply group
+    pim::CostModel cm(pimCfg_);
+    rep.pimNs += cm.computeTime(pim::OpType::Join,
+                                (n_items + n_lines) /
+                                        geom_.totalPimUnits() +
+                                    1);
+    rep.cpuNs += 2.0 * timing_.cpuPeakBandwidth().transferTime(
+                           (n_items + n_lines) * 4);
+    rep.consistencyNs = consistency(kind, pending_versions);
+    return rep;
+}
+
+} // namespace pushtap::htap

@@ -1,0 +1,92 @@
+#include "htap/pushtap_db.hpp"
+
+namespace pushtap::htap {
+
+PushtapDB::PushtapDB(const PushtapOptions &opts) : opts_(opts)
+{
+    db_ = std::make_unique<txn::Database>(opts_.database);
+    bw_ = std::make_unique<format::BandwidthModel>(
+        opts_.database.devices,
+        opts_.olap.geom.interleaveGranularity,
+        opts_.olap.geom.stripedLines);
+    timing_ = std::make_unique<dram::BatchTimingModel>(
+        opts_.olap.geom, opts_.olap.timing);
+    oltp_ = std::make_unique<txn::TpccEngine>(
+        *db_, opts_.format, *bw_, *timing_, opts_.txnSeed);
+    olap_ = std::make_unique<olap::OlapEngine>(*db_, opts_.olap);
+}
+
+void
+PushtapDB::maybeDefrag()
+{
+    if (opts_.defragInterval == 0)
+        return;
+    if (++sinceDefrag_ >= opts_.defragInterval) {
+        defragPauseNs_ +=
+            olap_->runDefragmentation(opts_.defragStrategy);
+        sinceDefrag_ = 0;
+    }
+}
+
+void
+PushtapDB::payments(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        oltp_->executePayment();
+        maybeDefrag();
+    }
+}
+
+void
+PushtapDB::newOrders(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        oltp_->executeNewOrder();
+        maybeDefrag();
+    }
+}
+
+void
+PushtapDB::mixed(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        oltp_->executeMixed();
+        maybeDefrag();
+    }
+}
+
+olap::QueryReport
+PushtapDB::q1(std::int64_t delivery_after,
+              std::vector<olap::Q1Row> *rows)
+{
+    olap_->prepareSnapshot(db_->now());
+    return olap_->q1(delivery_after, rows);
+}
+
+olap::QueryReport
+PushtapDB::q6(std::int64_t d_lo, std::int64_t d_hi,
+              std::int64_t q_lo, std::int64_t q_hi,
+              std::int64_t *revenue)
+{
+    olap_->prepareSnapshot(db_->now());
+    return olap_->q6(d_lo, d_hi, q_lo, q_hi, revenue);
+}
+
+olap::QueryReport
+PushtapDB::q9(std::vector<olap::Q9Row> *rows)
+{
+    olap_->prepareSnapshot(db_->now());
+    return olap_->q9(rows);
+}
+
+TimeNs
+PushtapDB::defragment()
+{
+    sinceDefrag_ = 0;
+    const TimeNs t =
+        olap_->runDefragmentation(opts_.defragStrategy);
+    defragPauseNs_ += t;
+    return t;
+}
+
+} // namespace pushtap::htap

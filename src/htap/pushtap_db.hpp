@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * PushtapDB: the public facade of the library. One object owns the
+ * single-instance database, the OLTP engine (CPU, TPC-C) and the OLAP
+ * engine (PIM, CH queries), wired the way section 6.3 describes:
+ * commits flush rows to DRAM for freshness, analytical queries
+ * snapshot first, and defragmentation runs every N transactions
+ * (N = 10k per section 7.4).
+ *
+ * Quickstart:
+ * @code
+ *   htap::PushtapDB db;                       // default small scale
+ *   db.mixed(1000);                           // run transactions
+ *   auto rep = db.q6(lo, hi, 1, 10, &revenue);  // fresh analytics
+ * @endcode
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "mvcc/defragmenter.hpp"
+#include "olap/olap_engine.hpp"
+#include "txn/database.hpp"
+#include "txn/tpcc_engine.hpp"
+
+namespace pushtap::htap {
+
+struct PushtapOptions
+{
+    txn::DatabaseConfig database;
+    olap::OlapConfig olap = olap::OlapConfig::pushtapDimm();
+    txn::InstanceFormat format = txn::InstanceFormat::Unified;
+    /** Defragment every this many transactions (section 7.4). */
+    std::uint64_t defragInterval = 10'000;
+    mvcc::DefragStrategy defragStrategy = mvcc::DefragStrategy::Hybrid;
+    std::uint64_t txnSeed = 7;
+};
+
+class PushtapDB
+{
+  public:
+    explicit PushtapDB(const PushtapOptions &opts = {});
+
+    txn::Database &database() { return *db_; }
+    const txn::Database &database() const { return *db_; }
+    txn::TpccEngine &oltp() { return *oltp_; }
+    olap::OlapEngine &olap() { return *olap_; }
+    const PushtapOptions &options() const { return opts_; }
+
+    /** Run @p n Payment transactions. */
+    void payments(std::uint64_t n);
+
+    /** Run @p n New-Order transactions. */
+    void newOrders(std::uint64_t n);
+
+    /** Run @p n transactions of the 50/50 mix. */
+    void mixed(std::uint64_t n);
+
+    /**
+     * Fresh analytical queries: snapshot at the current commit
+     * timestamp first, then execute. Data freshness is exact: every
+     * committed transaction is visible.
+     */
+    olap::QueryReport q1(std::int64_t delivery_after,
+                         std::vector<olap::Q1Row> *rows = nullptr);
+    olap::QueryReport q6(std::int64_t d_lo, std::int64_t d_hi,
+                         std::int64_t q_lo, std::int64_t q_hi,
+                         std::int64_t *revenue = nullptr);
+    olap::QueryReport q9(std::vector<olap::Q9Row> *rows = nullptr);
+
+    /** Force a defragmentation pass now. */
+    TimeNs defragment();
+
+    /** Total time OLTP has been paused by defragmentation. */
+    TimeNs oltpDefragPauseNs() const { return defragPauseNs_; }
+
+    std::uint64_t transactionsSinceDefrag() const
+    {
+        return sinceDefrag_;
+    }
+
+  private:
+    void maybeDefrag();
+
+    PushtapOptions opts_;
+    std::unique_ptr<txn::Database> db_;
+    std::unique_ptr<format::BandwidthModel> bw_;
+    std::unique_ptr<dram::BatchTimingModel> timing_;
+    std::unique_ptr<txn::TpccEngine> oltp_;
+    std::unique_ptr<olap::OlapEngine> olap_;
+    std::uint64_t sinceDefrag_ = 0;
+    TimeNs defragPauseNs_ = 0.0;
+};
+
+} // namespace pushtap::htap

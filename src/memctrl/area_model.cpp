@@ -1,0 +1,38 @@
+#include "memctrl/area_model.hpp"
+
+namespace pushtap::memctrl {
+
+std::uint64_t
+AreaModel::schedulerGatesPerChannel()
+{
+    // Two-entry launch buffer of 64 B payloads (one in flight, one
+    // staged): 2 * 64 * 8 bits at ~2 gates/bit latch + mux = 2048.
+    const std::uint64_t buffer = 2ULL * 64 * 8 * 2;
+    // Address comparator + access-type decode.
+    const std::uint64_t decode = 300;
+    // Broadcast FSM + per-rank PIM interface drivers (4 ranks).
+    const std::uint64_t fsm = 450;
+    return buffer + decode + fsm;
+}
+
+std::uint64_t
+AreaModel::pollingGatesPerChannel()
+{
+    // Per-rank done counters (4 x ~10 gates), completion comparator
+    // and the response register.
+    return 4 * 10 + 15 + 20;
+}
+
+AreaBreakdown
+AreaModel::estimate(std::uint32_t channels)
+{
+    const double um2_to_mm2 = 1e-6;
+    AreaBreakdown a;
+    a.schedulerMm2 = static_cast<double>(schedulerGatesPerChannel()) *
+                     kUm2PerGate * channels * um2_to_mm2;
+    a.pollingMm2 = static_cast<double>(pollingGatesPerChannel()) *
+                   kUm2PerGate * channels * um2_to_mm2;
+    return a;
+}
+
+} // namespace pushtap::memctrl

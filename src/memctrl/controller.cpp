@@ -1,0 +1,186 @@
+#include "memctrl/controller.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::memctrl {
+
+PushtapController::PushtapController(sim::EventQueue &eq,
+                                     const dram::Geometry &geom,
+                                     const dram::TimingParams &timing,
+                                     const ControllerConfig &cfg)
+    : eq_(eq), geom_(geom), timing_(timing), cfg_(cfg)
+{
+    const std::uint32_t nbanks =
+        geom_.ranksPerChannel * geom_.banksPerRank();
+    banks_.reserve(nbanks);
+    for (std::uint32_t i = 0; i < nbanks; ++i)
+        banks_.emplace_back(timing_);
+}
+
+RequestKind
+PushtapController::classify(const Request &req) const
+{
+    if (req.addr == cfg_.magicAddr) {
+        return req.type == AccessType::Write ? RequestKind::Launch
+                                             : RequestKind::Poll;
+    }
+    return RequestKind::Normal;
+}
+
+void
+PushtapController::submit(Request req)
+{
+    switch (classify(req)) {
+      case RequestKind::Normal:
+        serviceNormal(std::move(req));
+        break;
+      case RequestKind::Launch:
+        serviceLaunch(std::move(req));
+        break;
+      case RequestKind::Poll:
+        servicePoll(std::move(req));
+        break;
+    }
+}
+
+void
+PushtapController::serviceNormal(Request req)
+{
+    if (banksWithPim_) {
+        // Banks belong to the PIM units (LS or Defragment phase):
+        // queue the access until they are handed back.
+        ++stats_.blockedAccesses;
+        blocked_.push_back(std::move(req));
+        return;
+    }
+
+    const std::uint32_t bank_index =
+        req.rank * geom_.banksPerRank() + req.bankInRank;
+    if (bank_index >= banks_.size())
+        panic("bank index {} out of range {}", bank_index,
+              banks_.size());
+
+    auto &bank = banks_[bank_index];
+    const Tick done = req.type == AccessType::Read
+                          ? bank.accessRead(eq_.now(), req.row)
+                          : bank.accessWrite(eq_.now(), req.row);
+
+    if (req.type == AccessType::Read)
+        ++stats_.normalReads;
+    else
+        ++stats_.normalWrites;
+
+    if (req.onComplete)
+        eq_.schedule(done, [cb = std::move(req.onComplete), done] {
+            cb(done);
+        });
+}
+
+void
+PushtapController::serviceLaunch(Request req)
+{
+    if (!req.payload)
+        fatal("launch request without payload");
+    const auto launch = pim::LaunchRequest::decode(*req.payload);
+    ++stats_.launches;
+
+    TimeNs start_delay = cfg_.schedulerDecodeNs;
+    if (launch.needsBankHandover()) {
+        // Hand every rank's banks to the PIM units; handovers of the
+        // ranks on one channel are serialised on the command bus.
+        start_delay += cfg_.handoverPerRankNs *
+                       static_cast<double>(geom_.ranksPerChannel);
+        banksWithPim_ = true;
+        ++stats_.handovers;
+    }
+
+    unitsRunning_ = geom_.ranksPerChannel * geom_.banksPerRank();
+    const bool handback = launch.needsBankHandover();
+    const TimeNs unit_ns = nextUnitDurationNs_;
+
+    // All units of the channel start together after the broadcast and
+    // finish after their (equal, per the balanced layout) duration.
+    eq_.scheduleAfterNs(start_delay + unit_ns, [this, handback] {
+        unitsRunning_ = 0;
+        if (handback) {
+            // Handing banks back also costs the per-rank switch.
+            eq_.scheduleAfterNs(
+                cfg_.handoverPerRankNs *
+                    static_cast<double>(geom_.ranksPerChannel),
+                [this] {
+                    banksWithPim_ = false;
+                    drainBlocked();
+                    finishUnits();
+                });
+        } else {
+            finishUnits();
+        }
+    });
+
+    // The disguised write itself completes immediately at the bus.
+    if (req.onComplete) {
+        const Tick done = eq_.now() + nsToTicks(timing_.tBURST);
+        eq_.schedule(done, [cb = std::move(req.onComplete), done] {
+            cb(done);
+        });
+    }
+}
+
+void
+PushtapController::servicePoll(Request req)
+{
+    ++stats_.polls;
+    if (unitsRunning_ == 0) {
+        // Finished already: answer through the DRAM read protocol.
+        const Tick done =
+            eq_.now() + nsToTicks(timing_.rowHitLatency());
+        if (req.onComplete)
+            eq_.schedule(done, [cb = std::move(req.onComplete), done] {
+                cb(done);
+            });
+        return;
+    }
+    pendingPolls_.push_back(std::move(req));
+    schedulePollCheck();
+}
+
+void
+PushtapController::schedulePollCheck()
+{
+    eq_.scheduleAfterNs(cfg_.pollPeriodNs, [this] {
+        if (unitsRunning_ == 0)
+            finishUnits();
+        else
+            schedulePollCheck();
+    });
+}
+
+void
+PushtapController::finishUnits()
+{
+    // Answer all outstanding polls.
+    while (!pendingPolls_.empty()) {
+        Request req = std::move(pendingPolls_.front());
+        pendingPolls_.pop_front();
+        const Tick done =
+            eq_.now() + nsToTicks(timing_.rowHitLatency());
+        if (req.onComplete)
+            eq_.schedule(done, [cb = std::move(req.onComplete), done] {
+                cb(done);
+            });
+    }
+}
+
+void
+PushtapController::drainBlocked()
+{
+    std::deque<Request> pending;
+    pending.swap(blocked_);
+    while (!pending.empty()) {
+        Request req = std::move(pending.front());
+        pending.pop_front();
+        serviceNormal(std::move(req));
+    }
+}
+
+} // namespace pushtap::memctrl

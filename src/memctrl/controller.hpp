@@ -1,0 +1,122 @@
+#pragma once
+
+/**
+ * @file
+ * Event-driven model of the PUSHtap extended memory controller for one
+ * channel: an access queue over per-bank state machines plus the two
+ * added hardware modules of Fig. 7(a):
+ *
+ *  - the *scheduler* recognises launch/poll requests by their special
+ *    address, broadcasts operation type + parameters to the PIM units
+ *    of the channel, and performs the bank handover only for LS /
+ *    Defragment operations;
+ *  - the *polling module* autonomously polls the PIM units and answers
+ *    the CPU's poll read when every unit has finished.
+ *
+ * CPU accesses to banks currently handed to PIM are queued and drain
+ * when the banks return — this is the concurrency property PUSHtap
+ * needs (microsecond-level OLTP latency during OLAP).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/bank_state.hpp"
+#include "dram/geometry.hpp"
+#include "dram/timing_params.hpp"
+#include "memctrl/request.hpp"
+#include "pim/launch.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pushtap::memctrl {
+
+struct ControllerConfig
+{
+    /** Special physical address recognised as launch/poll. */
+    std::uint64_t magicAddr = 0xFFFF'F000;
+
+    /** Scheduler decode + broadcast cost per launch. */
+    TimeNs schedulerDecodeNs = 4.0;
+
+    /** Bank-handover cost per rank (measured 0.2 us, section 7.1). */
+    TimeNs handoverPerRankNs = 200.0;
+
+    /**
+     * Polling module sampling period: one status sweep of the
+     * channel's PIM interfaces.
+     */
+    TimeNs pollPeriodNs = 2000.0;
+};
+
+/** Statistics exposed by the controller. */
+struct ControllerStats
+{
+    std::uint64_t normalReads = 0;
+    std::uint64_t normalWrites = 0;
+    std::uint64_t launches = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t handovers = 0;
+    std::uint64_t blockedAccesses = 0; ///< CPU accesses that waited on PIM.
+};
+
+class PushtapController
+{
+  public:
+    PushtapController(sim::EventQueue &eq, const dram::Geometry &geom,
+                      const dram::TimingParams &timing,
+                      const ControllerConfig &cfg = {});
+
+    /** Submit a CPU request (normal, or disguised launch/poll). */
+    void submit(Request req);
+
+    /**
+     * Tell the controller how long each PIM unit will take for the
+     * next launched operation (the functional engine computes this
+     * from the cost model). Must be set before a launch arrives.
+     */
+    void setNextUnitDuration(TimeNs ns) { nextUnitDurationNs_ = ns; }
+
+    /** Classify a request the way the scheduler does. */
+    RequestKind classify(const Request &req) const;
+
+    const ControllerStats &stats() const { return stats_; }
+
+    /** True while any PIM unit of the channel is running. */
+    bool pimBusy() const { return unitsRunning_ > 0; }
+
+    /** Banks currently handed over to PIM units. */
+    bool banksOwnedByPim() const { return banksWithPim_; }
+
+    const ControllerConfig &config() const { return cfg_; }
+
+  private:
+    void serviceNormal(Request req);
+    void serviceLaunch(Request req);
+    void servicePoll(Request req);
+    void finishUnits();
+    void drainBlocked();
+    void schedulePollCheck();
+
+    sim::EventQueue &eq_;
+    dram::Geometry geom_;
+    dram::TimingParams timing_;
+    ControllerConfig cfg_;
+
+    /** One state machine per bank in the channel (ranks x banks). */
+    std::vector<dram::BankState> banks_;
+
+    /** CPU requests waiting for banks to return from PIM mode. */
+    std::deque<Request> blocked_;
+
+    /** Poll requests awaiting completion of all units. */
+    std::deque<Request> pendingPolls_;
+
+    std::uint32_t unitsRunning_ = 0;
+    bool banksWithPim_ = false;
+    TimeNs nextUnitDurationNs_ = 0.0;
+    ControllerStats stats_;
+};
+
+} // namespace pushtap::memctrl

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Per-phase offload overheads for the two controller designs compared
+ * in Fig. 12(b):
+ *
+ *  - the *original* general-purpose PIM architecture, where the CPU
+ *    software launches and polls every PIM unit individually through
+ *    the PIM interface (tens of microseconds per sweep, section 2.1);
+ *  - the *PUSHtap* extended controller, where one disguised write
+ *    launches a whole channel and the polling module answers a single
+ *    disguised read.
+ */
+
+#include "common/types.hpp"
+#include "dram/geometry.hpp"
+#include "dram/timing_params.hpp"
+#include "memctrl/controller.hpp"
+#include "pim/two_phase.hpp"
+
+namespace pushtap::memctrl {
+
+/**
+ * Per-unit software message cost (one mailbox write or status read
+ * through the rank's PIM interface). Calibrated so a full launch+poll
+ * sweep of one channel's 256 units lands in the "tens of microseconds"
+ * range reported for the commercial part, which reproduces the
+ * 88.8% -> 35.3% mode-switch overhead span of Fig. 12(b).
+ */
+inline constexpr TimeNs kPerUnitMessageNs = 165.0;
+
+/**
+ * Overheads of the original architecture for one load+compute round:
+ * both phases need a software launch sweep and a poll sweep over every
+ * unit of the channel; LS phases additionally pay the per-rank bank
+ * handover in both directions.
+ */
+pim::OffloadOverheads
+originalArchOverheads(const dram::Geometry &geom,
+                      const dram::TimingParams &timing,
+                      TimeNs per_unit_message_ns = kPerUnitMessageNs);
+
+/**
+ * Overheads of the PUSHtap extended controller: launching is one
+ * disguised DRAM write, completion detection costs half a polling
+ * period on average plus one read, and LS phases pay the same per-rank
+ * handover (the scheduler drives it, but the DRAM-side switch time is
+ * physical and unchanged).
+ */
+pim::OffloadOverheads
+pushtapArchOverheads(const dram::Geometry &geom,
+                     const dram::TimingParams &timing,
+                     const ControllerConfig &cfg = {});
+
+} // namespace pushtap::memctrl

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Requests entering the extended memory controller (section 6.1).
+ * Launch and poll requests are disguised as normal memory accesses to
+ * a special physical address preconfigured at boot; the scheduler
+ * recognises them by address and access type.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "pim/launch.hpp"
+
+namespace pushtap::memctrl {
+
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One line-granularity memory request from the CPU. */
+struct Request
+{
+    AccessType type = AccessType::Read;
+    std::uint64_t addr = 0;          ///< Flat physical address.
+    std::uint32_t rank = 0;
+    std::uint32_t bankInRank = 0;    ///< Flattened device*banks+bank.
+    std::uint64_t row = 0;
+
+    /**
+     * Payload carried by a write to the special address (a launch
+     * request); ignored for normal accesses.
+     */
+    std::optional<pim::LaunchRequest::Payload> payload;
+
+    /** Completion callback, invoked with the finish tick. */
+    std::function<void(Tick)> onComplete;
+};
+
+/** How the scheduler classified a request. */
+enum class RequestKind : std::uint8_t
+{
+    Normal, ///< Regular CPU memory access.
+    Launch, ///< Disguised write: decode payload, drive PIM units.
+    Poll,   ///< Disguised read: answer when all PIM units finish.
+};
+
+} // namespace pushtap::memctrl

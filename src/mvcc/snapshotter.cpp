@@ -1,0 +1,50 @@
+#include "mvcc/snapshotter.hpp"
+
+namespace pushtap::mvcc {
+
+SnapshotStats
+Snapshotter::snapshot(storage::TableStore &store, VersionManager &vm,
+                      Timestamp ts)
+{
+    SnapshotStats stats;
+    const auto &versions = vm.versions();
+
+    std::size_t i = cursor_;
+    for (; i < versions.size(); ++i) {
+        const VersionMeta &v = versions[i];
+        stats.metadataBytesRead += kMetadataBytes;
+        if (v.writeTs > ts) {
+            // Commit order == metadata order: everything beyond is
+            // newer too (T5 in Fig. 6(c) is skipped).
+            ++stats.versionsSkipped;
+            break;
+        }
+        ++stats.versionsScanned;
+        // Invalidate the previous location of the row...
+        if (v.prev == kNoVersion) {
+            if (store.dataVisible().test(v.rowId)) {
+                store.dataVisible().clear(v.rowId);
+                ++stats.bitsFlipped;
+            }
+        } else {
+            const RowId prev_slot = versions[v.prev].deltaSlot;
+            if (store.deltaVisible().test(prev_slot)) {
+                store.deltaVisible().clear(prev_slot);
+                ++stats.bitsFlipped;
+            }
+        }
+        // ...and make this version visible.
+        store.deltaVisible().set(v.deltaSlot);
+        ++stats.bitsFlipped;
+    }
+    cursor_ = i;
+
+    // Each flipped bit dirties one 8-byte bitmap word, replicated on
+    // every device of the stripe; the copies are ADE-aligned so the
+    // CPU writes them with interleaved stores (section 5.2).
+    stats.bitmapBytesWritten =
+        stats.bitsFlipped * 8 * store.layout().devices();
+    return stats;
+}
+
+} // namespace pushtap::mvcc

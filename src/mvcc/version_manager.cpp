@@ -1,0 +1,113 @@
+#include "mvcc/version_manager.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::mvcc {
+
+VersionManager::VersionManager(
+    const format::BlockCirculant &circulant,
+    std::uint64_t delta_capacity)
+    : circulant_(circulant), deltaCapacity_(delta_capacity)
+{
+    const std::uint32_t classes =
+        circulant_.enabled() ? circulant_.devices() : 1;
+    cursors_.resize(classes);
+}
+
+RowId
+VersionManager::allocDeltaSlot(RowId data_row)
+{
+    const std::uint32_t classes =
+        static_cast<std::uint32_t>(cursors_.size());
+    const std::uint32_t cls = static_cast<std::uint32_t>(
+        circulant_.blockOf(data_row) % classes);
+    auto &cur = cursors_[cls];
+
+    const std::uint32_t block_rows =
+        circulant_.enabled() ? circulant_.blockRows() : 1;
+
+    // Delta block index with the right rotation: cls, cls+d, cls+2d...
+    const std::uint64_t block = cls + cur.blockOrdinal * classes;
+    const RowId slot =
+        static_cast<RowId>(block) * block_rows + cur.slot;
+    if (slot >= deltaCapacity_)
+        fatal("delta region exhausted ({} of {} rows); "
+              "defragmentation overdue",
+              deltaUsed_, deltaCapacity_);
+
+    if (++cur.slot == block_rows) {
+        cur.slot = 0;
+        ++cur.blockOrdinal;
+    }
+    ++deltaUsed_;
+    return slot;
+}
+
+std::uint32_t
+VersionManager::addVersion(RowId data_row, RowId delta_slot,
+                           Timestamp write_ts)
+{
+    if (write_ts < lastTs_)
+        fatal("non-monotonic commit timestamp {} < {}", write_ts,
+              lastTs_);
+    lastTs_ = write_ts;
+
+    VersionMeta meta;
+    meta.writeTs = write_ts;
+    meta.readTs = write_ts;
+    meta.rowId = data_row;
+    meta.deltaSlot = delta_slot;
+    auto it = heads_.find(data_row);
+    meta.prev = it == heads_.end() ? kNoVersion : it->second;
+
+    const auto idx = static_cast<std::uint32_t>(versions_.size());
+    versions_.push_back(meta);
+    heads_[data_row] = idx;
+    return idx;
+}
+
+VersionLookup
+VersionManager::locateVisible(RowId data_row, Timestamp ts)
+{
+    VersionLookup lk{storage::Region::Data, data_row, 0};
+    auto it = heads_.find(data_row);
+    if (it == heads_.end())
+        return lk;
+    std::uint32_t idx = it->second;
+    while (idx != kNoVersion) {
+        ++lk.chainSteps;
+        VersionMeta &v = versions_[idx];
+        if (v.writeTs <= ts) {
+            if (ts > v.readTs)
+                v.readTs = ts;
+            lk.region = storage::Region::Delta;
+            lk.row = v.deltaSlot;
+            return lk;
+        }
+        idx = v.prev;
+    }
+    // All delta versions are newer than ts: origin row is visible.
+    return lk;
+}
+
+VersionLookup
+VersionManager::locateNewest(RowId data_row) const
+{
+    auto it = heads_.find(data_row);
+    if (it == heads_.end())
+        return {storage::Region::Data, data_row, 0};
+    const VersionMeta &v = versions_[it->second];
+    return {storage::Region::Delta, v.deltaSlot, 1};
+}
+
+void
+VersionManager::reset()
+{
+    versions_.clear();
+    heads_.clear();
+    deltaUsed_ = 0;
+    for (auto &c : cursors_)
+        c = ClassCursor{};
+}
+
+} // namespace pushtap::mvcc

@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * MVCC version management (section 5.1, Fig. 6): per-row metadata
+ * (write timestamp, read timestamp, pointer) kept in CPU memory, with
+ * new-version row bytes stored in the table's delta region. The delta
+ * allocator preserves the origin row's block-circulant rotation so
+ * defragmentation is a device-local PIM copy.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "format/block_circulant.hpp"
+#include "storage/table_store.hpp"
+
+namespace pushtap::mvcc {
+
+/** Sentinel: no previous version. */
+inline constexpr std::uint32_t kNoVersion = 0xFFFFFFFFu;
+
+/**
+ * Metadata bytes per version (m in Eqs. 1-3; the paper's example uses
+ * m = 16: two timestamps and a packed pointer).
+ */
+inline constexpr Bytes kMetadataBytes = 16;
+
+/** One version's metadata (Fig. 6(b)). */
+struct VersionMeta
+{
+    Timestamp writeTs;   ///< Transaction that created the version.
+    Timestamp readTs;    ///< Most recent reader.
+    RowId rowId;         ///< Origin row in the data region.
+    RowId deltaSlot;     ///< This version's bytes in the delta region.
+    std::uint32_t prev;  ///< Previous version index, kNoVersion if origin.
+};
+
+/** Where the visible version of a row was found. */
+struct VersionLookup
+{
+    storage::Region region;
+    RowId row;
+    std::uint32_t chainSteps; ///< Pointer hops performed.
+};
+
+class VersionManager
+{
+  public:
+    /**
+     * @param circulant       Placement config (rotation classes).
+     * @param delta_capacity  Delta-region rows available.
+     */
+    VersionManager(const format::BlockCirculant &circulant,
+                   std::uint64_t delta_capacity);
+
+    /**
+     * Allocate a delta slot whose rotation matches data row @p data_row.
+     * fatal()s when the delta region is exhausted (defragmentation
+     * overdue).
+     */
+    RowId allocDeltaSlot(RowId data_row);
+
+    /**
+     * Record a new version of @p data_row living at @p delta_slot,
+     * committed at @p write_ts. Timestamps must be non-decreasing.
+     * Returns the version index.
+     */
+    std::uint32_t addVersion(RowId data_row, RowId delta_slot,
+                             Timestamp write_ts);
+
+    /** True if the row has at least one delta version. */
+    bool
+    hasVersions(RowId data_row) const
+    {
+        return heads_.contains(data_row);
+    }
+
+    /**
+     * Find the newest version of @p data_row visible at @p ts
+     * (writeTs <= ts), walking the chain; falls through to the data
+     * region's origin row. Updates the version's read timestamp.
+     */
+    VersionLookup locateVisible(RowId data_row, Timestamp ts);
+
+    /** Find the newest version regardless of timestamp. */
+    VersionLookup locateNewest(RowId data_row) const;
+
+    /** All versions in commit order. */
+    const std::vector<VersionMeta> &versions() const
+    {
+        return versions_;
+    }
+
+    /** Rows that currently have delta versions (chain heads). */
+    const std::unordered_map<RowId, std::uint32_t> &heads() const
+    {
+        return heads_;
+    }
+
+    std::uint64_t deltaUsed() const { return deltaUsed_; }
+    std::uint64_t deltaCapacity() const { return deltaCapacity_; }
+
+    /** Total metadata bytes resident in CPU memory. */
+    Bytes
+    metadataBytes() const
+    {
+        return versions_.size() * kMetadataBytes;
+    }
+
+    /**
+     * Drop all chains and free the delta region (the bookkeeping half
+     * of defragmentation; data movement is the Defragmenter's job).
+     */
+    void reset();
+
+  private:
+    format::BlockCirculant circulant_;
+    std::uint64_t deltaCapacity_;
+    std::uint64_t deltaUsed_ = 0;
+    Timestamp lastTs_ = 0;
+
+    /** Per rotation class: next block ordinal and slot within it. */
+    struct ClassCursor
+    {
+        std::uint64_t blockOrdinal = 0; ///< 0 -> block class, 1 -> class+d...
+        std::uint32_t slot = 0;         ///< Next free slot within the block.
+    };
+    std::vector<ClassCursor> cursors_;
+
+    std::vector<VersionMeta> versions_;
+    std::unordered_map<RowId, std::uint32_t> heads_;
+};
+
+} // namespace pushtap::mvcc

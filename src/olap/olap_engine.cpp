@@ -1,0 +1,375 @@
+#include "olap/olap_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "format/bandwidth.hpp"
+#include "workload/ch_schema.hpp"
+
+namespace pushtap::olap {
+
+using storage::Region;
+using workload::ChTable;
+
+OlapConfig
+OlapConfig::pushtapDimm()
+{
+    OlapConfig cfg;
+    cfg.overheads = memctrl::pushtapArchOverheads(cfg.geom,
+                                                  cfg.timing);
+    return cfg;
+}
+
+OlapConfig
+OlapConfig::pushtapHbm()
+{
+    OlapConfig cfg;
+    cfg.geom = dram::Geometry::hbmDefault();
+    cfg.timing = dram::TimingParams::hbm3();
+    cfg.pimConfig = pim::PimConfig::hbmVariant();
+    cfg.overheads = memctrl::pushtapArchOverheads(cfg.geom,
+                                                  cfg.timing);
+    return cfg;
+}
+
+OlapConfig
+OlapConfig::originalArchDimm()
+{
+    OlapConfig cfg;
+    cfg.overheads = memctrl::originalArchOverheads(cfg.geom,
+                                                   cfg.timing);
+    return cfg;
+}
+
+OlapEngine::OlapEngine(txn::Database &db, const OlapConfig &cfg)
+    : db_(db), cfg_(cfg), timing_(cfg.geom, cfg.timing),
+      twoPhase_(pim::CostModel(cfg.pimConfig), cfg.overheads),
+      snapshotters_(workload::kChTableCount),
+      defragmenter_(
+          timing_.cpuPeakBandwidth(),
+          timing_.pimAggregateBandwidth(cfg.pimConfig.streamBandwidth),
+          db.config().devices)
+{
+}
+
+TimeNs
+OlapEngine::busTime(Bytes bytes) const
+{
+    return timing_.cpuPeakBandwidth().transferTime(bytes);
+}
+
+std::uint64_t
+OlapEngine::scannedDataRows(const txn::TableRuntime &tbl) const
+{
+    return tbl.usedDataRows();
+}
+
+std::uint64_t
+OlapEngine::scannedDeltaRows(const txn::TableRuntime &tbl) const
+{
+    // Old versions are skipped logically but still streamed: with
+    // sub-granule row widths skipping discrete bytes saves nothing
+    // (section 7.4), so the PIM units walk every allocated delta
+    // block.
+    const std::uint64_t used = tbl.versions().deltaUsed();
+    if (used == 0)
+        return 0;
+    const std::uint32_t block = db_.config().blockRows;
+    // Rotation classes allocate blocks independently; round the used
+    // rows up to whole blocks per class.
+    const std::uint32_t classes = db_.config().devices;
+    const std::uint64_t per_class = (used + classes - 1) / classes;
+    const std::uint64_t blocks_per_class =
+        (per_class + block - 1) / block;
+    return blocks_per_class * classes * block;
+}
+
+ScanCost
+OlapEngine::columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
+                           pim::OpType op) const
+{
+    const auto &pl = tbl.layout().keyPlacement(c);
+    const std::uint32_t w = tbl.layout().parts()[pl.part].rowWidth;
+
+    ScanCost cost;
+    const std::uint64_t rows =
+        scannedDataRows(tbl) + scannedDeltaRows(tbl);
+    cost.totalBytes = rows * w;
+    cost.activeUnits =
+        cfg_.blockCirculant
+            ? cfg_.geom.totalPimUnits()
+            : cfg_.geom.totalPimUnits() / db_.config().devices;
+    cost.bytesPerUnit =
+        (cost.totalBytes + cost.activeUnits - 1) / cost.activeUnits;
+    cost.schedule = twoPhase_.schedule(op, cost.bytesPerUnit, w);
+    return cost;
+}
+
+TimeNs
+OlapEngine::prepareSnapshot(Timestamp ts)
+{
+    TimeNs total = cfg_.snapshotFixedNs;
+    for (std::size_t i = 0; i < workload::kChTableCount; ++i) {
+        auto &tbl = db_.table(static_cast<ChTable>(i));
+        const auto stats = snapshotters_[i].snapshot(
+            tbl.store(), tbl.versions(), ts);
+        lastSnapshot_ = stats;
+        total += busTime(stats.metadataBytesRead) +
+                 busTime(stats.bitmapBytesWritten);
+    }
+    pendingConsistency_ += total;
+    return total;
+}
+
+TimeNs
+OlapEngine::runDefragmentation(mvcc::DefragStrategy strategy)
+{
+    TimeNs total = cfg_.defragFixedNs;
+    mvcc::DefragStats merged;
+    for (std::size_t i = 0; i < workload::kChTableCount; ++i) {
+        auto &tbl = db_.table(static_cast<ChTable>(i));
+        const auto stats =
+            defragmenter_.run(tbl.store(), tbl.versions(), strategy);
+        total += stats.timeNs;
+        merged.deltaRows += stats.deltaRows;
+        merged.rowsCopied += stats.rowsCopied;
+        merged.chainSteps += stats.chainSteps;
+        merged.bytesMoved += stats.bytesMoved;
+        merged.timeNs += stats.timeNs;
+        merged.breakdown.merge(stats.breakdown);
+        // Inserted rows are now primary data-region rows.
+        tbl.absorbInserts();
+        snapshotters_[i].rewind();
+    }
+    merged.chosen = strategy;
+    lastDefrag_ = merged;
+    // Defragmentation pauses OLTP (section 5.3); it is charged to the
+    // transaction side (Fig. 11(a)), not to the next query, which
+    // only pays its snapshot.
+    return total;
+}
+
+TimeNs
+OlapEngine::takeConsistency()
+{
+    const TimeNs t = pendingConsistency_;
+    pendingConsistency_ = 0.0;
+    return t;
+}
+
+QueryReport
+OlapEngine::q1(std::int64_t delivery_after, std::vector<Q1Row> *rows)
+{
+    auto &tbl = db_.table(ChTable::OrderLine);
+    const auto &s = tbl.schema();
+    const ColumnId c_delivery = s.columnId("ol_delivery_d");
+    const ColumnId c_number = s.columnId("ol_number");
+    const ColumnId c_quantity = s.columnId("ol_quantity");
+    const ColumnId c_amount = s.columnId("ol_amount");
+
+    QueryReport rep;
+    rep.name = "Q1";
+    rep.consistencyNs = takeConsistency();
+
+    // PIM pipeline: Filter(delivery) -> Group(number) ->
+    // Aggregation(quantity) -> Aggregation(amount), serial scans.
+    for (const auto &[col, op] :
+         {std::pair{c_delivery, pim::OpType::Filter},
+          std::pair{c_number, pim::OpType::Group},
+          std::pair{c_quantity, pim::OpType::Aggregation},
+          std::pair{c_amount, pim::OpType::Aggregation}}) {
+        const auto cost = columnScanCost(tbl, col, op);
+        rep.pimNs += cost.schedule.total();
+        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+    }
+    // CPU transfers the group indices to the banks holding the
+    // aggregated columns (2 B per visible row), then merges the
+    // per-unit partial sums.
+    std::uint64_t visible = 0;
+
+    std::array<Q1Row, 16> groups{};
+    forEachVisible(tbl, [&](Region reg, RowId r) {
+        ++visible;
+        const auto delivery =
+            tbl.store().columnValue(reg, c_delivery, r);
+        if (delivery <= delivery_after)
+            return;
+        const auto number =
+            tbl.store().columnValue(reg, c_number, r);
+        auto &g = groups.at(static_cast<std::size_t>(number));
+        g.olNumber = number;
+        g.sumQuantity +=
+            tbl.store().columnValue(reg, c_quantity, r);
+        g.sumAmount += tbl.store().columnValue(reg, c_amount, r);
+        ++g.count;
+    });
+    rep.rowsVisible = visible;
+    rep.cpuNs += busTime(visible * 2);
+    rep.cpuNs += busTime(static_cast<Bytes>(
+                     cfg_.geom.totalPimUnits()) *
+                 16 * 8);
+
+    if (rows) {
+        rows->clear();
+        for (const auto &g : groups)
+            if (g.count)
+                rows->push_back(g);
+    }
+    return rep;
+}
+
+QueryReport
+OlapEngine::q6(std::int64_t d_lo, std::int64_t d_hi,
+               std::int64_t q_lo, std::int64_t q_hi,
+               std::int64_t *revenue)
+{
+    auto &tbl = db_.table(ChTable::OrderLine);
+    const auto &s = tbl.schema();
+    const ColumnId c_delivery = s.columnId("ol_delivery_d");
+    const ColumnId c_quantity = s.columnId("ol_quantity");
+    const ColumnId c_amount = s.columnId("ol_amount");
+
+    QueryReport rep;
+    rep.name = "Q6";
+    rep.consistencyNs = takeConsistency();
+
+    for (const auto &[col, op] :
+         {std::pair{c_delivery, pim::OpType::Filter},
+          std::pair{c_quantity, pim::OpType::Filter},
+          std::pair{c_amount, pim::OpType::Aggregation}}) {
+        const auto cost = columnScanCost(tbl, col, op);
+        rep.pimNs += cost.schedule.total();
+        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+    }
+    // CPU merges one partial sum per unit.
+    rep.cpuNs += busTime(static_cast<Bytes>(
+        cfg_.geom.totalPimUnits()) * 8);
+
+    std::int64_t sum = 0;
+    std::uint64_t visible = 0;
+    forEachVisible(tbl, [&](Region reg, RowId r) {
+        ++visible;
+        const auto d = tbl.store().columnValue(reg, c_delivery, r);
+        if (d < d_lo || d >= d_hi)
+            return;
+        const auto q = tbl.store().columnValue(reg, c_quantity, r);
+        if (q < q_lo || q > q_hi)
+            return;
+        sum += tbl.store().columnValue(reg, c_amount, r);
+    });
+    rep.rowsVisible = visible;
+    if (revenue)
+        *revenue = sum;
+    return rep;
+}
+
+QueryReport
+OlapEngine::q9(std::vector<Q9Row> *rows)
+{
+    auto &items = db_.table(ChTable::Item);
+    auto &lines = db_.table(ChTable::OrderLine);
+    const auto &is = items.schema();
+    const auto &ls = lines.schema();
+    const ColumnId c_iid = is.columnId("i_id");
+    const ColumnId c_idata = is.columnId("i_data");
+    const ColumnId c_olid = ls.columnId("ol_i_id");
+    const ColumnId c_supply = ls.columnId("ol_supply_w_id");
+    const ColumnId c_amount = ls.columnId("ol_amount");
+
+    QueryReport rep;
+    rep.name = "Q9";
+    rep.consistencyNs = takeConsistency();
+
+    // Phase 1: the i_data predicate. i_data is a normal column (no
+    // query in the key-selection set scans it by itself), so the CPU
+    // evaluates it across the devices "with a performance loss"
+    // (section 4.1.2).
+    const auto idata_access = format::BandwidthModel(
+                                  db_.config().devices,
+                                  cfg_.geom.interleaveGranularity,
+                                  cfg_.geom.stripedLines)
+                                  .columnSetAccess(items.layout(),
+                                                   {c_idata});
+    rep.cpuNs += busTime(static_cast<Bytes>(
+        idata_access.fetchedBytes *
+        static_cast<double>(items.usedDataRows())));
+
+    // Phase 2: PIM hashes both join columns.
+    for (const auto &[tbl, col] :
+         {std::pair<txn::TableRuntime *, ColumnId>{&items, c_iid},
+          std::pair<txn::TableRuntime *, ColumnId>{&lines, c_olid}}) {
+        const auto cost =
+            columnScanCost(*tbl, col, pim::OpType::Hash);
+        rep.pimNs += cost.schedule.total();
+        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+    }
+
+    // Phase 3: CPU fetches hashes, partitions buckets, pushes them
+    // back (4 B per value each way).
+    const std::uint64_t n_items = items.usedDataRows();
+    const std::uint64_t n_lines =
+        scannedDataRows(lines) + lines.versions().deltaUsed();
+    rep.cpuNs += 2.0 * busTime((n_items + n_lines) * 4);
+
+    // Phase 4: PIM joins within buckets (probe work across both
+    // inputs) and aggregates amount by supply warehouse.
+    {
+        pim::CostModel cm(cfg_.pimConfig);
+        const std::uint64_t per_unit =
+            (n_items + n_lines) / cfg_.geom.totalPimUnits() + 1;
+        rep.pimNs += cm.computeTime(pim::OpType::Join, per_unit);
+        const auto agg =
+            columnScanCost(lines, c_amount, pim::OpType::Aggregation);
+        rep.pimNs += agg.schedule.total();
+        const auto grp =
+            columnScanCost(lines, c_supply, pim::OpType::Group);
+        rep.pimNs += grp.schedule.total();
+        rep.cpuBlockedNs +=
+            agg.schedule.cpuBlockedTime + grp.schedule.cpuBlockedTime;
+    }
+
+    // Functional execution: filtered item set, then the join.
+    std::unordered_map<std::int64_t, bool> item_passes;
+    forEachVisible(items, [&](Region reg, RowId r) {
+        std::vector<std::uint8_t> buf(is.rowBytes());
+        items.store().readRow(reg, r, buf);
+        const workload::ConstRowView v(is, buf);
+        const auto data = v.getChars(c_idata);
+        const bool pass = data.substr(0, 8) == "ORIGINAL";
+        if (pass)
+            item_passes[v.getInt("i_id")] = true;
+    });
+
+    std::unordered_map<std::int64_t, Q9Row> agg;
+    std::uint64_t visible = 0;
+    forEachVisible(lines, [&](Region reg, RowId r) {
+        ++visible;
+        const auto iid = lines.store().columnValue(reg, c_olid, r);
+        if (!item_passes.contains(iid))
+            return;
+        const auto wid = lines.store().columnValue(reg, c_supply, r);
+        auto &row = agg[wid];
+        row.supplyWarehouse = wid;
+        row.sumAmount +=
+            lines.store().columnValue(reg, c_amount, r);
+        ++row.matches;
+    });
+    rep.rowsVisible = visible;
+
+    if (rows) {
+        rows->clear();
+        for (const auto &[k, v] : agg) {
+            (void)k;
+            rows->push_back(v);
+        }
+        std::sort(rows->begin(), rows->end(),
+                  [](const Q9Row &a, const Q9Row &b) {
+                      return a.supplyWarehouse < b.supplyWarehouse;
+                  });
+    }
+    return rep;
+}
+
+} // namespace pushtap::olap

@@ -1,0 +1,180 @@
+#pragma once
+
+/**
+ * @file
+ * The PIM-side OLAP engine (sections 6.2, 6.3): analytical queries
+ * execute as serial column scans, each split into alternating
+ * load/compute phases across the PIM units, preceded by snapshotting
+ * and (periodically) defragmentation.
+ *
+ * Queries are executed functionally over the snapshot bitmaps — the
+ * returned aggregates are exact and verifiable against a reference
+ * scan — while the timing model prices each scan with the two-phase
+ * schedule, the controller's offload overheads, and the CPU-side
+ * transfer steps of the multi-column operators.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/timing_model.hpp"
+#include "memctrl/offload_costs.hpp"
+#include "mvcc/defragmenter.hpp"
+#include "mvcc/snapshotter.hpp"
+#include "pim/two_phase.hpp"
+#include "txn/database.hpp"
+
+namespace pushtap::olap {
+
+struct OlapConfig
+{
+    dram::Geometry geom = dram::Geometry::dimmDefault();
+    dram::TimingParams timing = dram::TimingParams::ddr5_3200();
+    pim::PimConfig pimConfig = pim::PimConfig::upmemLike();
+    /** Controller offload overheads (PUSHtap by default). */
+    pim::OffloadOverheads overheads;
+    /** Block-circulant placement on (affects PIM parallelism). */
+    bool blockCirculant = true;
+    /** Fixed per-defragmentation overhead (threads + activation). */
+    TimeNs defragFixedNs = 50'000.0;
+    /** Fixed per-snapshot overhead (thread wakeup). */
+    TimeNs snapshotFixedNs = 5'000.0;
+
+    static OlapConfig pushtapDimm();
+    static OlapConfig pushtapHbm();
+    /** Original software-managed PIM architecture (Fig. 12(b)). */
+    static OlapConfig originalArchDimm();
+};
+
+/** Cost of scanning one column once. */
+struct ScanCost
+{
+    Bytes totalBytes = 0;      ///< Streamed across all units.
+    Bytes bytesPerUnit = 0;
+    std::uint32_t activeUnits = 0;
+    pim::TwoPhaseSchedule schedule; ///< Per-unit phase schedule.
+};
+
+/** One query's execution report (Fig. 9(b) decomposition). */
+struct QueryReport
+{
+    std::string name;
+    TimeNs pimNs = 0.0;         ///< PIM load + compute + offload.
+    TimeNs cpuNs = 0.0;         ///< CPU-side operator work.
+    TimeNs consistencyNs = 0.0; ///< Snapshot (+ defragmentation).
+    TimeNs cpuBlockedNs = 0.0;  ///< Bank-lock time seen by OLTP.
+    std::uint64_t rowsVisible = 0;
+
+    TimeNs
+    totalNs() const
+    {
+        return pimNs + cpuNs + consistencyNs;
+    }
+};
+
+/** Q1 aggregate rows. */
+struct Q1Row
+{
+    std::int64_t olNumber;
+    std::int64_t sumQuantity;
+    std::int64_t sumAmount;
+    std::uint64_t count;
+};
+
+/** Q9 aggregate rows (profit by supplying warehouse). */
+struct Q9Row
+{
+    std::int64_t supplyWarehouse;
+    std::int64_t sumAmount;
+    std::uint64_t matches;
+};
+
+class OlapEngine
+{
+  public:
+    OlapEngine(txn::Database &db, const OlapConfig &cfg);
+
+    const OlapConfig &config() const { return cfg_; }
+
+    /**
+     * Bring every table's snapshot bitmaps up to @p ts. Returns the
+     * modelled consistency time charged to the next query.
+     */
+    TimeNs prepareSnapshot(Timestamp ts);
+
+    /**
+     * Defragment every table with @p strategy. Returns modelled time
+     * (also charged to the next query's consistency share).
+     */
+    TimeNs runDefragmentation(mvcc::DefragStrategy strategy);
+
+    /** Pending consistency charge (cleared by the next query). */
+    TimeNs pendingConsistencyNs() const { return pendingConsistency_; }
+
+    /** Q1: pricing summary over ORDERLINE. */
+    QueryReport q1(std::int64_t delivery_after,
+                   std::vector<Q1Row> *rows = nullptr);
+
+    /** Q6: revenue-change selection over ORDERLINE. */
+    QueryReport q6(std::int64_t d_lo, std::int64_t d_hi,
+                   std::int64_t q_lo, std::int64_t q_hi,
+                   std::int64_t *revenue = nullptr);
+
+    /** Q9: item x orderline hash join, profit per supply warehouse. */
+    QueryReport q9(std::vector<Q9Row> *rows = nullptr);
+
+    /** Price one scan of @p column of table @p t as operator @p op. */
+    ScanCost columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
+                            pim::OpType op) const;
+
+    /** Last defragmentation's statistics (Fig. 11(d)). */
+    const mvcc::DefragStats &lastDefragStats() const
+    {
+        return lastDefrag_;
+    }
+
+    /** Last snapshot pass statistics. */
+    const mvcc::SnapshotStats &lastSnapshotStats() const
+    {
+        return lastSnapshot_;
+    }
+
+  private:
+    /** Rows the PIM units must stream in each region. */
+    std::uint64_t scannedDataRows(const txn::TableRuntime &tbl) const;
+    std::uint64_t scannedDeltaRows(const txn::TableRuntime &tbl) const;
+
+    /** Apply fn(region, row) for every snapshot-visible row. */
+    template <typename Fn>
+    void
+    forEachVisible(const txn::TableRuntime &tbl, Fn &&fn) const
+    {
+        const auto &dv = tbl.store().dataVisible();
+        for (std::size_t r = dv.findNext(0); r < dv.size();
+             r = dv.findNext(r + 1))
+            fn(storage::Region::Data, static_cast<RowId>(r));
+        const auto &xv = tbl.store().deltaVisible();
+        for (std::size_t r = xv.findNext(0); r < xv.size();
+             r = xv.findNext(r + 1))
+            fn(storage::Region::Delta, static_cast<RowId>(r));
+    }
+
+    TimeNs takeConsistency();
+
+    /** CPU time to move @p bytes over the memory bus. */
+    TimeNs busTime(Bytes bytes) const;
+
+    txn::Database &db_;
+    OlapConfig cfg_;
+    dram::BatchTimingModel timing_;
+    pim::TwoPhaseModel twoPhase_;
+    std::vector<mvcc::Snapshotter> snapshotters_;
+    mvcc::Defragmenter defragmenter_;
+    TimeNs pendingConsistency_ = 0.0;
+    mvcc::DefragStats lastDefrag_;
+    mvcc::SnapshotStats lastSnapshot_;
+};
+
+} // namespace pushtap::olap

@@ -1,0 +1,293 @@
+#include "pim/launch.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::pim {
+
+namespace {
+
+/** Sequential little-endian field writer over the 63 parameter bytes. */
+class FieldWriter
+{
+  public:
+    explicit FieldWriter(LaunchRequest::Payload &p) : p_(p), pos_(1) {}
+
+    void
+    put(std::uint64_t v, std::size_t nbytes)
+    {
+        for (std::size_t i = 0; i < nbytes; ++i) {
+            p_[pos_++] = static_cast<std::uint8_t>(v & 0xff);
+            v >>= 8;
+        }
+    }
+
+  private:
+    LaunchRequest::Payload &p_;
+    std::size_t pos_;
+};
+
+/** Sequential little-endian field reader, mirroring FieldWriter. */
+class FieldReader
+{
+  public:
+    explicit FieldReader(const LaunchRequest::Payload &p)
+        : p_(p), pos_(1)
+    {}
+
+    std::uint64_t
+    get(std::size_t nbytes)
+    {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < nbytes; ++i)
+            v |= static_cast<std::uint64_t>(p_[pos_++]) << (8 * i);
+        return v;
+    }
+
+  private:
+    const LaunchRequest::Payload &p_;
+    std::size_t pos_;
+};
+
+} // namespace
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::LS: return "LS";
+      case OpType::Filter: return "Filter";
+      case OpType::Group: return "Group";
+      case OpType::Aggregation: return "Aggregation";
+      case OpType::Hash: return "Hash";
+      case OpType::Join: return "Join";
+      case OpType::Defragment: return "Defragment";
+    }
+    return "unknown";
+}
+
+LaunchRequest
+LaunchRequest::ls(const LsParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::LS;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.resultAddr, 3);
+    w.put(p.resultLen, 2);
+    w.put(p.resultOffset, 2);
+    w.put(p.resultStride, 2);
+    w.put(p.op0Addr, 3);
+    w.put(p.op0Len, 2);
+    w.put(p.op0Offset, 2);
+    w.put(p.op0Stride, 2);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::filter(const FilterParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::Filter;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.bitmapOffset, 2);
+    w.put(p.dataOffset, 2);
+    w.put(p.resultOffset, 2);
+    w.put(p.dataWidth, 1);
+    w.put(p.condition, 8);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::group(const GroupParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::Group;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.bitmapOffset, 2);
+    w.put(p.dataOffset, 2);
+    w.put(p.dictOffset, 2);
+    w.put(p.resultOffset, 2);
+    w.put(p.dataWidth, 1);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::aggregation(const AggregationParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::Aggregation;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.bitmapOffset, 2);
+    w.put(p.dataOffset, 2);
+    w.put(p.indexOffset, 2);
+    w.put(p.resultOffset, 2);
+    w.put(p.dataWidth, 1);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::hash(const HashParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::Hash;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.bitmapOffset, 2);
+    w.put(p.dataOffset, 2);
+    w.put(p.resultOffset, 2);
+    w.put(p.hashFunction, 4);
+    w.put(p.dataWidth, 1);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::join(const JoinParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::Join;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.hash1Offset, 2);
+    w.put(p.hash2Offset, 2);
+    w.put(p.resultOffset, 2);
+    w.put(p.dataWidth, 1);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::defragment(const DefragmentParams &p)
+{
+    LaunchRequest r;
+    r.type_ = OpType::Defragment;
+    r.payload_[0] = static_cast<std::uint8_t>(r.type_);
+    FieldWriter w(r.payload_);
+    w.put(p.metaAddr, 3);
+    w.put(p.dataAddr, 3);
+    w.put(p.dataStride, 2);
+    w.put(p.deltaAddr, 3);
+    w.put(p.deltaStride, 2);
+    return r;
+}
+
+LaunchRequest
+LaunchRequest::decode(const Payload &raw)
+{
+    if (raw[0] > static_cast<std::uint8_t>(OpType::Defragment))
+        fatal("invalid launch request type byte {}", raw[0]);
+    LaunchRequest r;
+    r.type_ = static_cast<OpType>(raw[0]);
+    r.payload_ = raw;
+    return r;
+}
+
+LsParams
+LaunchRequest::lsParams() const
+{
+    if (type_ != OpType::LS)
+        panic("lsParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    LsParams p;
+    p.resultAddr = f.get(3);
+    p.resultLen = static_cast<std::uint16_t>(f.get(2));
+    p.resultOffset = static_cast<std::uint16_t>(f.get(2));
+    p.resultStride = static_cast<std::uint16_t>(f.get(2));
+    p.op0Addr = f.get(3);
+    p.op0Len = static_cast<std::uint16_t>(f.get(2));
+    p.op0Offset = static_cast<std::uint16_t>(f.get(2));
+    p.op0Stride = static_cast<std::uint16_t>(f.get(2));
+    return p;
+}
+
+FilterParams
+LaunchRequest::filterParams() const
+{
+    if (type_ != OpType::Filter)
+        panic("filterParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    FilterParams p;
+    p.bitmapOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataOffset = static_cast<std::uint16_t>(f.get(2));
+    p.resultOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataWidth = static_cast<std::uint8_t>(f.get(1));
+    p.condition = f.get(8);
+    return p;
+}
+
+GroupParams
+LaunchRequest::groupParams() const
+{
+    if (type_ != OpType::Group)
+        panic("groupParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    GroupParams p;
+    p.bitmapOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dictOffset = static_cast<std::uint16_t>(f.get(2));
+    p.resultOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataWidth = static_cast<std::uint8_t>(f.get(1));
+    return p;
+}
+
+AggregationParams
+LaunchRequest::aggregationParams() const
+{
+    if (type_ != OpType::Aggregation)
+        panic("aggregationParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    AggregationParams p;
+    p.bitmapOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataOffset = static_cast<std::uint16_t>(f.get(2));
+    p.indexOffset = static_cast<std::uint16_t>(f.get(2));
+    p.resultOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataWidth = static_cast<std::uint8_t>(f.get(1));
+    return p;
+}
+
+HashParams
+LaunchRequest::hashParams() const
+{
+    if (type_ != OpType::Hash)
+        panic("hashParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    HashParams p;
+    p.bitmapOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataOffset = static_cast<std::uint16_t>(f.get(2));
+    p.resultOffset = static_cast<std::uint16_t>(f.get(2));
+    p.hashFunction = static_cast<std::uint32_t>(f.get(4));
+    p.dataWidth = static_cast<std::uint8_t>(f.get(1));
+    return p;
+}
+
+JoinParams
+LaunchRequest::joinParams() const
+{
+    if (type_ != OpType::Join)
+        panic("joinParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    JoinParams p;
+    p.hash1Offset = static_cast<std::uint16_t>(f.get(2));
+    p.hash2Offset = static_cast<std::uint16_t>(f.get(2));
+    p.resultOffset = static_cast<std::uint16_t>(f.get(2));
+    p.dataWidth = static_cast<std::uint8_t>(f.get(1));
+    return p;
+}
+
+DefragmentParams
+LaunchRequest::defragmentParams() const
+{
+    if (type_ != OpType::Defragment)
+        panic("defragmentParams() on a {} request", opTypeName(type_));
+    FieldReader f(payload_);
+    DefragmentParams p;
+    p.metaAddr = f.get(3);
+    p.dataAddr = f.get(3);
+    p.dataStride = static_cast<std::uint16_t>(f.get(2));
+    p.deltaAddr = f.get(3);
+    p.deltaStride = static_cast<std::uint16_t>(f.get(2));
+    return p;
+}
+
+} // namespace pushtap::pim

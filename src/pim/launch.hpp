@@ -1,0 +1,171 @@
+#pragma once
+
+/**
+ * @file
+ * Launch-request encoding (Figure 7(b) of the paper).
+ *
+ * A launch request is disguised as a 64-byte memory write to a special
+ * physical address: 1 byte of operation type followed by 63 bytes of
+ * input parameters. The scheduler in the extended memory controller
+ * decodes these and broadcasts them to the PIM units.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pushtap::pim {
+
+/** Operation types carried by launch requests (Fig. 7(b)). */
+enum class OpType : std::uint8_t
+{
+    LS = 0,          ///< Load/store phase: DMA between DRAM and WRAM.
+    Filter = 1,      ///< Compare a column against a condition.
+    Group = 2,       ///< Compute group indices via a dictionary.
+    Aggregation = 3, ///< Accumulate values into per-group sums.
+    Hash = 4,        ///< Hash a column.
+    Join = 5,        ///< Probe/match hashed buckets.
+    Defragment = 6,  ///< Copy newest delta rows back to data region.
+};
+
+const char *opTypeName(OpType t);
+
+/** Parameters of an LS (load/store) launch request. */
+struct LsParams
+{
+    std::uint64_t resultAddr;   ///< 3-byte DRAM address field.
+    std::uint16_t resultLen;
+    std::uint16_t resultOffset;
+    std::uint16_t resultStride;
+    std::uint64_t op0Addr;      ///< 3-byte DRAM address field.
+    std::uint16_t op0Len;
+    std::uint16_t op0Offset;
+    std::uint16_t op0Stride;
+
+    bool operator==(const LsParams &) const = default;
+};
+
+/** Parameters of a Filter launch request. */
+struct FilterParams
+{
+    std::uint16_t bitmapOffset;
+    std::uint16_t dataOffset;
+    std::uint16_t resultOffset;
+    std::uint8_t dataWidth;
+    std::uint64_t condition;    ///< 8-byte encoded predicate operand.
+
+    bool operator==(const FilterParams &) const = default;
+};
+
+/** Parameters of a Group launch request. */
+struct GroupParams
+{
+    std::uint16_t bitmapOffset;
+    std::uint16_t dataOffset;
+    std::uint16_t dictOffset;
+    std::uint16_t resultOffset;
+    std::uint8_t dataWidth;
+
+    bool operator==(const GroupParams &) const = default;
+};
+
+/** Parameters of an Aggregation launch request. */
+struct AggregationParams
+{
+    std::uint16_t bitmapOffset;
+    std::uint16_t dataOffset;
+    std::uint16_t indexOffset;
+    std::uint16_t resultOffset;
+    std::uint8_t dataWidth;
+
+    bool operator==(const AggregationParams &) const = default;
+};
+
+/** Parameters of a Hash launch request. */
+struct HashParams
+{
+    std::uint16_t bitmapOffset;
+    std::uint16_t dataOffset;
+    std::uint16_t resultOffset;
+    std::uint32_t hashFunction;
+    std::uint8_t dataWidth;
+
+    bool operator==(const HashParams &) const = default;
+};
+
+/** Parameters of a Join launch request. */
+struct JoinParams
+{
+    std::uint16_t hash1Offset;
+    std::uint16_t hash2Offset;
+    std::uint16_t resultOffset;
+    std::uint8_t dataWidth;
+
+    bool operator==(const JoinParams &) const = default;
+};
+
+/** Parameters of a Defragment launch request. */
+struct DefragmentParams
+{
+    std::uint64_t metaAddr;   ///< 3-byte DRAM address field.
+    std::uint64_t dataAddr;   ///< 3-byte DRAM address field.
+    std::uint16_t dataStride;
+    std::uint64_t deltaAddr;  ///< 3-byte DRAM address field.
+    std::uint16_t deltaStride;
+
+    bool operator==(const DefragmentParams &) const = default;
+};
+
+/**
+ * A launch request: the 64-byte payload written to the special
+ * address. Encodes exactly the field layout of Fig. 7(b).
+ */
+class LaunchRequest
+{
+  public:
+    static constexpr std::size_t kPayloadBytes = 64;
+    using Payload = std::array<std::uint8_t, kPayloadBytes>;
+
+    static LaunchRequest ls(const LsParams &p);
+    static LaunchRequest filter(const FilterParams &p);
+    static LaunchRequest group(const GroupParams &p);
+    static LaunchRequest aggregation(const AggregationParams &p);
+    static LaunchRequest hash(const HashParams &p);
+    static LaunchRequest join(const JoinParams &p);
+    static LaunchRequest defragment(const DefragmentParams &p);
+
+    /** Decode a raw 64-byte payload (e.g. received by the scheduler). */
+    static LaunchRequest decode(const Payload &raw);
+
+    OpType type() const { return type_; }
+    const Payload &payload() const { return payload_; }
+
+    /**
+     * True if this operation needs the DRAM banks handed over to the
+     * PIM units (only LS and Defragment touch DRAM; compute ops run
+     * out of WRAM, section 6.1).
+     */
+    bool
+    needsBankHandover() const
+    {
+        return type_ == OpType::LS || type_ == OpType::Defragment;
+    }
+
+    LsParams lsParams() const;
+    FilterParams filterParams() const;
+    GroupParams groupParams() const;
+    AggregationParams aggregationParams() const;
+    HashParams hashParams() const;
+    JoinParams joinParams() const;
+    DefragmentParams defragmentParams() const;
+
+  private:
+    LaunchRequest() = default;
+
+    OpType type_ = OpType::LS;
+    Payload payload_{};
+};
+
+} // namespace pushtap::pim

@@ -1,0 +1,238 @@
+#include "pim/pim_unit.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace pushtap::pim {
+
+namespace {
+
+constexpr std::uint64_t kValueMask = (1ULL << 56) - 1;
+
+std::uint32_t
+mix32(std::uint64_t x, std::uint32_t seed)
+{
+    x += 0x9e3779b97f4a7c15ULL + seed;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>(x ^ (x >> 31));
+}
+
+bool
+compare(CompareOp op, std::int64_t lhs, std::int64_t rhs)
+{
+    switch (op) {
+      case CompareOp::Eq: return lhs == rhs;
+      case CompareOp::Ne: return lhs != rhs;
+      case CompareOp::Lt: return lhs < rhs;
+      case CompareOp::Le: return lhs <= rhs;
+      case CompareOp::Gt: return lhs > rhs;
+      case CompareOp::Ge: return lhs >= rhs;
+    }
+    return false;
+}
+
+} // namespace
+
+std::uint64_t
+encodeCondition(CompareOp op, std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(op) << 56) |
+           (static_cast<std::uint64_t>(value) & kValueMask);
+}
+
+void
+decodeCondition(std::uint64_t cond, CompareOp &op, std::int64_t &value)
+{
+    op = static_cast<CompareOp>(cond >> 56);
+    std::uint64_t v = cond & kValueMask;
+    // Sign-extend from 56 bits.
+    if (v & (1ULL << 55))
+        v |= ~kValueMask;
+    value = static_cast<std::int64_t>(v);
+}
+
+PimUnit::PimUnit(const PimConfig &cfg)
+    : cfg_(cfg), wram_(cfg.wramBytes, 0)
+{
+}
+
+void
+PimUnit::dmaIn(std::uint32_t offset, std::span<const std::uint8_t> src)
+{
+    if (offset + src.size() > wram_.size())
+        panic("WRAM dmaIn overflow: {}+{} > {}", offset, src.size(),
+              wram_.size());
+    std::memcpy(wram_.data() + offset, src.data(), src.size());
+}
+
+void
+PimUnit::dmaOut(std::uint32_t offset, std::span<std::uint8_t> dst) const
+{
+    if (offset + dst.size() > wram_.size())
+        panic("WRAM dmaOut overflow: {}+{} > {}", offset, dst.size(),
+              wram_.size());
+    std::memcpy(dst.data(), wram_.data() + offset, dst.size());
+}
+
+std::int64_t
+PimUnit::readInt(std::uint32_t offset, std::uint32_t width) const
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < width; ++i)
+        v |= static_cast<std::uint64_t>(wram_[offset + i]) << (8 * i);
+    // Sign-extend.
+    if (width < 8 && (v & (1ULL << (8 * width - 1))))
+        v |= ~((1ULL << (8 * width)) - 1);
+    return static_cast<std::int64_t>(v);
+}
+
+void
+PimUnit::writeInt(std::uint32_t offset, std::uint32_t width,
+                  std::int64_t value)
+{
+    auto v = static_cast<std::uint64_t>(value);
+    for (std::uint32_t i = 0; i < width; ++i) {
+        wram_[offset + i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+}
+
+bool
+PimUnit::visible(std::uint16_t bitmap_offset, std::uint64_t i) const
+{
+    if (bitmap_offset == kNoBitmap)
+        return true;
+    return (wram_[bitmap_offset + (i >> 3)] >> (i & 7)) & 1;
+}
+
+void
+PimUnit::execFilter(const FilterParams &p, std::uint64_t n_elements)
+{
+    CompareOp op;
+    std::int64_t rhs;
+    decodeCondition(p.condition, op, rhs);
+
+    // Zero the result bitmap region first.
+    const std::uint64_t result_bytes = (n_elements + 7) / 8;
+    std::memset(wram_.data() + p.resultOffset, 0, result_bytes);
+
+    for (std::uint64_t i = 0; i < n_elements; ++i) {
+        if (!visible(p.bitmapOffset, i))
+            continue;
+        const std::int64_t v = readInt(
+            p.dataOffset + static_cast<std::uint32_t>(i) * p.dataWidth,
+            p.dataWidth);
+        if (compare(op, v, rhs))
+            wram_[p.resultOffset + (i >> 3)] |=
+                static_cast<std::uint8_t>(1u << (i & 7));
+    }
+    elementsProcessed_ += n_elements;
+}
+
+void
+PimUnit::execGroup(const GroupParams &p, std::uint64_t n_elements)
+{
+    const auto dict_count = static_cast<std::uint32_t>(
+        readInt(p.dictOffset, 2) & 0xffff);
+
+    for (std::uint64_t i = 0; i < n_elements; ++i) {
+        std::uint16_t idx = kNoGroup;
+        if (visible(p.bitmapOffset, i)) {
+            const std::int64_t v = readInt(
+                p.dataOffset +
+                    static_cast<std::uint32_t>(i) * p.dataWidth,
+                p.dataWidth);
+            for (std::uint32_t k = 0; k < dict_count; ++k) {
+                const std::int64_t dv =
+                    readInt(p.dictOffset + 2 + k * p.dataWidth,
+                            p.dataWidth);
+                if (dv == v) {
+                    idx = static_cast<std::uint16_t>(k);
+                    break;
+                }
+            }
+        }
+        writeInt(p.resultOffset + static_cast<std::uint32_t>(i) * 2, 2,
+                 idx);
+    }
+    elementsProcessed_ += n_elements;
+}
+
+std::uint64_t
+PimUnit::execAggregation(const AggregationParams &p,
+                         std::uint64_t n_elements)
+{
+    std::uint64_t accumulated = 0;
+    for (std::uint64_t i = 0; i < n_elements; ++i) {
+        if (!visible(p.bitmapOffset, i))
+            continue;
+        const auto idx = static_cast<std::uint16_t>(
+            readInt(p.indexOffset + static_cast<std::uint32_t>(i) * 2,
+                    2) &
+            0xffff);
+        if (idx == kNoGroup)
+            continue;
+        const std::int64_t v = readInt(
+            p.dataOffset + static_cast<std::uint32_t>(i) * p.dataWidth,
+            p.dataWidth);
+        const std::uint32_t slot = p.resultOffset + idx * 8u;
+        writeInt(slot, 8, readInt(slot, 8) + v);
+        ++accumulated;
+    }
+    elementsProcessed_ += n_elements;
+    return accumulated;
+}
+
+void
+PimUnit::execHash(const HashParams &p, std::uint64_t n_elements)
+{
+    for (std::uint64_t i = 0; i < n_elements; ++i) {
+        std::uint32_t h = 0;
+        if (visible(p.bitmapOffset, i)) {
+            const std::int64_t v = readInt(
+                p.dataOffset +
+                    static_cast<std::uint32_t>(i) * p.dataWidth,
+                p.dataWidth);
+            h = mix32(static_cast<std::uint64_t>(v), p.hashFunction);
+            if (h == 0)
+                h = 1; // reserve 0 for "invisible"
+        }
+        writeInt(p.resultOffset + static_cast<std::uint32_t>(i) * 4, 4,
+                 static_cast<std::int64_t>(h));
+    }
+    elementsProcessed_ += n_elements;
+}
+
+std::uint64_t
+PimUnit::execJoin(const JoinParams &p, std::uint64_t n1,
+                  std::uint64_t n2)
+{
+    std::uint64_t matches = 0;
+    std::uint32_t out = p.resultOffset + 4;
+    for (std::uint64_t i = 0; i < n1; ++i) {
+        const auto h1 = static_cast<std::uint32_t>(
+            readInt(p.hash1Offset + static_cast<std::uint32_t>(i) * 4,
+                    4));
+        if (h1 == 0)
+            continue;
+        for (std::uint64_t j = 0; j < n2; ++j) {
+            const auto h2 = static_cast<std::uint32_t>(readInt(
+                p.hash2Offset + static_cast<std::uint32_t>(j) * 4, 4));
+            if (h1 == h2) {
+                if (out + 8 > wram_.size())
+                    panic("join result overflows WRAM");
+                writeInt(out, 4, static_cast<std::int64_t>(i));
+                writeInt(out + 4, 4, static_cast<std::int64_t>(j));
+                out += 8;
+                ++matches;
+            }
+        }
+    }
+    writeInt(p.resultOffset, 4, static_cast<std::int64_t>(matches));
+    elementsProcessed_ += n1 + n2;
+    return matches;
+}
+
+} // namespace pushtap::pim

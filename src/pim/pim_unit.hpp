@@ -1,0 +1,131 @@
+#pragma once
+
+/**
+ * @file
+ * Functional model of one bank-level PIM unit. It owns a WRAM
+ * scratchpad and executes the Fig. 7(b) operators on WRAM-resident
+ * data, exactly as the two-phase execution model assumes: data gets
+ * DMA-ed into WRAM by an LS phase, then a compute launch processes it.
+ *
+ * Timing is accounted separately (CostModel / TwoPhaseModel); this
+ * class guarantees the *results* are right, so every OLAP query in the
+ * engine is checkable against a reference implementation.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pim/launch.hpp"
+#include "pim/pim_config.hpp"
+
+namespace pushtap::pim {
+
+/** Comparison operator carried in the Filter condition field. */
+enum class CompareOp : std::uint8_t
+{
+    Eq = 0,
+    Ne = 1,
+    Lt = 2,
+    Le = 3,
+    Gt = 4,
+    Ge = 5,
+};
+
+/**
+ * Pack a comparison op and a 56-bit signed immediate into the 8-byte
+ * Filter condition field.
+ */
+std::uint64_t encodeCondition(CompareOp op, std::int64_t value);
+
+/** Unpack a Filter condition field. */
+void decodeCondition(std::uint64_t cond, CompareOp &op,
+                     std::int64_t &value);
+
+/** Sentinel WRAM offset meaning "no visibility bitmap supplied". */
+inline constexpr std::uint16_t kNoBitmap = 0xffff;
+
+/** Sentinel group index meaning "invisible or no dictionary match". */
+inline constexpr std::uint16_t kNoGroup = 0xffff;
+
+class PimUnit
+{
+  public:
+    explicit PimUnit(const PimConfig &cfg = PimConfig::upmemLike());
+
+    const PimConfig &config() const { return cfg_; }
+
+    Bytes wramSize() const { return cfg_.wramBytes; }
+
+    /** DMA host/DRAM bytes into WRAM at @p offset. */
+    void dmaIn(std::uint32_t offset, std::span<const std::uint8_t> src);
+
+    /** DMA WRAM bytes out to host/DRAM. */
+    void dmaOut(std::uint32_t offset, std::span<std::uint8_t> dst) const;
+
+    /** Read a little-endian signed integer of @p width bytes. */
+    std::int64_t readInt(std::uint32_t offset, std::uint32_t width) const;
+
+    /** Write a little-endian signed integer of @p width bytes. */
+    void writeInt(std::uint32_t offset, std::uint32_t width,
+                  std::int64_t value);
+
+    /** Raw WRAM view (tests and DMA plumbing). */
+    std::span<std::uint8_t> wram() { return {wram_.data(), wram_.size()}; }
+    std::span<const std::uint8_t>
+    wram() const
+    {
+        return {wram_.data(), wram_.size()};
+    }
+
+    /**
+     * Filter @p n_elements of width dataWidth at dataOffset against
+     * the condition; emit one result bit per element at resultOffset.
+     * Elements whose visibility bit (bitmapOffset) is 0 produce 0.
+     */
+    void execFilter(const FilterParams &p, std::uint64_t n_elements);
+
+    /**
+     * Map elements to dictionary indices: dictionary at dictOffset is
+     * a uint16 count followed by count values of dataWidth bytes;
+     * result is one uint16 index per element at resultOffset
+     * (kNoGroup when invisible or absent from the dictionary).
+     */
+    void execGroup(const GroupParams &p, std::uint64_t n_elements);
+
+    /**
+     * Accumulate values into per-group int64 sums: value i (dataWidth
+     * bytes at dataOffset) is added to sums[index_i] where index_i is
+     * the uint16 at indexOffset; sums live at resultOffset and must be
+     * zeroed by the caller. Returns the number of accumulated values.
+     */
+    std::uint64_t execAggregation(const AggregationParams &p,
+                                  std::uint64_t n_elements);
+
+    /**
+     * Hash each element to a uint32 at resultOffset; hashFunction
+     * selects the seed so repartitioning runs are independent.
+     */
+    void execHash(const HashParams &p, std::uint64_t n_elements);
+
+    /**
+     * Join two uint32 hash arrays (hash1Offset x @p n1, hash2Offset x
+     * @p n2): result region receives a uint32 match count followed by
+     * (i, j) uint32 pairs. Returns the match count.
+     */
+    std::uint64_t execJoin(const JoinParams &p, std::uint64_t n1,
+                           std::uint64_t n2);
+
+    /** Total elements processed across all compute launches. */
+    std::uint64_t elementsProcessed() const { return elementsProcessed_; }
+
+  private:
+    bool visible(std::uint16_t bitmap_offset, std::uint64_t i) const;
+
+    PimConfig cfg_;
+    std::vector<std::uint8_t> wram_;
+    std::uint64_t elementsProcessed_ = 0;
+};
+
+} // namespace pushtap::pim

@@ -1,0 +1,43 @@
+#include "pim/two_phase.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace pushtap::pim {
+
+TwoPhaseSchedule
+TwoPhaseModel::schedule(OpType op, Bytes bytes_per_unit,
+                        std::uint32_t element_width) const
+{
+    if (element_width == 0)
+        fatal("two-phase schedule with zero element width");
+
+    TwoPhaseSchedule s;
+    if (bytes_per_unit == 0)
+        return s;
+
+    const Bytes chunk = cost_.config().loadChunkBytes();
+    s.phases = (bytes_per_unit + chunk - 1) / chunk;
+
+    Bytes remaining = bytes_per_unit;
+    for (std::uint64_t i = 0; i < s.phases; ++i) {
+        const Bytes this_chunk = std::min(remaining, chunk);
+        remaining -= this_chunk;
+        const std::uint64_t elems = this_chunk / element_width;
+
+        // Load phase: launch an LS request, hand over the banks, DMA.
+        const TimeNs dma = cost_.dmaTime(this_chunk);
+        s.loadTime += dma;
+        s.offloadOverhead += overheads_.launchNs + overheads_.pollNs +
+                             overheads_.handoverNs;
+        s.cpuBlockedTime += dma + overheads_.handoverNs;
+
+        // Compute phase: launch the operator, banks stay with the CPU.
+        s.computeTime += cost_.computeTime(op, elems);
+        s.offloadOverhead += overheads_.launchNs + overheads_.pollNs;
+    }
+    return s;
+}
+
+} // namespace pushtap::pim

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("scheduling event in the past: {} < {}", when, now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out before pop so the callback may schedule more events.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t executed = 0;
+    while (step())
+        ++executed;
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        step();
+        ++executed;
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+} // namespace pushtap::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Discrete-event simulation kernel. A minimal gem5-style event queue:
+ * events are callbacks scheduled at absolute ticks; ties are broken by
+ * insertion order so simulations are deterministic.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pushtap::sim {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in ticks (1 tick == 1 ps). */
+    Tick now() const { return now_; }
+
+    TimeNs nowNs() const { return ticksToNs(now_); }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    void
+    scheduleAfterNs(TimeNs delay_ns, Callback cb)
+    {
+        scheduleAfter(nsToTicks(delay_ns), std::move(cb));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Run a single event; returns false if the queue was empty. */
+    bool step();
+
+    /** Run until the queue drains. Returns number of events executed. */
+    std::uint64_t run();
+
+    /**
+     * Run until the queue drains or simulated time exceeds @p limit.
+     * Events scheduled at exactly @p limit still execute.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace pushtap::sim

@@ -1,0 +1,164 @@
+#include "storage/table_store.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace pushtap::storage {
+
+TableStore::TableStore(const format::TableLayout &layout,
+                       const format::BlockCirculant &circulant,
+                       std::uint64_t data_rows,
+                       std::uint64_t delta_rows)
+    : layout_(&layout),
+      circulant_(circulant),
+      codec_(layout, circulant),
+      dataRows_(data_rows),
+      deltaRows_(delta_rows),
+      dataVisible_(data_rows, true),
+      deltaVisible_(delta_rows, false)
+{
+    auto provision = [&](RegionStore &store, std::uint64_t rows) {
+        store.parts.resize(layout.parts().size());
+        for (std::size_t p = 0; p < layout.parts().size(); ++p) {
+            const auto w = layout.parts()[p].rowWidth;
+            store.parts[p].assign(
+                layout.devices(),
+                std::vector<std::uint8_t>(rows * w, 0));
+        }
+    };
+    provision(data_, data_rows);
+    provision(delta_, delta_rows);
+}
+
+TableStore::RegionStore &
+TableStore::regionStore(Region reg)
+{
+    return reg == Region::Data ? data_ : delta_;
+}
+
+const TableStore::RegionStore &
+TableStore::regionStore(Region reg) const
+{
+    return reg == Region::Data ? data_ : delta_;
+}
+
+void
+TableStore::growDelta(std::uint64_t rows)
+{
+    if (rows <= deltaRows_)
+        return;
+    const std::uint64_t new_rows =
+        std::max<std::uint64_t>(rows, deltaRows_ * 2);
+    for (std::size_t p = 0; p < layout_->parts().size(); ++p) {
+        const auto w = layout_->parts()[p].rowWidth;
+        for (auto &dev : delta_.parts[p])
+            dev.resize(new_rows * w, 0);
+    }
+    deltaVisible_.grow(new_rows);
+    deltaRows_ = new_rows;
+}
+
+void
+TableStore::writeRow(Region reg, RowId r,
+                     std::span<const std::uint8_t> row)
+{
+    if (reg == Region::Delta && r >= deltaRows_) {
+        // The delta region grows on demand: rotation-class allocation
+        // produces sparse slot ids when updates skew to one class.
+        growDelta(r + 1);
+    }
+    const std::uint64_t limit =
+        reg == Region::Data ? dataRows_ : deltaRows_;
+    if (r >= limit)
+        panic("writeRow: row {} beyond region capacity {}", r, limit);
+    auto &store = regionStore(reg);
+    codec_.scatter(r, row,
+                   [&store](std::uint32_t part, std::uint32_t dev,
+                            std::uint64_t off,
+                            std::span<const std::uint8_t> data) {
+                       std::memcpy(store.parts[part][dev].data() + off,
+                                   data.data(), data.size());
+                   });
+}
+
+void
+TableStore::readRow(Region reg, RowId r,
+                    std::span<std::uint8_t> row) const
+{
+    const std::uint64_t limit =
+        reg == Region::Data ? dataRows_ : deltaRows_;
+    if (r >= limit)
+        panic("readRow: row {} beyond region capacity {}", r, limit);
+    const auto &store = regionStore(reg);
+    codec_.gather(r,
+                  [&store](std::uint32_t part, std::uint32_t dev,
+                           std::uint64_t off,
+                           std::span<std::uint8_t> out) {
+                      std::memcpy(out.data(),
+                                  store.parts[part][dev].data() + off,
+                                  out.size());
+                  },
+                  row);
+}
+
+std::int64_t
+TableStore::columnValue(Region reg, ColumnId c, RowId r) const
+{
+    const auto &pl = layout_->keyPlacement(c);
+    const auto &col = schema().column(c);
+    const auto w = layout_->parts()[pl.part].rowWidth;
+    const std::uint32_t dev = circulant_.deviceFor(pl.slot, r);
+    const auto &bytes = regionStore(reg).parts[pl.part][dev];
+    const std::uint64_t off = r * w + pl.slotOffset;
+
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < col.width; ++i)
+        v |= static_cast<std::uint64_t>(bytes[off + i]) << (8 * i);
+    if (col.type == format::ColType::Int && col.width < 8 &&
+        (v & (1ULL << (8 * col.width - 1))))
+        v |= ~((1ULL << (8 * col.width)) - 1);
+    return static_cast<std::int64_t>(v);
+}
+
+Bytes
+TableStore::copyDeltaToData(RowId from_delta, RowId to_data)
+{
+    if (!sameRotation(to_data, from_delta))
+        panic("defragment copy across rotations: data {} delta {}",
+              to_data, from_delta);
+
+    Bytes moved = 0;
+    // The rotations match, so for every (part, device) the slot
+    // contents align: a pure device-local copy, exactly what the PIM
+    // Defragment op does.
+    for (std::size_t p = 0; p < layout_->parts().size(); ++p) {
+        const auto w = layout_->parts()[p].rowWidth;
+        for (std::uint32_t dev = 0; dev < layout_->devices(); ++dev) {
+            auto &dst = data_.parts[p][dev];
+            const auto &src = delta_.parts[p][dev];
+            std::memcpy(dst.data() + to_data * w,
+                        src.data() + from_delta * w, w);
+            moved += w;
+        }
+    }
+    return moved;
+}
+
+Bytes
+TableStore::regionBytes(Region reg) const
+{
+    const std::uint64_t rows =
+        reg == Region::Data ? dataRows_ : deltaRows_;
+    return static_cast<Bytes>(layout_->paddedRowBytes()) * rows;
+}
+
+Bytes
+TableStore::snapshotStorageBytes() const
+{
+    return (dataVisible_.storageBytes() +
+            deltaVisible_.storageBytes()) *
+           layout_->devices();
+}
+
+} // namespace pushtap::storage

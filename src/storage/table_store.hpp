@@ -1,0 +1,140 @@
+#pragma once
+
+/**
+ * @file
+ * Physical storage of one table in the unified format (section 5.1):
+ * a block-organised *data region* holding original-version rows and a
+ * *delta region* holding newer versions created by transactions, both
+ * laid out per the TableLayout across the d virtual devices of a bank
+ * stripe. Rows are stored as real bytes so engine results are exact;
+ * timing is accounted separately by the access models.
+ *
+ * The delta region is also organised into blocks: a new version of a
+ * row keeps the block-circulant rotation of its origin row so PIM
+ * units can later copy it back without cross-device traffic.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/types.hpp"
+#include "format/block_circulant.hpp"
+#include "format/layout.hpp"
+#include "format/row_codec.hpp"
+
+namespace pushtap::storage {
+
+/** Which region a row version lives in. */
+enum class Region : std::uint8_t
+{
+    Data,
+    Delta,
+};
+
+class TableStore
+{
+  public:
+    /**
+     * @param layout      Unified layout of the table.
+     * @param circulant   Block-circulant placement config.
+     * @param data_rows   Rows of the data region.
+     * @param delta_rows  Capacity of the delta region.
+     */
+    TableStore(const format::TableLayout &layout,
+               const format::BlockCirculant &circulant,
+               std::uint64_t data_rows, std::uint64_t delta_rows);
+
+    const format::TableLayout &layout() const { return *layout_; }
+    const format::TableSchema &schema() const
+    {
+        return layout_->schema();
+    }
+    const format::BlockCirculant &circulant() const
+    {
+        return circulant_;
+    }
+
+    std::uint64_t dataRows() const { return dataRows_; }
+    std::uint64_t deltaRows() const { return deltaRows_; }
+
+    /**
+     * Grow the delta region to at least @p rows (rotation-matched
+     * allocation can produce sparse slot ids; see VersionManager).
+     */
+    void growDelta(std::uint64_t rows);
+
+    /**
+     * Write the canonical bytes of a row into a region. Delta writes
+     * beyond the current capacity grow the region on demand.
+     */
+    void writeRow(Region reg, RowId r,
+                  std::span<const std::uint8_t> row);
+
+    /** Read the canonical bytes of a row back from a region. */
+    void readRow(Region reg, RowId r,
+                 std::span<std::uint8_t> row) const;
+
+    /**
+     * Read one integer column of one row directly (the PIM units'
+     * localized view; only valid for unfragmented columns).
+     */
+    std::int64_t columnValue(Region reg, ColumnId c, RowId r) const;
+
+    /**
+     * Copy the full row @p from (delta) over row @p to (data) the way
+     * the PIM Defragment operation does: device-local, slot-aligned
+     * copies. Requires both rows to have the same rotation. Returns
+     * bytes moved per device stripe.
+     */
+    Bytes copyDeltaToData(RowId from_delta, RowId to_data);
+
+    /**
+     * Bytes of raw storage provisioned for a region (layout bytes *
+     * devices, including padding).
+     */
+    Bytes regionBytes(Region reg) const;
+
+    /** The per-device snapshot bitmaps (visible rows per region). */
+    Bitmap &dataVisible() { return dataVisible_; }
+    const Bitmap &dataVisible() const { return dataVisible_; }
+    Bitmap &deltaVisible() { return deltaVisible_; }
+    const Bitmap &deltaVisible() const { return deltaVisible_; }
+
+    /**
+     * Storage the snapshot bitmaps occupy in DRAM: one copy per
+     * device of the stripe (section 5.2).
+     */
+    Bytes snapshotStorageBytes() const;
+
+    /** Verify a delta row keeps its origin row's rotation. */
+    bool
+    sameRotation(RowId data_row, RowId delta_row) const
+    {
+        return circulant_.blockOf(data_row) % circulant_.devices() ==
+               circulant_.blockOf(delta_row) % circulant_.devices();
+    }
+
+  private:
+    struct RegionStore
+    {
+        /** [part][device] -> bytes (rows * rowWidth per device). */
+        std::vector<std::vector<std::vector<std::uint8_t>>> parts;
+    };
+
+    RegionStore &regionStore(Region reg);
+    const RegionStore &regionStore(Region reg) const;
+
+    const format::TableLayout *layout_;
+    format::BlockCirculant circulant_;
+    format::RowCodec codec_;
+    std::uint64_t dataRows_;
+    std::uint64_t deltaRows_;
+    RegionStore data_;
+    RegionStore delta_;
+    Bitmap dataVisible_;
+    Bitmap deltaVisible_;
+};
+
+} // namespace pushtap::storage

@@ -1,0 +1,82 @@
+#include "txn/hash_index.hpp"
+
+#include "common/log.hpp"
+
+namespace pushtap::txn {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 16;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+HashIndex::HashIndex(std::size_t expected_entries)
+    : slots_(roundUpPow2(expected_entries * 2))
+{
+}
+
+std::uint64_t
+HashIndex::mix(std::uint64_t k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return k;
+}
+
+void
+HashIndex::grow()
+{
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    const auto saved_probes = probes_;
+    for (const auto &s : old)
+        if (s.used)
+            insert(s.key, s.row);
+    probes_ = saved_probes; // rehash cost is not a lookup
+}
+
+void
+HashIndex::insert(std::uint64_t key, RowId row)
+{
+    if ((size_ + 1) * 10 > slots_.size() * 7)
+        grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (slots_[i].used && slots_[i].key != key)
+        i = (i + 1) & mask;
+    if (!slots_[i].used) {
+        slots_[i].used = true;
+        slots_[i].key = key;
+        ++size_;
+    }
+    slots_[i].row = row;
+}
+
+std::optional<RowId>
+HashIndex::lookup(std::uint64_t key)
+{
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    ++probes_;
+    while (slots_[i].used) {
+        if (slots_[i].key == key)
+            return slots_[i].row;
+        i = (i + 1) & mask;
+        ++probes_;
+    }
+    return std::nullopt;
+}
+
+} // namespace pushtap::txn

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Open-addressing hash index (the DBx1000-style hash index the paper
+ * uses to speed up transactions and snapshotting, section 7.1).
+ * Keys are 64-bit composite primary keys; values are data-region row
+ * ids. Probe counts are tracked for the transaction cost breakdown.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pushtap::txn {
+
+class HashIndex
+{
+  public:
+    explicit HashIndex(std::size_t expected_entries = 64);
+
+    /** Insert or overwrite @p key. */
+    void insert(std::uint64_t key, RowId row);
+
+    /** Find @p key; probe cost is added to the running counter. */
+    std::optional<RowId> lookup(std::uint64_t key);
+
+    std::size_t size() const { return size_; }
+
+    /** Cumulative probe count (cost accounting). */
+    std::uint64_t probes() const { return probes_; }
+
+    void resetProbes() { probes_ = 0; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        RowId row = kInvalidRow;
+        bool used = false;
+    };
+
+    static std::uint64_t mix(std::uint64_t k);
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::uint64_t probes_ = 0;
+};
+
+/** Composite TPC-C key helpers (w, d, id packed into 64 bits). */
+constexpr std::uint64_t
+packKey(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0)
+{
+    return (a << 40) | (b << 32) | c;
+}
+
+} // namespace pushtap::txn

@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * TPC-C transaction engine (Payment + New-Order, ~90% of the TPC-C
+ * mix, section 7.1) over the single-instance database. Every
+ * transaction is executed functionally (real row bytes move through
+ * the MVCC machinery) while a cost model accumulates the CPU-side
+ * breakdown of Fig. 11(c) (indexing / allocation / computation /
+ * version-chain traversal) and the DRAM line traffic implied by the
+ * instance's storage format (Fig. 9(a)).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/timing_model.hpp"
+#include "format/bandwidth.hpp"
+#include "txn/database.hpp"
+
+namespace pushtap::txn {
+
+/** CPU-side cost constants (ns), calibrated to Fig. 11(c). */
+struct TxnCostConfig
+{
+    double indexNsPerProbe = 46.0;
+    double allocNsPerVersion = 98.0;
+    double computeNsPerVersion = 81.5;
+    double traverseNsPerStep = 4.0;
+    /** Byte re-layout cost per fragment moved (PUSHtap only). */
+    double relayoutNsPerFragment = 0.3;
+    /** Commit fence after the clflush of dirtied lines. */
+    double commitBarrierNs = 30.0;
+    /**
+     * Read memory-level parallelism. Row-organized formats (row
+     * store, PUSHtap unified) fetch a row's lines from a few
+     * contiguous regions that prefetching covers well; the column
+     * store gathers every column from a distinct region, which
+     * serializes on TLB fills and row activations (the CS penalty of
+     * Fig. 9(a)).
+     */
+    double rowFormatReadOverlap = 4.0;
+    double columnStoreReadOverlap = 1.0;
+    /** Cores sharing the memory bus (fair-share write cost). */
+    std::uint32_t cores = 16;
+};
+
+struct TxnStats
+{
+    std::uint64_t transactions = 0;
+    std::uint64_t payments = 0;
+    std::uint64_t newOrders = 0;
+    std::uint64_t versionsCreated = 0;
+
+    Breakdown cpu; ///< indexing / allocation / computation / traverse
+                   ///< / relayout / commit
+    double memLines = 0.0;
+    TimeNs memTimeNs = 0.0;
+
+    TimeNs
+    totalNs() const
+    {
+        return cpu.total() + memTimeNs;
+    }
+
+    TimeNs
+    avgTxnNs() const
+    {
+        return transactions ? totalNs() /
+                                  static_cast<double>(transactions)
+                            : 0.0;
+    }
+};
+
+class TpccEngine
+{
+  public:
+    TpccEngine(Database &db, InstanceFormat fmt,
+               const format::BandwidthModel &bw,
+               const dram::BatchTimingModel &timing,
+               std::uint64_t seed = 7,
+               const TxnCostConfig &cost = {});
+
+    /** Execute one Payment transaction; returns commit timestamp. */
+    Timestamp executePayment();
+
+    /** Execute one New-Order transaction. */
+    Timestamp executeNewOrder();
+
+    /** Execute one transaction of the 50/50 mix. */
+    Timestamp executeMixed();
+
+    const TxnStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TxnStats{}; }
+
+    InstanceFormat instanceFormat() const { return fmt_; }
+
+  private:
+    /** Line cost of reading @p columns of one row. */
+    double readLines(const TableRuntime &tbl,
+                     const std::vector<ColumnId> &columns) const;
+
+    /** Line cost of writing one full row (a new version). */
+    double writeLines(const TableRuntime &tbl) const;
+
+    /** Functional read of the newest version + cost accounting. */
+    void readRow(workload::ChTable t, RowId row,
+                 const std::vector<ColumnId> &columns,
+                 std::span<std::uint8_t> out);
+
+    /** Create a new version of @p row with the bytes in @p data. */
+    void updateRow(workload::ChTable t, RowId row,
+                   std::span<const std::uint8_t> data, Timestamp ts);
+
+    /** Insert a fresh row (appends to the data-region tail). */
+    RowId insertRow(workload::ChTable t,
+                    std::span<const std::uint8_t> data, Timestamp ts);
+
+    RowId lookupOrDie(workload::ChTable t, std::uint64_t key);
+
+    void chargeIndex(std::uint64_t probes);
+    void commit(std::uint64_t dirtied_lines);
+
+    Database &db_;
+    InstanceFormat fmt_;
+    const format::BandwidthModel &bw_;
+    dram::BatchTimingModel timing_;
+    TxnCostConfig cost_;
+    Rng rng_;
+    TxnStats stats_;
+    std::vector<std::uint8_t> scratch_;
+};
+
+} // namespace pushtap::txn

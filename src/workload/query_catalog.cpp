@@ -1,0 +1,308 @@
+#include "workload/query_catalog.hpp"
+
+#include <set>
+
+#include "common/log.hpp"
+
+namespace pushtap::workload {
+
+namespace {
+
+using T = ChTable;
+
+std::vector<QueryFootprint>
+buildCatalog()
+{
+    // Reconstructed from the standard CH-benCHmark rewrites of the 22
+    // TPC-H queries over the TPC-C schema. Each entry lists the
+    // columns the query scans (selection, join, aggregation and
+    // group-by columns).
+    return {
+        // Q1: pricing summary on ORDERLINE.
+        {1,
+         {{T::OrderLine, "ol_number"},
+          {T::OrderLine, "ol_quantity"},
+          {T::OrderLine, "ol_amount"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q2: minimum-cost supplier (stock/item side).
+        {2,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::Item, "i_name"},
+          {T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"},
+          {T::Stock, "s_quantity"},
+          {T::Stock, "s_ytd"},
+          {T::Stock, "s_order_cnt"}}},
+        // Q3: shipping priority (customer x orders x orderline).
+        {3,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_d_id"},
+          {T::Customer, "c_w_id"},
+          {T::Customer, "c_state"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_d_id"},
+          {T::Orders, "o_w_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_entry_d"},
+          {T::NewOrder, "no_o_id"},
+          {T::NewOrder, "no_d_id"},
+          {T::NewOrder, "no_w_id"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_d_id"},
+          {T::OrderLine, "ol_w_id"},
+          {T::OrderLine, "ol_amount"}}},
+        // Q4: order priority checking.
+        {4,
+         {{T::Orders, "o_id"},
+          {T::Orders, "o_d_id"},
+          {T::Orders, "o_w_id"},
+          {T::Orders, "o_entry_d"},
+          {T::Orders, "o_ol_cnt"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_d_id"},
+          {T::OrderLine, "ol_w_id"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q5: local supplier volume.
+        {5,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_d_id"},
+          {T::Customer, "c_w_id"},
+          {T::Customer, "c_state"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_entry_d"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_amount"},
+          {T::OrderLine, "ol_supply_w_id"},
+          {T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"}}},
+        // Q6: forecast revenue change (pure ORDERLINE selection).
+        {6,
+         {{T::OrderLine, "ol_delivery_d"},
+          {T::OrderLine, "ol_quantity"},
+          {T::OrderLine, "ol_amount"}}},
+        // Q7: volume shipping.
+        {7,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_state"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_entry_d"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_supply_w_id"},
+          {T::OrderLine, "ol_amount"},
+          {T::Stock, "s_w_id"},
+          {T::Stock, "s_i_id"}}},
+        // Q8: national market share.
+        {8,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::Customer, "c_id"},
+          {T::Customer, "c_state"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_entry_d"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_supply_w_id"},
+          {T::OrderLine, "ol_amount"}}},
+        // Q9: product type profit (item x stock x orderline x orders).
+        {9,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_entry_d"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_supply_w_id"},
+          {T::OrderLine, "ol_amount"}}},
+        // Q10: returned item reporting.
+        {10,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_last"},
+          {T::Customer, "c_city"},
+          {T::Customer, "c_state"},
+          {T::Customer, "c_phone"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_entry_d"},
+          {T::Orders, "o_carrier_id"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_amount"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q11: important stock identification.
+        {11,
+         {{T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"},
+          {T::Stock, "s_quantity"},
+          {T::Stock, "s_order_cnt"}}},
+        // Q12: shipping mode / order priority.
+        {12,
+         {{T::Orders, "o_id"},
+          {T::Orders, "o_entry_d"},
+          {T::Orders, "o_carrier_id"},
+          {T::Orders, "o_ol_cnt"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q13: customer distribution.
+        {13,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_d_id"},
+          {T::Customer, "c_w_id"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_carrier_id"}}},
+        // Q14: promotion effect.
+        {14,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_amount"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q15: top supplier.
+        {15,
+         {{T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_supply_w_id"},
+          {T::OrderLine, "ol_amount"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q16: parts/supplier relationship.
+        {16,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::Item, "i_price"},
+          {T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"}}},
+        // Q17: small-quantity-order revenue.
+        {17,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_quantity"},
+          {T::OrderLine, "ol_amount"}}},
+        // Q18: large volume customer.
+        {18,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_last"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"},
+          {T::Orders, "o_entry_d"},
+          {T::Orders, "o_ol_cnt"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_amount"}}},
+        // Q19: discounted revenue.
+        {19,
+         {{T::Item, "i_id"},
+          {T::Item, "i_price"},
+          {T::Item, "i_data"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_quantity"},
+          {T::OrderLine, "ol_amount"},
+          {T::OrderLine, "ol_w_id"}}},
+        // Q20: potential part promotion.
+        {20,
+         {{T::Item, "i_id"},
+          {T::Item, "i_data"},
+          {T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"},
+          {T::Stock, "s_quantity"},
+          {T::OrderLine, "ol_i_id"},
+          {T::OrderLine, "ol_delivery_d"},
+          {T::OrderLine, "ol_quantity"}}},
+        // Q21: suppliers who kept orders waiting.
+        {21,
+         {{T::Stock, "s_i_id"},
+          {T::Stock, "s_w_id"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_entry_d"},
+          {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_supply_w_id"},
+          {T::OrderLine, "ol_delivery_d"}}},
+        // Q22: global sales opportunity.
+        {22,
+         {{T::Customer, "c_id"},
+          {T::Customer, "c_phone"},
+          {T::Customer, "c_balance"},
+          {T::Orders, "o_id"},
+          {T::Orders, "o_c_id"}}},
+    };
+}
+
+} // namespace
+
+const std::vector<QueryFootprint> &
+chQueryCatalog()
+{
+    static const std::vector<QueryFootprint> catalog = buildCatalog();
+    return catalog;
+}
+
+std::map<std::pair<ChTable, std::string>, std::uint32_t>
+scanFrequencies(int n_queries)
+{
+    if (n_queries < 0 || n_queries > 22)
+        fatal("scanFrequencies: subset Q1-{} out of range", n_queries);
+    std::map<std::pair<ChTable, std::string>, std::uint32_t> freq;
+    for (const auto &q : chQueryCatalog()) {
+        if (q.queryNo > n_queries)
+            break;
+        for (const auto &col : q.columns)
+            ++freq[col];
+    }
+    return freq;
+}
+
+std::size_t
+markKeyColumns(std::vector<format::TableSchema> &schemas,
+               int n_queries)
+{
+    const auto freq = scanFrequencies(n_queries);
+    std::size_t marked = 0;
+    for (auto &schema : schemas) {
+        std::vector<std::string> keys;
+        for (const auto &[key, n] : freq) {
+            (void)n;
+            if (chTableName(key.first) == schema.name() &&
+                schema.hasColumn(key.second))
+                keys.push_back(key.second);
+        }
+        schema.setKeyColumns(keys);
+        marked += keys.size();
+    }
+    return marked;
+}
+
+std::map<std::pair<ChTable, std::string>, std::uint32_t>
+htapBenchScanFrequencies()
+{
+    // The HTAPBench analytical mix concentrates on ORDERS +
+    // ORDERLINE + CUSTOMER aggregates.
+    std::map<std::pair<ChTable, std::string>, std::uint32_t> freq;
+    auto add = [&freq](ChTable t, const std::string &c,
+                       std::uint32_t n) {
+        freq[{t, c}] = n;
+    };
+    add(T::OrderLine, "ol_amount", 8);
+    add(T::OrderLine, "ol_delivery_d", 6);
+    add(T::OrderLine, "ol_quantity", 4);
+    add(T::OrderLine, "ol_i_id", 4);
+    add(T::OrderLine, "ol_o_id", 5);
+    add(T::Orders, "o_id", 6);
+    add(T::Orders, "o_entry_d", 5);
+    add(T::Orders, "o_c_id", 4);
+    add(T::Orders, "o_totalprice", 4);
+    add(T::Customer, "c_id", 4);
+    add(T::Customer, "c_balance", 2);
+    add(T::Customer, "c_nationkey", 2);
+    add(T::Item, "i_id", 3);
+    add(T::Item, "i_price", 2);
+    add(T::Stock, "s_i_id", 2);
+    add(T::Stock, "s_quantity", 2);
+    return freq;
+}
+
+} // namespace pushtap::workload

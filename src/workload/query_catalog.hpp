@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Column footprints of the 22 CH-benCHmark analytical queries.
+ *
+ * The paper derives key columns from "the columns scanned by frequent
+ * analytical queries" (section 4.1.2) and evaluates key-column growth
+ * over the subsets Q1, Q1-2, Q1-3, Q1-10, Q1-22 and ALL (Fig. 8(c,d);
+ * the Q1 subset has 4 key columns, Q1-3 has 32). The footprints here
+ * are reconstructed from the TPC-H query semantics on the TPC-C
+ * schema (the standard CH-benCHmark rewrites) — they are data, and
+ * deliberately easy to edit.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "format/schema.hpp"
+#include "workload/ch_schema.hpp"
+
+namespace pushtap::workload {
+
+/** One analytical query's scanned columns. */
+struct QueryFootprint
+{
+    int queryNo; ///< 1-based TPC-H query number.
+    /** (table, column) pairs the query scans. */
+    std::vector<std::pair<ChTable, std::string>> columns;
+};
+
+/** All 22 CH query footprints, ordered by query number. */
+const std::vector<QueryFootprint> &chQueryCatalog();
+
+/**
+ * Per-(table, column) scan frequency over queries [1, n_queries]
+ * (how many queries of the subset scan the column). Columns never
+ * scanned are absent.
+ */
+std::map<std::pair<ChTable, std::string>, std::uint32_t>
+scanFrequencies(int n_queries);
+
+/**
+ * Mark key columns on @p schemas for the subset [Q1, Qn]: a column is
+ * key iff some query of the subset scans it. Returns the total number
+ * of key columns marked.
+ */
+std::size_t markKeyColumns(std::vector<format::TableSchema> &schemas,
+                           int n_queries);
+
+/**
+ * HTAPBench analytical footprints (for the section 7.2 generality
+ * test): scan frequencies over the HTAPBench query mix.
+ */
+std::map<std::pair<ChTable, std::string>, std::uint32_t>
+htapBenchScanFrequencies();
+
+} // namespace pushtap::workload

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/bitmap.hpp"
+
+namespace pushtap {
+namespace {
+
+TEST(Bitmap, StartsCleared)
+{
+    Bitmap b(100);
+    EXPECT_EQ(b.size(), 100u);
+    EXPECT_EQ(b.count(), 0u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitmap, InitialAllSetRespectsSize)
+{
+    Bitmap b(70, true);
+    EXPECT_EQ(b.count(), 70u);
+    EXPECT_TRUE(b.test(69));
+}
+
+TEST(Bitmap, SetAndClear)
+{
+    Bitmap b(130);
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_EQ(b.count(), 3u);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    b.clear(64);
+    EXPECT_FALSE(b.test(64));
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitmap, SetAllThenCount)
+{
+    Bitmap b(65);
+    b.setAll(true);
+    EXPECT_EQ(b.count(), 65u);
+    b.setAll(false);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, FindNextSkipsClearedRuns)
+{
+    Bitmap b(300);
+    b.set(5);
+    b.set(77);
+    b.set(299);
+    EXPECT_EQ(b.findNext(0), 5u);
+    EXPECT_EQ(b.findNext(5), 5u);
+    EXPECT_EQ(b.findNext(6), 77u);
+    EXPECT_EQ(b.findNext(78), 299u);
+    EXPECT_EQ(b.findNext(300), 300u);
+}
+
+TEST(Bitmap, FindNextOnEmptyReturnsSize)
+{
+    Bitmap b(128);
+    EXPECT_EQ(b.findNext(0), 128u);
+}
+
+TEST(Bitmap, StorageBytesIsWordRounded)
+{
+    EXPECT_EQ(Bitmap(1).storageBytes(), 8u);
+    EXPECT_EQ(Bitmap(64).storageBytes(), 8u);
+    EXPECT_EQ(Bitmap(65).storageBytes(), 16u);
+    EXPECT_EQ(Bitmap(1024).storageBytes(), 128u);
+}
+
+TEST(Bitmap, EqualityComparesContent)
+{
+    Bitmap a(50), b(50);
+    a.set(10);
+    EXPECT_FALSE(a == b);
+    b.set(10);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Bitmap, ResizePreservesNothingButSizes)
+{
+    Bitmap b(10, true);
+    b.resize(20);
+    EXPECT_EQ(b.size(), 20u);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+class BitmapParamTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BitmapParamTest, CountMatchesSetBitsAtAnySize)
+{
+    const std::size_t n = GetParam();
+    Bitmap b(n);
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < n; i += 3) {
+        b.set(i);
+        ++expect;
+    }
+    EXPECT_EQ(b.count(), expect);
+    // findNext walks exactly the set bits.
+    std::size_t seen = 0;
+    for (std::size_t i = b.findNext(0); i < n; i = b.findNext(i + 1))
+        ++seen;
+    EXPECT_EQ(seen, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapParamTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128,
+                                           1000, 4096));
+
+} // namespace
+} // namespace pushtap

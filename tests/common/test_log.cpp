@@ -1,0 +1,32 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace pushtap {
+namespace {
+
+TEST(Log, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value {}", 3), FatalError);
+}
+
+TEST(Log, FatalMessageIsFormatted)
+{
+    try {
+        fatal("width {} exceeds {}", 9, 8);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "width 9 exceeds 8");
+    }
+}
+
+TEST(Log, VerboseToggle)
+{
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+}
+
+} // namespace
+} // namespace pushtap

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+
+namespace pushtap {
+namespace {
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_NEAR(a.stddev(), 1.118, 1e-3);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(10.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.sum(), 0.0);
+}
+
+TEST(Breakdown, FractionsSumToOne)
+{
+    Breakdown b;
+    b.add("compute", 30.0);
+    b.add("alloc", 50.0);
+    b.add("index", 20.0);
+    EXPECT_DOUBLE_EQ(b.total(), 100.0);
+    EXPECT_DOUBLE_EQ(b.fraction("compute") + b.fraction("alloc") +
+                         b.fraction("index"),
+                     1.0);
+}
+
+TEST(Breakdown, MissingComponentIsZero)
+{
+    Breakdown b;
+    b.add("x", 1.0);
+    EXPECT_EQ(b.get("y"), 0.0);
+    EXPECT_EQ(b.fraction("y"), 0.0);
+}
+
+TEST(Breakdown, MergeAddsComponents)
+{
+    Breakdown a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(Bandwidth, TransferTimeInvertsBandwidth)
+{
+    const auto bw = Bandwidth::gbPerSec(2.0);
+    EXPECT_DOUBLE_EQ(bw.transferTime(2000), 1000.0); // 2 kB at 2 B/ns
+}
+
+TEST(Bandwidth, FromTransferRoundTrips)
+{
+    const auto bw = Bandwidth::fromTransfer(64, 2.5);
+    EXPECT_NEAR(bw.gbPerSecValue(), 25.6, 1e-9);
+}
+
+TEST(Bandwidth, ZeroBandwidthSafe)
+{
+    const Bandwidth bw;
+    EXPECT_EQ(bw.transferTime(100), 0.0);
+}
+
+TEST(TablePrinter, RendersAlignedRows)
+{
+    TablePrinter t({"a", "long-header"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a   | long-header |"), std::string::npos);
+    EXPECT_NE(out.find("| 333 | 4           |"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace pushtap

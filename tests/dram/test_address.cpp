@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dram/address.hpp"
+
+namespace pushtap::dram {
+namespace {
+
+class AddressRoundTrip : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(AddressRoundTrip, ComposeInvertsDecompose)
+{
+    const AddressMap map(GetParam());
+    pushtap::Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t addr = rng.below(map.capacity());
+        const Coord c = map.decompose(addr);
+        EXPECT_EQ(map.compose(c), addr);
+    }
+}
+
+TEST_P(AddressRoundTrip, CoordinatesInBounds)
+{
+    const auto geom = GetParam();
+    const AddressMap map(geom);
+    pushtap::Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const Coord c = map.decompose(rng.below(map.capacity()));
+        EXPECT_LT(c.channel, geom.channels);
+        EXPECT_LT(c.rank, geom.ranksPerChannel);
+        EXPECT_LT(c.device, geom.devicesPerRank);
+        EXPECT_LT(c.bank, geom.banksPerDevice);
+        EXPECT_LT(c.row, geom.rowsPerBank);
+        EXPECT_LT(c.column, geom.columnsPerRow);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, AddressRoundTrip,
+                         ::testing::Values(Geometry::dimmDefault(),
+                                           Geometry::hbmDefault()),
+                         [](const auto &info) {
+                             return info.param.stripedLines
+                                        ? std::string("dimm")
+                                        : std::string("hbm");
+                         });
+
+TEST(AddressMap, AdjacentGranulesStripeDevices)
+{
+    // On the DIMM system, consecutive 8 B blocks of one line map to
+    // consecutive devices of the same rank (Fig. 1(b)).
+    const AddressMap map(Geometry::dimmDefault());
+    const Coord c0 = map.decompose(0);
+    for (std::uint64_t d = 0; d < 8; ++d) {
+        const Coord c = map.decompose(d * 8);
+        EXPECT_EQ(c.device, d);
+        EXPECT_EQ(c.channel, c0.channel);
+        EXPECT_EQ(c.rank, c0.rank);
+        EXPECT_EQ(c.bank, c0.bank);
+        EXPECT_EQ(c.row, c0.row);
+        EXPECT_EQ(c.column, c0.column);
+    }
+}
+
+TEST(AddressMap, ConsecutiveLinesInterleaveChannels)
+{
+    const auto geom = Geometry::dimmDefault();
+    const AddressMap map(geom);
+    for (std::uint64_t l = 0; l < 8; ++l) {
+        const Coord c = map.decompose(l * geom.lineBytes);
+        EXPECT_EQ(c.channel, l % geom.channels);
+    }
+}
+
+TEST(AddressMap, FlatBankIsDenseAndUnique)
+{
+    const auto geom = Geometry::dimmDefault();
+    const AddressMap map(geom);
+    std::vector<bool> seen(geom.totalBanks(), false);
+    // Walk one byte of every (channel, rank, device, bank).
+    for (std::uint32_t ch = 0; ch < geom.channels; ++ch) {
+        for (std::uint32_t rk = 0; rk < geom.ranksPerChannel; ++rk) {
+            for (std::uint32_t dv = 0; dv < geom.devicesPerRank;
+                 ++dv) {
+                for (std::uint32_t bk = 0; bk < geom.banksPerDevice;
+                     ++bk) {
+                    const Coord c{ch, rk, dv, bk, 0, 0};
+                    const BankId id = map.flatBank(c);
+                    ASSERT_LT(id, seen.size());
+                    EXPECT_FALSE(seen[id]);
+                    seen[id] = true;
+                }
+            }
+        }
+    }
+}
+
+TEST(AddressMap, DeviceLocalConsistentWithStreaming)
+{
+    // Walking one device's granules in address order walks
+    // device-local space contiguously (the IDE dimension).
+    const auto geom = Geometry::dimmDefault();
+    const AddressMap map(geom);
+    // Device 0, channel 0, rank 0: lines at stride channels*ranks.
+    const std::uint64_t line_stride =
+        static_cast<std::uint64_t>(geom.channels) *
+        geom.ranksPerChannel * geom.lineBytes;
+    std::uint64_t prev_local = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Coord c =
+            map.decompose(static_cast<std::uint64_t>(i) * line_stride);
+        EXPECT_EQ(c.device, 0u);
+        const std::uint64_t local = map.deviceLocal(c);
+        if (i > 0)
+            EXPECT_EQ(local - prev_local, geom.interleaveGranularity);
+        prev_local = local;
+    }
+}
+
+} // namespace
+} // namespace pushtap::dram

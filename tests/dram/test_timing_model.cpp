@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "dram/timing_model.hpp"
+
+namespace pushtap::dram {
+namespace {
+
+class TimingModelTest : public ::testing::Test
+{
+  protected:
+    BatchTimingModel m{Geometry::dimmDefault(),
+                       TimingParams::ddr5_3200()};
+};
+
+TEST_F(TimingModelTest, PeakBandwidthMatchesDdr5)
+{
+    // 64 B / 2.5 ns = 25.6 GB/s per channel, 4 channels, minus
+    // refresh.
+    const double expect =
+        25.6 * 4 * TimingParams::ddr5_3200().refreshAvailability();
+    EXPECT_NEAR(m.cpuPeakBandwidth().gbPerSecValue(), expect, 1e-9);
+}
+
+TEST_F(TimingModelTest, StreamTimeScalesLinearly)
+{
+    const TimeNs t1 = m.lineStreamTime(1000);
+    const TimeNs t2 = m.lineStreamTime(2000);
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST_F(TimingModelTest, RandomBatchSlowerThanStream)
+{
+    // With abundant lines the random batch is bank-occupancy bound
+    // and must not beat pure streaming.
+    EXPECT_GE(m.randomLineBatchTime(1 << 20),
+              m.lineStreamTime(1 << 20));
+}
+
+TEST_F(TimingModelTest, WritesSlowerThanReads)
+{
+    EXPECT_GT(m.randomWriteBatchTime(1 << 20),
+              m.randomLineBatchTime(1 << 20) * 0.999);
+}
+
+TEST_F(TimingModelTest, PimStreamMatchesUnitBandwidth)
+{
+    const auto bw = Bandwidth::gbPerSec(1.0);
+    // 1 MB at 1 GB/s ~= 1 ms plus refresh derating.
+    const TimeNs t = m.pimStreamTime(1'000'000, bw);
+    EXPECT_NEAR(t, 1e6 / TimingParams::ddr5_3200()
+                             .refreshAvailability(),
+                1.0);
+}
+
+TEST_F(TimingModelTest, PimAggregateBeatsCpuBus)
+{
+    // The core PIM premise: 1024 units x 1 GB/s >> 4-channel bus.
+    const auto pim = m.pimAggregateBandwidth(Bandwidth::gbPerSec(1.0));
+    EXPECT_GT(pim.gbPerSecValue(),
+              m.cpuPeakBandwidth().gbPerSecValue() * 3.0);
+}
+
+TEST_F(TimingModelTest, LatenciesOrdered)
+{
+    EXPECT_LT(m.rowHitLatency(), m.randomAccessLatency());
+}
+
+TEST(TimingModelHbm, HigherPeakThanDimm)
+{
+    const BatchTimingModel dimm{Geometry::dimmDefault(),
+                                TimingParams::ddr5_3200()};
+    const BatchTimingModel hbm{Geometry::hbmDefault(),
+                               TimingParams::hbm3()};
+    EXPECT_GT(hbm.cpuPeakBandwidth().gbPerSecValue(),
+              dimm.cpuPeakBandwidth().gbPerSecValue());
+}
+
+} // namespace
+} // namespace pushtap::dram

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "dram/timing_params.hpp"
+
+namespace pushtap::dram {
+namespace {
+
+TEST(TimingParams, Ddr5MatchesTable1)
+{
+    const auto p = TimingParams::ddr5_3200();
+    EXPECT_EQ(p.name, "DDR5-3200");
+    EXPECT_DOUBLE_EQ(p.tBURST, 2.5);
+    EXPECT_DOUBLE_EQ(p.tRCD, 7.5);
+    EXPECT_DOUBLE_EQ(p.tCL, 7.5);
+    EXPECT_DOUBLE_EQ(p.tRP, 7.5);
+    EXPECT_DOUBLE_EQ(p.tRAS, 16.3);
+    EXPECT_DOUBLE_EQ(p.tRRD, 2.5);
+    EXPECT_DOUBLE_EQ(p.tRFC, 121.9);
+    EXPECT_DOUBLE_EQ(p.tWR, 15.0);
+    EXPECT_DOUBLE_EQ(p.tWTR, 11.2);
+    EXPECT_DOUBLE_EQ(p.tRTP, 3.75);
+    EXPECT_DOUBLE_EQ(p.tRTW, 4.4);
+    EXPECT_DOUBLE_EQ(p.tCS, 4.4);
+    EXPECT_DOUBLE_EQ(p.tREFI, 3900.0);
+}
+
+TEST(TimingParams, Hbm3MatchesTable1)
+{
+    const auto p = TimingParams::hbm3();
+    EXPECT_DOUBLE_EQ(p.tBURST, 2.0);
+    EXPECT_DOUBLE_EQ(p.tRCD, 3.5);
+    EXPECT_DOUBLE_EQ(p.tRAS, 8.5);
+    EXPECT_DOUBLE_EQ(p.tRFC, 175.0);
+    EXPECT_DOUBLE_EQ(p.tREFI, 2000.0);
+}
+
+TEST(TimingParams, DerivedLatencies)
+{
+    const auto p = TimingParams::ddr5_3200();
+    EXPECT_DOUBLE_EQ(p.rowMissLatency(), 7.5 + 7.5 + 7.5 + 2.5);
+    EXPECT_DOUBLE_EQ(p.rowHitLatency(), 7.5 + 2.5);
+}
+
+TEST(TimingParams, RefreshAvailabilityReasonable)
+{
+    const auto ddr = TimingParams::ddr5_3200();
+    EXPECT_NEAR(ddr.refreshAvailability(), 1.0 - 121.9 / 3900.0,
+                1e-12);
+    EXPECT_GT(ddr.refreshAvailability(), 0.9);
+    EXPECT_LT(ddr.refreshAvailability(), 1.0);
+
+    const auto hbm = TimingParams::hbm3();
+    EXPECT_GT(hbm.refreshAvailability(), 0.9);
+}
+
+TEST(TimingParams, HbmFasterRandomAccess)
+{
+    EXPECT_LT(TimingParams::hbm3().rowMissLatency(),
+              TimingParams::ddr5_3200().rowMissLatency());
+}
+
+} // namespace
+} // namespace pushtap::dram

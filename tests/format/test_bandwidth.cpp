@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "format/bandwidth.hpp"
+#include "format/generators.hpp"
+
+namespace pushtap::format {
+namespace {
+
+TableSchema
+paperCustomer()
+{
+    return TableSchema(
+        "customer",
+        {
+            {"id", 2, ColType::Int, true},
+            {"d_id", 2, ColType::Int, true},
+            {"w_id", 4, ColType::Int, true},
+            {"zip", 9, ColType::Char, false},
+            {"state", 2, ColType::Char, true},
+            {"credit", 2, ColType::Char, false},
+        });
+}
+
+class BandwidthTest : public ::testing::Test
+{
+  protected:
+    BandwidthModel dimm{8, 8, true};
+    BandwidthModel hbm{8, 64, false};
+};
+
+TEST_F(BandwidthTest, AverageChunksAlignedWidths)
+{
+    // Widths dividing the granule never straddle.
+    EXPECT_DOUBLE_EQ(dimm.averageChunksPerRow(1), 1.0);
+    EXPECT_DOUBLE_EQ(dimm.averageChunksPerRow(2), 1.0);
+    EXPECT_DOUBLE_EQ(dimm.averageChunksPerRow(4), 1.0);
+    EXPECT_DOUBLE_EQ(dimm.averageChunksPerRow(8), 1.0);
+    EXPECT_DOUBLE_EQ(dimm.averageChunksPerRow(16), 2.0);
+}
+
+TEST_F(BandwidthTest, AverageChunksStraddlingWidths)
+{
+    // Width 3 at stride 3 in 8 B granules: phases 0..7, offsets
+    // 0,3,6,1,4,7,2,5; straddles at 6 and 7 -> avg 1.25.
+    EXPECT_DOUBLE_EQ(dimm.averageChunksPerRow(3), 1.25);
+    // Width 9: always >= 2 chunks, sometimes 3... offsets mod 8 cycle
+    // over all phases: 9 bytes spans 2 chunks except offset 0 (2),
+    // check it is within (1 + 8/8, 3).
+    const double c9 = dimm.averageChunksPerRow(9);
+    EXPECT_GE(c9, 2.0);
+    EXPECT_LT(c9, 3.0);
+}
+
+TEST_F(BandwidthTest, PimScanEfficiencyExactSlotFit)
+{
+    const auto s = paperCustomer();
+    const auto layout = compactAligned(s, 4, 0.75);
+    // w_id (4 B) sits in a 4 B slot: the paper's "PIM BDW 4/4".
+    EXPECT_DOUBLE_EQ(
+        dimm.pimScanEfficiency(layout, s.columnId("w_id")), 1.0);
+    // id (2 B) sits in a 2 B-wide part: also full efficiency.
+    EXPECT_DOUBLE_EQ(
+        dimm.pimScanEfficiency(layout, s.columnId("id")), 1.0);
+}
+
+TEST_F(BandwidthTest, PimScanEfficiencyNaiveDegrades)
+{
+    const auto s = paperCustomer();
+    const auto layout = naiveAligned(s, 4);
+    // id (2 B) padded to the 9 B part width: the paper's "2/9".
+    EXPECT_DOUBLE_EQ(
+        dimm.pimScanEfficiency(layout, s.columnId("id")), 2.0 / 9.0);
+}
+
+TEST_F(BandwidthTest, FragmentedColumnNotPimScannable)
+{
+    const auto s = paperCustomer();
+    const auto layout = compactAligned(s, 4, 0.75);
+    // zip was shredded across slots.
+    EXPECT_DOUBLE_EQ(
+        dimm.pimScanEfficiency(layout, s.columnId("zip")), 0.0);
+}
+
+TEST_F(BandwidthTest, FullRowUsefulBytesMatchSchema)
+{
+    const auto s = paperCustomer();
+    const auto layout = compactAligned(s, 8, 0.6);
+    const auto st = dimm.fullRowAccess(layout);
+    EXPECT_DOUBLE_EQ(st.usefulBytes, 21.0);
+    EXPECT_GT(st.fetchedBytes, st.usefulBytes);
+    EXPECT_LE(st.efficiency(), 1.0);
+    EXPECT_GT(st.efficiency(), 0.0);
+}
+
+TEST_F(BandwidthTest, CompactBeatsNaiveForCpu)
+{
+    const auto s = paperCustomer();
+    const auto naive = naiveAligned(s, 4);
+    const auto compact = compactAligned(s, 4, 0.75);
+    const BandwidthModel m(4, 8, true);
+    EXPECT_GT(m.fullRowAccess(compact).efficiency(),
+              m.fullRowAccess(naive).efficiency());
+}
+
+TEST_F(BandwidthTest, ColumnSetCheaperThanFullRow)
+{
+    const auto s = paperCustomer();
+    const auto layout = compactAligned(s, 8, 0.6);
+    const auto all = dimm.fullRowAccess(layout);
+    const auto some = dimm.columnSetAccess(
+        layout, {s.columnId("id"), s.columnId("d_id")});
+    EXPECT_LE(some.avgLines, all.avgLines);
+    EXPECT_LT(some.usefulBytes, all.usefulBytes);
+}
+
+TEST_F(BandwidthTest, HbmFetchesMorePerRow)
+{
+    // Section 8: HBM's 64 B granularity loads more data per
+    // transaction than DIMM's 8 B granules.
+    const auto s = paperCustomer();
+    const auto layout = compactAligned(s, 8, 0.6);
+    const auto d = dimm.fullRowAccess(layout);
+    const auto h = hbm.fullRowAccess(layout);
+    EXPECT_GT(h.fetchedBytes, d.fetchedBytes * 0.999);
+    EXPECT_LE(h.efficiency(), d.efficiency());
+}
+
+TEST_F(BandwidthTest, RowStoreFullRowNearOptimal)
+{
+    const auto s = paperCustomer();
+    const auto st = dimm.rowStoreFullRow(s);
+    // 21 B rows in 64 B lines: at most 2 lines, efficiency >= 21/128.
+    EXPECT_LE(st.avgLines, 2.0);
+    EXPECT_GE(st.efficiency(), 21.0 / 128.0);
+}
+
+TEST_F(BandwidthTest, ColumnStoreRowReassemblyCostly)
+{
+    // Reassembling one row from a column store touches ~one line per
+    // column: worse than the row store (the paper's CS penalty).
+    const auto s = paperCustomer();
+    const auto cs = dimm.columnStoreColumns(
+        s, {0, 1, 2, 3, 4, 5});
+    const auto rs = dimm.rowStoreFullRow(s);
+    EXPECT_GT(cs.avgLines, rs.avgLines);
+    EXPECT_LT(cs.efficiency(), rs.efficiency());
+}
+
+TEST_F(BandwidthTest, RowStorePimScanPoor)
+{
+    const auto s = paperCustomer();
+    // Scanning id (2 B) in a 21 B row store wastes ~90%.
+    EXPECT_DOUBLE_EQ(
+        dimm.rowStorePimScanEfficiency(s, s.columnId("id")),
+        2.0 / 21.0);
+}
+
+TEST_F(BandwidthTest, ThresholdTradeoffMonotonicity)
+{
+    // The Fig. 8(a) trade-off: PIM efficiency (weighted over key
+    // columns) rises with th while CPU efficiency falls.
+    auto s = paperCustomer();
+    const BandwidthModel m(4, 8, true);
+    double prev_pim = -1.0;
+    double first_cpu = 0.0, last_cpu = 0.0;
+    for (double th : {0.0, 0.5, 1.0}) {
+        const auto layout = compactAligned(s, 4, th);
+        double useful = 0.0, fetched = 0.0;
+        for (ColumnId c : s.keyColumnIds()) {
+            const auto &pl = layout.keyPlacement(c);
+            useful += s.column(c).width;
+            fetched += layout.parts()[pl.part].rowWidth;
+        }
+        const double pim_eff = useful / fetched;
+        EXPECT_GE(pim_eff, prev_pim - 1e-12) << "th=" << th;
+        prev_pim = pim_eff;
+        const double cpu = m.fullRowAccess(layout).efficiency();
+        if (th == 0.0)
+            first_cpu = cpu;
+        last_cpu = cpu;
+    }
+    EXPECT_GE(first_cpu, last_cpu - 1e-12);
+}
+
+class ChunkWidthParam : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ChunkWidthParam, AverageChunksBounds)
+{
+    // Property: 1 <= avg chunks <= ceil(w/g) + 1 and avg is at least
+    // w/g (cannot fetch fewer chunks than bytes require).
+    const BandwidthModel m(8, 8, true);
+    const auto w = GetParam();
+    const double c = m.averageChunksPerRow(w);
+    EXPECT_GE(c, std::max(1.0, static_cast<double>(w) / 8.0));
+    EXPECT_LE(c, static_cast<double>((w + 7) / 8) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ChunkWidthParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           12, 15, 16, 17, 24, 63, 64,
+                                           100, 152));
+
+} // namespace
+} // namespace pushtap::format

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "format/block_circulant.hpp"
+
+namespace pushtap::format {
+namespace {
+
+TEST(BlockCirculant, FirstBlockIdentity)
+{
+    const BlockCirculant bc(4, 1024);
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(bc.deviceFor(s, 0), s);
+}
+
+TEST(BlockCirculant, SecondBlockRotatesByOne)
+{
+    // Fig. 5(b): in block k, column i maps to device (i + k) % d.
+    const BlockCirculant bc(4, 1024);
+    EXPECT_EQ(bc.deviceFor(0, 1024), 1u);
+    EXPECT_EQ(bc.deviceFor(3, 1024), 0u);
+    EXPECT_EQ(bc.deviceFor(0, 2048), 2u);
+}
+
+TEST(BlockCirculant, SlotForInvertsDeviceFor)
+{
+    const BlockCirculant bc(8, 1024);
+    for (RowId r : {0ull, 1023ull, 1024ull, 5000ull, 123456ull})
+        for (std::uint32_t s = 0; s < 8; ++s)
+            EXPECT_EQ(bc.slotFor(bc.deviceFor(s, r), r), s);
+}
+
+TEST(BlockCirculant, DisabledIsIdentity)
+{
+    const BlockCirculant bc(8, 0);
+    EXPECT_FALSE(bc.enabled());
+    for (RowId r : {0ull, 9999ull, 1ull << 20})
+        for (std::uint32_t s = 0; s < 8; ++s)
+            EXPECT_EQ(bc.deviceFor(s, r), s);
+}
+
+TEST(BlockCirculant, BalancesLoadAcrossDevices)
+{
+    // Scanning one column over many blocks touches every device
+    // equally (the Fig. 5 load-balance property).
+    const std::uint32_t d = 8;
+    const BlockCirculant bc(d, 1024);
+    std::array<std::uint64_t, 8> rows_per_device{};
+    const RowId n = 8 * 1024 * 16;
+    for (RowId r = 0; r < n; r += 1024)
+        rows_per_device[bc.deviceFor(0, r)] += 1024;
+    for (auto c : rows_per_device)
+        EXPECT_EQ(c, n / d);
+}
+
+TEST(BlockCirculant, WithoutRotationOneDeviceHotspots)
+{
+    const BlockCirculant bc(8, 0);
+    std::array<std::uint64_t, 8> rows_per_device{};
+    for (RowId r = 0; r < 8192; ++r)
+        rows_per_device[bc.deviceFor(0, r)]++;
+    EXPECT_EQ(rows_per_device[0], 8192u);
+    for (std::size_t i = 1; i < 8; ++i)
+        EXPECT_EQ(rows_per_device[i], 0u);
+}
+
+TEST(BlockCirculant, DefaultBlockCoversDramRow)
+{
+    // Section 4.2: the block must at least cover a DRAM row buffer;
+    // 1024 rows x >=1 B/row >= 1 kB row buffer.
+    EXPECT_EQ(BlockCirculant::kDefaultBlockRows, 1024u);
+}
+
+} // namespace
+} // namespace pushtap::format

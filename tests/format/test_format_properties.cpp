@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "format/bandwidth.hpp"
+#include "format/generators.hpp"
+#include "workload/ch_schema.hpp"
+#include "workload/query_catalog.hpp"
+
+namespace pushtap::format {
+namespace {
+
+using workload::ChTable;
+
+/**
+ * Property sweeps of the compact aligned format over every CH table
+ * at every threshold: the invariants section 4.1 promises must hold
+ * for the real benchmark schemas, not just toy examples.
+ */
+class ChFormatSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static std::vector<TableSchema> &
+    schemas()
+    {
+        static std::vector<TableSchema> s = [] {
+            auto v = workload::chBenchmarkSchemas();
+            workload::markKeyColumns(v, 22);
+            return v;
+        }();
+        return s;
+    }
+
+    const TableSchema &
+    schema() const
+    {
+        return schemas()[static_cast<std::size_t>(
+            std::get<0>(GetParam()))];
+    }
+
+    double
+    th() const
+    {
+        return std::get<1>(GetParam()) / 4.0;
+    }
+};
+
+TEST_P(ChFormatSweep, EveryByteStoredExactlyOnce)
+{
+    const auto layout = compactAligned(schema(), 8, th());
+    std::uint32_t placed = 0;
+    for (const auto &part : layout.parts())
+        placed += part.usedBytes();
+    EXPECT_EQ(placed, schema().rowBytes());
+}
+
+TEST_P(ChFormatSweep, KeyColumnsScannableAtThreshold)
+{
+    // Every key column must be PIM-scannable with efficiency >= th
+    // (the guarantee the hyperparameter buys, section 4.1.2).
+    const auto layout = compactAligned(schema(), 8, th());
+    const BandwidthModel bw(8, 8, true);
+    for (ColumnId c : schema().keyColumnIds()) {
+        const double eff = bw.pimScanEfficiency(layout, c);
+        EXPECT_GE(eff + 1e-9, th())
+            << schema().name() << "."
+            << schema().column(c).name;
+        EXPECT_GT(eff, 0.0);
+    }
+}
+
+TEST_P(ChFormatSweep, PaddingBounded)
+{
+    // Compactness: padding stays a small fraction of the row.
+    const auto layout = compactAligned(schema(), 8, th());
+    EXPECT_LE(layout.paddingBytesPerRow(),
+              schema().rowBytes() / 4 + 8)
+        << schema().name();
+}
+
+TEST_P(ChFormatSweep, CpuEfficiencyBetterThanNaive)
+{
+    const auto compact = compactAligned(schema(), 8, th());
+    const auto naive = naiveAligned(schema(), 8);
+    const BandwidthModel bw(8, 8, true);
+    EXPECT_GE(bw.fullRowAccess(compact).efficiency() + 1e-9,
+              bw.fullRowAccess(naive).efficiency())
+        << schema().name();
+}
+
+TEST_P(ChFormatSweep, ColumnSetNeverExceedsFullRow)
+{
+    const auto layout = compactAligned(schema(), 8, th());
+    const BandwidthModel bw(8, 8, true);
+    const auto full = bw.fullRowAccess(layout);
+    // Reading the key columns only must not cost more than the row.
+    const auto keys = schema().keyColumnIds();
+    if (keys.empty())
+        return;
+    const auto some = bw.columnSetAccess(layout, keys);
+    EXPECT_LE(some.fetchedBytes, full.fetchedBytes + 1e-9);
+    EXPECT_LE(some.avgLines, full.avgLines + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TablesTimesThresholds, ChFormatSweep,
+    ::testing::Combine(::testing::Range(0, 9),
+                       ::testing::Range(0, 5)),
+    [](const auto &info) {
+        return std::string(workload::chTableName(static_cast<ChTable>(
+                   std::get<0>(info.param)))) +
+               "_th" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FormatScaleInvariance, EffectiveBandwidthIndependentOfRows)
+{
+    // The bandwidth metrics are per-row; verify the layout itself is
+    // row-count independent (the scaling argument of DESIGN.md).
+    auto schemas = workload::chBenchmarkSchemas();
+    workload::markKeyColumns(schemas, 22);
+    const auto &s = schemas[static_cast<std::size_t>(
+        ChTable::OrderLine)];
+    const auto a = compactAligned(s, 8, 0.6);
+    const auto b = compactAligned(s, 8, 0.6);
+    ASSERT_EQ(a.parts().size(), b.parts().size());
+    for (std::size_t p = 0; p < a.parts().size(); ++p) {
+        EXPECT_EQ(a.parts()[p].rowWidth, b.parts()[p].rowWidth);
+        EXPECT_EQ(a.parts()[p].slots.size(),
+                  b.parts()[p].slots.size());
+    }
+}
+
+TEST(FormatHbmComparison, DimmGranularityAlwaysCheaper)
+{
+    // Section 8's PIM-technique-selection argument: 8 B DIMM granules
+    // never fetch more than 64 B HBM granules for the same layout.
+    auto schemas = workload::chBenchmarkSchemas();
+    workload::markKeyColumns(schemas, 22);
+    const BandwidthModel dimm(8, 8, true);
+    const BandwidthModel hbm(8, 64, false);
+    for (const auto &s : schemas) {
+        const auto layout = compactAligned(s, 8, 0.6);
+        EXPECT_LE(dimm.fullRowAccess(layout).fetchedBytes,
+                  hbm.fullRowAccess(layout).fetchedBytes + 1e-9)
+            << s.name();
+    }
+}
+
+} // namespace
+} // namespace pushtap::format

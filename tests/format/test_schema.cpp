@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "format/schema.hpp"
+
+namespace pushtap::format {
+namespace {
+
+TableSchema
+paperCustomer()
+{
+    // The CUSTOMER example of Fig. 3: key columns are starred.
+    return TableSchema(
+        "customer",
+        {
+            {"id", 2, ColType::Int, true},
+            {"d_id", 2, ColType::Int, true},
+            {"w_id", 4, ColType::Int, true},
+            {"zip", 9, ColType::Char, false},
+            {"state", 2, ColType::Char, true},
+            {"credit", 2, ColType::Char, false},
+        });
+}
+
+TEST(Schema, RowBytesSumsWidths)
+{
+    EXPECT_EQ(paperCustomer().rowBytes(), 21u);
+}
+
+TEST(Schema, CanonicalOffsetsArePrefixSums)
+{
+    const auto s = paperCustomer();
+    EXPECT_EQ(s.canonicalOffset(s.columnId("id")), 0u);
+    EXPECT_EQ(s.canonicalOffset(s.columnId("d_id")), 2u);
+    EXPECT_EQ(s.canonicalOffset(s.columnId("w_id")), 4u);
+    EXPECT_EQ(s.canonicalOffset(s.columnId("zip")), 8u);
+    EXPECT_EQ(s.canonicalOffset(s.columnId("state")), 17u);
+    EXPECT_EQ(s.canonicalOffset(s.columnId("credit")), 19u);
+}
+
+TEST(Schema, ColumnLookup)
+{
+    const auto s = paperCustomer();
+    EXPECT_TRUE(s.hasColumn("zip"));
+    EXPECT_FALSE(s.hasColumn("nope"));
+    EXPECT_THROW(s.columnId("nope"), pushtap::FatalError);
+}
+
+TEST(Schema, KeyAndNormalPartition)
+{
+    const auto s = paperCustomer();
+    EXPECT_EQ(s.keyColumnIds().size(), 4u);
+    EXPECT_EQ(s.normalColumnIds().size(), 2u);
+}
+
+TEST(Schema, SetKeyColumnsReplaces)
+{
+    auto s = paperCustomer();
+    s.setKeyColumns({"zip"});
+    EXPECT_EQ(s.keyColumnIds().size(), 1u);
+    EXPECT_TRUE(s.column(s.columnId("zip")).isKey);
+    EXPECT_FALSE(s.column(s.columnId("id")).isKey);
+}
+
+TEST(Schema, SetAllKeys)
+{
+    auto s = paperCustomer();
+    s.setAllKeys();
+    EXPECT_EQ(s.keyColumnIds().size(), s.columnCount());
+    EXPECT_TRUE(s.normalColumnIds().empty());
+}
+
+TEST(Schema, RejectsEmptyAndInvalid)
+{
+    EXPECT_THROW(TableSchema("t", {}), pushtap::FatalError);
+    EXPECT_THROW(
+        TableSchema("t", {{"bad", 0, ColType::Char, false}}),
+        pushtap::FatalError);
+    EXPECT_THROW(
+        TableSchema("t", {{"bad", 9, ColType::Int, false}}),
+        pushtap::FatalError);
+}
+
+} // namespace
+} // namespace pushtap::format

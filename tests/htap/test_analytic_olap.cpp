@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "htap/analytic_olap.hpp"
+#include "memctrl/offload_costs.hpp"
+
+namespace pushtap::htap {
+namespace {
+
+class AnalyticOlapTest : public ::testing::Test
+{
+  protected:
+    AnalyticOlapTest()
+        : db(config()),
+          geom(dram::Geometry::dimmDefault()),
+          timing(dram::TimingParams::ddr5_3200()),
+          pimCfg(pim::PimConfig::upmemLike()),
+          model(db, geom, timing, pimCfg,
+                memctrl::pushtapArchOverheads(geom, timing))
+    {}
+
+    static txn::DatabaseConfig
+    config()
+    {
+        txn::DatabaseConfig cfg;
+        cfg.scale = 0.0002;
+        cfg.blockRows = 64;
+        return cfg;
+    }
+
+    txn::Database db;
+    dram::Geometry geom;
+    dram::TimingParams timing;
+    pim::PimConfig pimCfg;
+    AnalyticOlapModel model;
+};
+
+TEST_F(AnalyticOlapTest, IdealHasNoConsistency)
+{
+    const auto rep = model.q6(BaselineKind::Ideal, 1'000'000);
+    EXPECT_EQ(rep.consistencyNs, 0.0);
+    EXPECT_GT(rep.pimNs, 0.0);
+}
+
+TEST_F(AnalyticOlapTest, RebuildGrowsLinearly)
+{
+    const auto t1 = model.rebuildTime(1000, false);
+    const auto t2 = model.rebuildTime(2000, false);
+    EXPECT_NEAR(t2, 2.0 * t1, t1 * 0.01);
+    EXPECT_EQ(model.rebuildTime(0, false), 0.0);
+}
+
+TEST_F(AnalyticOlapTest, AcceleratorCutsRebuild)
+{
+    const auto base = model.rebuildTime(10000, false);
+    const auto accel = model.rebuildTime(10000, true);
+    EXPECT_LT(accel, base);
+    EXPECT_NEAR(base / accel, 5.0, 1e-6);
+}
+
+TEST_F(AnalyticOlapTest, MiConsistencyDominatesAtHighTxnCounts)
+{
+    // Fig. 9(b): at large pending-transaction counts, MI's rebuild
+    // dwarfs the scan time.
+    const std::uint64_t versions = 200'000;
+    const auto mi = model.q6(BaselineKind::MultiInstance, versions);
+    EXPECT_GT(mi.consistencyNs, mi.pimNs);
+    const auto ideal = model.q6(BaselineKind::Ideal, versions);
+    EXPECT_GT(mi.totalNs(), 2.0 * ideal.totalNs());
+}
+
+TEST_F(AnalyticOlapTest, QueriesOrderedByWork)
+{
+    // Q9 (join over two tables) > Q1 (4 scans) > Q6 (3 scans).
+    const auto q1 = model.q1(BaselineKind::Ideal, 0);
+    const auto q6 = model.q6(BaselineKind::Ideal, 0);
+    const auto q9 = model.q9(BaselineKind::Ideal, 0);
+    EXPECT_GT(q9.totalNs(), q1.totalNs());
+    EXPECT_GT(q1.totalNs(), q6.totalNs());
+}
+
+TEST_F(AnalyticOlapTest, NamesIdentifySystem)
+{
+    EXPECT_EQ(model.q1(BaselineKind::Ideal, 0).name, "Ideal/Q1");
+    EXPECT_EQ(model.q6(BaselineKind::MultiInstance, 0).name,
+              "MI/Q6");
+    EXPECT_EQ(model.q9(BaselineKind::MultiInstanceAccel, 0).name,
+              "MI(accel)/Q9");
+}
+
+} // namespace
+} // namespace pushtap::htap

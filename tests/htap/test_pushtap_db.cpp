@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "htap/pushtap_db.hpp"
+
+namespace pushtap::htap {
+namespace {
+
+PushtapOptions
+smallOptions()
+{
+    PushtapOptions opts;
+    opts.database.scale = 0.0002;
+    opts.database.blockRows = 64;
+    opts.database.deltaFraction = 3.0;
+    opts.database.insertHeadroom = 1.0;
+    opts.defragInterval = 50;
+    return opts;
+}
+
+class PushtapDbTest : public ::testing::Test
+{
+  protected:
+    PushtapDB db{smallOptions()};
+};
+
+TEST_F(PushtapDbTest, QuickstartFlow)
+{
+    db.mixed(20);
+    std::int64_t revenue = 0;
+    const auto rep = db.q6(0, 1LL << 60, 1, 10, &revenue);
+    EXPECT_GT(revenue, 0);
+    EXPECT_GT(rep.totalNs(), 0.0);
+    EXPECT_GT(rep.consistencyNs, 0.0); // snapshot charged
+}
+
+TEST_F(PushtapDbTest, FreshnessAcrossQueries)
+{
+    std::int64_t r1 = 0, r2 = 0;
+    db.q6(0, 1LL << 60, 1, 10, &r1);
+    db.newOrders(10);
+    db.q6(0, 1LL << 60, 1, 10, &r2);
+    EXPECT_GT(r2, r1);
+}
+
+TEST_F(PushtapDbTest, AutomaticDefragEveryInterval)
+{
+    EXPECT_EQ(db.oltpDefragPauseNs(), 0.0);
+    db.mixed(120); // interval is 50
+    EXPECT_GT(db.oltpDefragPauseNs(), 0.0);
+    EXPECT_LT(db.transactionsSinceDefrag(), 50u);
+}
+
+TEST_F(PushtapDbTest, DefragKeepsResultsCorrect)
+{
+    std::int64_t before = 0, after = 0;
+    db.mixed(60);
+    db.q6(0, 1LL << 60, 1, 10, &before);
+    db.defragment();
+    db.q6(0, 1LL << 60, 1, 10, &after);
+    EXPECT_EQ(before, after);
+}
+
+TEST_F(PushtapDbTest, Q1AndQ9Run)
+{
+    db.mixed(10);
+    std::vector<olap::Q1Row> q1rows;
+    const auto q1 = db.q1(workload::kDateBase, &q1rows);
+    EXPECT_FALSE(q1rows.empty());
+    EXPECT_GT(q1.pimNs, 0.0);
+
+    std::vector<olap::Q9Row> q9rows;
+    const auto q9 = db.q9(&q9rows);
+    EXPECT_GT(q9.pimNs, 0.0);
+}
+
+TEST_F(PushtapDbTest, DefragIntervalZeroDisables)
+{
+    auto opts = smallOptions();
+    opts.defragInterval = 0;
+    PushtapDB nodefrag(opts);
+    nodefrag.mixed(100);
+    EXPECT_EQ(nodefrag.oltpDefragPauseNs(), 0.0);
+}
+
+TEST_F(PushtapDbTest, OltpStatsAccumulate)
+{
+    db.mixed(25);
+    EXPECT_EQ(db.oltp().stats().transactions, 25u);
+    EXPECT_GT(db.oltp().stats().totalNs(), 0.0);
+}
+
+} // namespace
+} // namespace pushtap::htap

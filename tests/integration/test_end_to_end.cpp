@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "htap/analytic_olap.hpp"
+#include "htap/pushtap_db.hpp"
+#include "memctrl/controller.hpp"
+
+namespace pushtap {
+namespace {
+
+/**
+ * End-to-end integration over the whole stack: the PushtapDB facade
+ * driving transactions, snapshots, defragmentation and queries, with
+ * the event-driven controller validating the concurrency semantics
+ * the analytic two-phase model assumes.
+ */
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    static htap::PushtapOptions
+    options()
+    {
+        htap::PushtapOptions opts;
+        opts.database.scale = 0.0005;
+        opts.database.blockRows = 64;
+        opts.database.deltaFraction = 3.0;
+        opts.database.insertHeadroom = 1.5;
+        opts.defragInterval = 37; // deliberately odd
+        return opts;
+    }
+};
+
+TEST_F(EndToEnd, LongMixedRunStaysConsistent)
+{
+    htap::PushtapDB db(options());
+    std::int64_t last = 0;
+    for (int round = 0; round < 8; ++round) {
+        db.mixed(60);
+        std::int64_t revenue = 0;
+        const auto rep = db.q6(0, 1LL << 60, 1, 10, &revenue);
+        ASSERT_GT(revenue, last) << "round " << round;
+        ASSERT_GT(rep.totalNs(), 0.0);
+        last = revenue;
+    }
+    // Several defrag passes happened along the way.
+    EXPECT_GT(db.oltpDefragPauseNs(), 0.0);
+}
+
+TEST_F(EndToEnd, AllThreeQueriesAgreeAcrossDefrag)
+{
+    htap::PushtapDB db(options());
+    db.mixed(80);
+
+    std::vector<olap::Q1Row> q1a, q1b;
+    std::vector<olap::Q9Row> q9a, q9b;
+    std::int64_t q6a = 0, q6b = 0;
+    db.q1(workload::kDateBase, &q1a);
+    db.q6(0, 1LL << 60, 1, 10, &q6a);
+    db.q9(&q9a);
+
+    db.defragment();
+
+    db.q1(workload::kDateBase, &q1b);
+    db.q6(0, 1LL << 60, 1, 10, &q6b);
+    db.q9(&q9b);
+
+    EXPECT_EQ(q6a, q6b);
+    ASSERT_EQ(q1a.size(), q1b.size());
+    for (std::size_t i = 0; i < q1a.size(); ++i) {
+        EXPECT_EQ(q1a[i].sumAmount, q1b[i].sumAmount);
+        EXPECT_EQ(q1a[i].count, q1b[i].count);
+    }
+    ASSERT_EQ(q9a.size(), q9b.size());
+    for (std::size_t i = 0; i < q9a.size(); ++i)
+        EXPECT_EQ(q9a[i].sumAmount, q9b[i].sumAmount);
+}
+
+TEST_F(EndToEnd, BaselinesAndEngineAgreeOnScanScale)
+{
+    // The analytic Ideal baseline and the functional engine must
+    // price the same Q6 within a sensible factor (the engine adds
+    // fragmentation and bitmap costs).
+    htap::PushtapDB db(options());
+    const auto &geom = db.olap().config().geom;
+    const htap::AnalyticOlapModel analytic(
+        db.database(), geom, db.olap().config().timing,
+        db.olap().config().pimConfig, db.olap().config().overheads);
+    const auto ideal = analytic.q6(htap::BaselineKind::Ideal, 0);
+    const auto rep = db.q6(0, 1LL << 60, 1, 10, nullptr);
+    EXPECT_GT(rep.pimNs, 0.5 * ideal.pimNs);
+    EXPECT_LT(rep.pimNs, 4.0 * ideal.pimNs);
+}
+
+TEST_F(EndToEnd, ControllerHonoursTwoPhaseContract)
+{
+    // The event-driven controller and the analytic two-phase model
+    // must agree on the core contract: compute launches leave the
+    // CPU unblocked; LS launches block exactly for handover + DMA.
+    sim::EventQueue eq;
+    auto geom = dram::Geometry::dimmDefault();
+    geom.channels = 1;
+    memctrl::ControllerConfig cfg;
+    memctrl::PushtapController ctrl(
+        eq, geom, dram::TimingParams::ddr5_3200(), cfg);
+
+    const TimeNs dma_ns = 32768.0; // one 32 kB chunk at 1 GB/s
+    ctrl.setNextUnitDuration(dma_ns);
+    memctrl::Request launch;
+    launch.type = memctrl::AccessType::Write;
+    launch.addr = cfg.magicAddr;
+    launch.payload = pim::LaunchRequest::ls({}).payload();
+    ctrl.submit(std::move(launch));
+
+    Tick read_done = 0;
+    memctrl::Request read;
+    read.type = memctrl::AccessType::Read;
+    read.addr = 0x100;
+    read.rank = 0;
+    read.bankInRank = 3;
+    read.row = 9;
+    read.onComplete = [&](Tick t) { read_done = t; };
+    ctrl.submit(std::move(read));
+    eq.run();
+
+    // The blocked read resumed after handover + DMA + handback, as
+    // the analytic model charges.
+    const TimeNs expect =
+        dma_ns +
+        2.0 * cfg.handoverPerRankNs * geom.ranksPerChannel;
+    EXPECT_GE(ticksToNs(read_done), expect);
+    EXPECT_LT(ticksToNs(read_done), expect + 2000.0);
+}
+
+TEST_F(EndToEnd, RowStoreAndUnifiedAgreeOnAnswers)
+{
+    // Different storage formats must never change query answers —
+    // only their cost. (The line accounting differs; bytes do not.)
+    auto opts = options();
+    htap::PushtapDB unified(opts);
+    opts.format = txn::InstanceFormat::RowStore;
+    htap::PushtapDB rowstore(opts);
+
+    unified.mixed(50);
+    rowstore.mixed(50);
+
+    std::int64_t ru = 0, rr = 0;
+    unified.q6(0, 1LL << 60, 1, 10, &ru);
+    rowstore.q6(0, 1LL << 60, 1, 10, &rr);
+    EXPECT_EQ(ru, rr);
+}
+
+} // namespace
+} // namespace pushtap

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "memctrl/area_model.hpp"
+
+namespace pushtap::memctrl {
+namespace {
+
+TEST(AreaModel, MatchesPaperAtEightChannels)
+{
+    // Section 7.6: scheduler 0.112 mm^2, polling module 0.003 mm^2 in
+    // an 8-channel controller.
+    const auto a = AreaModel::estimate(8);
+    EXPECT_NEAR(a.schedulerMm2, 0.112, 0.01);
+    EXPECT_NEAR(a.pollingMm2, 0.003, 0.001);
+}
+
+TEST(AreaModel, OverheadNegligibleVsController)
+{
+    const auto a = AreaModel::estimate(8);
+    EXPECT_LT(a.total() / AreaModel::kControllerMm2, 0.01);
+}
+
+TEST(AreaModel, ScalesLinearlyWithChannels)
+{
+    const auto a4 = AreaModel::estimate(4);
+    const auto a8 = AreaModel::estimate(8);
+    EXPECT_NEAR(a8.total(), 2.0 * a4.total(), 1e-9);
+}
+
+TEST(AreaModel, SchedulerDominatesPolling)
+{
+    const auto a = AreaModel::estimate(8);
+    EXPECT_GT(a.schedulerMm2, 10.0 * a.pollingMm2);
+}
+
+TEST(AreaModel, PaperReportedConstants)
+{
+    const auto p = AreaModel::paperReported();
+    EXPECT_DOUBLE_EQ(p.schedulerMm2, 0.112);
+    EXPECT_DOUBLE_EQ(p.pollingMm2, 0.003);
+    EXPECT_NEAR(p.total(), 0.115, 1e-9);
+}
+
+} // namespace
+} // namespace pushtap::memctrl

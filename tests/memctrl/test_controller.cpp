@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "memctrl/controller.hpp"
+#include "pim/launch.hpp"
+
+namespace pushtap::memctrl {
+namespace {
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest()
+        : geom(smallGeometry()),
+          ctrl(eq, geom, dram::TimingParams::ddr5_3200(), cfg)
+    {}
+
+    static dram::Geometry
+    smallGeometry()
+    {
+        auto g = dram::Geometry::dimmDefault();
+        g.channels = 1;
+        g.ranksPerChannel = 2;
+        return g;
+    }
+
+    Request
+    normalRead(std::uint64_t row, std::function<void(Tick)> cb = {})
+    {
+        Request r;
+        r.type = AccessType::Read;
+        r.addr = 0x1000;
+        r.rank = 0;
+        r.bankInRank = 0;
+        r.row = row;
+        r.onComplete = std::move(cb);
+        return r;
+    }
+
+    Request
+    launch(const pim::LaunchRequest &lr,
+           std::function<void(Tick)> cb = {})
+    {
+        Request r;
+        r.type = AccessType::Write;
+        r.addr = cfg.magicAddr;
+        r.payload = lr.payload();
+        r.onComplete = std::move(cb);
+        return r;
+    }
+
+    Request
+    poll(std::function<void(Tick)> cb)
+    {
+        Request r;
+        r.type = AccessType::Read;
+        r.addr = cfg.magicAddr;
+        r.onComplete = std::move(cb);
+        return r;
+    }
+
+    sim::EventQueue eq;
+    ControllerConfig cfg;
+    dram::Geometry geom;
+    PushtapController ctrl;
+};
+
+TEST_F(ControllerTest, ClassifiesBySpecialAddress)
+{
+    EXPECT_EQ(ctrl.classify(normalRead(1)), RequestKind::Normal);
+    EXPECT_EQ(ctrl.classify(launch(pim::LaunchRequest::filter(
+                  {0, 0, 0, 1, 0}))),
+              RequestKind::Launch);
+    EXPECT_EQ(ctrl.classify(poll([](Tick) {})), RequestKind::Poll);
+}
+
+TEST_F(ControllerTest, NormalAccessCompletes)
+{
+    Tick done = 0;
+    ctrl.submit(normalRead(3, [&](Tick t) { done = t; }));
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ctrl.stats().normalReads, 1u);
+}
+
+TEST_F(ControllerTest, ComputeLaunchDoesNotBlockCpu)
+{
+    ctrl.setNextUnitDuration(10000.0); // 10 us of PIM compute
+    ctrl.submit(launch(
+        pim::LaunchRequest::filter({0, 0, 0, 1, 0})));
+    // CPU access issued right after must be serviced immediately: the
+    // banks were never handed over for a compute op.
+    Tick done = 0;
+    ctrl.submit(normalRead(1, [&](Tick t) { done = t; }));
+    eq.run();
+    EXPECT_EQ(ctrl.stats().blockedAccesses, 0u);
+    EXPECT_LT(ticksToNs(done), 100.0);
+    EXPECT_EQ(ctrl.stats().handovers, 0u);
+}
+
+TEST_F(ControllerTest, LsLaunchBlocksCpuUntilHandback)
+{
+    const TimeNs unit_ns = 5000.0;
+    ctrl.setNextUnitDuration(unit_ns);
+    ctrl.submit(launch(pim::LaunchRequest::ls({})));
+    Tick done = 0;
+    ctrl.submit(normalRead(1, [&](Tick t) { done = t; }));
+    eq.run();
+    EXPECT_EQ(ctrl.stats().blockedAccesses, 1u);
+    EXPECT_EQ(ctrl.stats().handovers, 1u);
+    // The access completed only after handover + DMA + handback.
+    const TimeNs expect_min =
+        unit_ns + 2 * cfg.handoverPerRankNs * geom.ranksPerChannel;
+    EXPECT_GE(ticksToNs(done), expect_min);
+}
+
+TEST_F(ControllerTest, PollAnswersAfterUnitsFinish)
+{
+    const TimeNs unit_ns = 3000.0;
+    ctrl.setNextUnitDuration(unit_ns);
+    ctrl.submit(launch(
+        pim::LaunchRequest::filter({0, 0, 0, 1, 0})));
+    Tick answered = 0;
+    ctrl.submit(poll([&](Tick t) { answered = t; }));
+    eq.run();
+    EXPECT_GE(ticksToNs(answered), unit_ns);
+    // Detection happens within one polling period + read latency.
+    EXPECT_LE(ticksToNs(answered),
+              unit_ns + 2 * cfg.pollPeriodNs + 100.0);
+    EXPECT_EQ(ctrl.stats().polls, 1u);
+}
+
+TEST_F(ControllerTest, PollOnIdleUnitsAnswersImmediately)
+{
+    Tick answered = 0;
+    ctrl.submit(poll([&](Tick t) { answered = t; }));
+    eq.run();
+    EXPECT_LT(ticksToNs(answered), 50.0);
+}
+
+TEST_F(ControllerTest, BlockedAccessesDrainInOrder)
+{
+    ctrl.setNextUnitDuration(1000.0);
+    ctrl.submit(launch(pim::LaunchRequest::ls({})));
+    std::vector<int> order;
+    Request a = normalRead(1);
+    a.onComplete = [&](Tick) { order.push_back(1); };
+    Request b = normalRead(2);
+    b.onComplete = [&](Tick) { order.push_back(2); };
+    ctrl.submit(std::move(a));
+    ctrl.submit(std::move(b));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(ctrl.stats().blockedAccesses, 2u);
+}
+
+TEST_F(ControllerTest, LaunchWriteAcksQuickly)
+{
+    // The disguised write itself must not wait for the PIM work: the
+    // CPU thread continues (asynchronous offload).
+    ctrl.setNextUnitDuration(1'000'000.0);
+    Tick acked = 0;
+    ctrl.submit(launch(
+        pim::LaunchRequest::filter({0, 0, 0, 1, 0}),
+        [&](Tick t) { acked = t; }));
+    eq.runUntil(nsToTicks(100.0));
+    EXPECT_GT(acked, 0u);
+    EXPECT_LT(ticksToNs(acked), 10.0);
+}
+
+} // namespace
+} // namespace pushtap::memctrl

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "mvcc/version_manager.hpp"
+
+namespace pushtap::mvcc {
+namespace {
+
+class VersionManagerTest : public ::testing::Test
+{
+  protected:
+    format::BlockCirculant circ{4, 8}; // 4 devices, 8-row blocks
+    VersionManager vm{circ, 256};
+};
+
+TEST_F(VersionManagerTest, AllocPreservesRotation)
+{
+    // Data rows in different blocks must get delta slots in blocks of
+    // the same rotation class (section 5.1).
+    for (RowId data_row : {RowId{0}, RowId{9}, RowId{17}, RowId{25},
+                           RowId{3}, RowId{11}}) {
+        const RowId slot = vm.allocDeltaSlot(data_row);
+        EXPECT_EQ(circ.blockOf(data_row) % 4, circ.blockOf(slot) % 4)
+            << "data row " << data_row << " slot " << slot;
+    }
+}
+
+TEST_F(VersionManagerTest, SlotsUniqueAcrossAllocations)
+{
+    std::set<RowId> slots;
+    for (int i = 0; i < 100; ++i) {
+        const RowId slot =
+            vm.allocDeltaSlot(static_cast<RowId>(i % 32));
+        EXPECT_TRUE(slots.insert(slot).second)
+            << "duplicate slot " << slot;
+    }
+    EXPECT_EQ(vm.deltaUsed(), 100u);
+}
+
+TEST_F(VersionManagerTest, ChainBuildsNewestFirst)
+{
+    const RowId row = 5;
+    const auto s1 = vm.allocDeltaSlot(row);
+    vm.addVersion(row, s1, 10);
+    const auto s2 = vm.allocDeltaSlot(row);
+    vm.addVersion(row, s2, 20);
+
+    const auto newest = vm.locateNewest(row);
+    EXPECT_EQ(newest.region, storage::Region::Delta);
+    EXPECT_EQ(newest.row, s2);
+}
+
+TEST_F(VersionManagerTest, VisibilityByTimestamp)
+{
+    const RowId row = 5;
+    const auto s1 = vm.allocDeltaSlot(row);
+    vm.addVersion(row, s1, 10);
+    const auto s2 = vm.allocDeltaSlot(row);
+    vm.addVersion(row, s2, 20);
+
+    // Before the first version: the origin row.
+    auto lk = vm.locateVisible(row, 5);
+    EXPECT_EQ(lk.region, storage::Region::Data);
+    EXPECT_EQ(lk.row, row);
+    // Between versions.
+    lk = vm.locateVisible(row, 15);
+    EXPECT_EQ(lk.region, storage::Region::Delta);
+    EXPECT_EQ(lk.row, s1);
+    // After both.
+    lk = vm.locateVisible(row, 25);
+    EXPECT_EQ(lk.row, s2);
+}
+
+TEST_F(VersionManagerTest, ChainStepsCounted)
+{
+    const RowId row = 7;
+    for (Timestamp ts = 1; ts <= 4; ++ts)
+        vm.addVersion(row, vm.allocDeltaSlot(row), ts);
+    // Looking for ts=1 walks from the newest (4 hops to v1).
+    const auto lk = vm.locateVisible(row, 1);
+    EXPECT_EQ(lk.chainSteps, 4u);
+}
+
+TEST_F(VersionManagerTest, ReadTimestampAdvances)
+{
+    const RowId row = 2;
+    vm.addVersion(row, vm.allocDeltaSlot(row), 10);
+    vm.locateVisible(row, 99);
+    EXPECT_EQ(vm.versions()[0].readTs, 99u);
+    // Older read does not regress it.
+    vm.locateVisible(row, 50);
+    EXPECT_EQ(vm.versions()[0].readTs, 99u);
+}
+
+TEST_F(VersionManagerTest, UnversionedRowResolvesToData)
+{
+    const auto lk = vm.locateNewest(42);
+    EXPECT_EQ(lk.region, storage::Region::Data);
+    EXPECT_EQ(lk.row, 42u);
+    EXPECT_EQ(lk.chainSteps, 0u);
+}
+
+TEST_F(VersionManagerTest, MonotonicTimestampsEnforced)
+{
+    const RowId row = 1;
+    vm.addVersion(row, vm.allocDeltaSlot(row), 10);
+    EXPECT_THROW(vm.addVersion(row, 0, 5), pushtap::FatalError);
+}
+
+TEST_F(VersionManagerTest, CapacityExhaustionIsFatal)
+{
+    VersionManager tiny(circ, 8);
+    // Rotation class 0 owns blocks 0, 4, 8...; capacity 8 rows means
+    // only block 0 fits.
+    for (int i = 0; i < 8; ++i)
+        tiny.allocDeltaSlot(0);
+    EXPECT_THROW(tiny.allocDeltaSlot(0), pushtap::FatalError);
+}
+
+TEST_F(VersionManagerTest, ResetClearsEverything)
+{
+    vm.addVersion(3, vm.allocDeltaSlot(3), 10);
+    vm.reset();
+    EXPECT_EQ(vm.deltaUsed(), 0u);
+    EXPECT_TRUE(vm.versions().empty());
+    EXPECT_FALSE(vm.hasVersions(3));
+    // Slots are reusable after reset.
+    EXPECT_EQ(vm.allocDeltaSlot(0), 0u);
+}
+
+TEST_F(VersionManagerTest, MetadataBytesTrack16PerVersion)
+{
+    EXPECT_EQ(kMetadataBytes, 16u);
+    vm.addVersion(1, vm.allocDeltaSlot(1), 1);
+    vm.addVersion(2, vm.allocDeltaSlot(2), 2);
+    EXPECT_EQ(vm.metadataBytes(), 32u);
+}
+
+} // namespace
+} // namespace pushtap::mvcc

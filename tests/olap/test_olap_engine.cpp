@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "olap/olap_engine.hpp"
+#include "txn/tpcc_engine.hpp"
+#include "workload/row_view.hpp"
+
+namespace pushtap::olap {
+namespace {
+
+using storage::Region;
+using txn::Database;
+using txn::DatabaseConfig;
+using txn::InstanceFormat;
+using txn::TpccEngine;
+using workload::ChTable;
+
+DatabaseConfig
+smallConfig()
+{
+    DatabaseConfig cfg;
+    cfg.scale = 0.0002;
+    cfg.blockRows = 64;
+    cfg.deltaFraction = 3.0;
+    cfg.insertHeadroom = 1.0;
+    return cfg;
+}
+
+/**
+ * Reference Q6: scan every logical row through the version chains
+ * (a completely independent code path from the snapshot bitmaps).
+ */
+std::int64_t
+referenceQ6(Database &db, std::int64_t d_lo, std::int64_t d_hi,
+            std::int64_t q_lo, std::int64_t q_hi)
+{
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto &s = tbl.schema();
+    std::vector<std::uint8_t> buf(s.rowBytes());
+    std::int64_t sum = 0;
+    for (RowId r = 0; r < tbl.usedDataRows(); ++r) {
+        db.readNewest(ChTable::OrderLine, r, buf);
+        const workload::ConstRowView v(s, buf);
+        const auto d = v.getInt("ol_delivery_d");
+        const auto q = v.getInt("ol_quantity");
+        if (d >= d_lo && d < d_hi && q >= q_lo && q <= q_hi)
+            sum += v.getInt("ol_amount");
+    }
+    return sum;
+}
+
+class OlapEngineTest : public ::testing::Test
+{
+  protected:
+    OlapEngineTest()
+        : db(smallConfig()),
+          bw(8, 8, true),
+          timing(dram::Geometry::dimmDefault(),
+                 dram::TimingParams::ddr5_3200()),
+          oltp(db, InstanceFormat::Unified, bw, timing, 3),
+          engine(db, OlapConfig::pushtapDimm())
+    {}
+
+    Database db;
+    format::BandwidthModel bw;
+    dram::BatchTimingModel timing;
+    TpccEngine oltp;
+    OlapEngine engine;
+};
+
+TEST_F(OlapEngineTest, Q6MatchesReferenceOnCleanData)
+{
+    engine.prepareSnapshot(db.now());
+    std::int64_t revenue = 0;
+    const auto rep = engine.q6(workload::kDateBase,
+                               workload::kDateBase + 2000, 1, 10,
+                               &revenue);
+    EXPECT_EQ(revenue, referenceQ6(db, workload::kDateBase,
+                                   workload::kDateBase + 2000, 1,
+                                   10));
+    EXPECT_GT(rep.pimNs, 0.0);
+    EXPECT_EQ(rep.rowsVisible,
+              db.table(ChTable::OrderLine).populatedRows());
+}
+
+TEST_F(OlapEngineTest, Q6SeesCommittedTransactions)
+{
+    // Freshness: inserted order lines appear in the next query.
+    std::int64_t before = 0, after = 0;
+    engine.prepareSnapshot(db.now());
+    engine.q6(0, 1LL << 60, 1, 10, &before);
+
+    for (int i = 0; i < 5; ++i)
+        oltp.executeNewOrder();
+
+    engine.prepareSnapshot(db.now());
+    engine.q6(0, 1LL << 60, 1, 10, &after);
+    EXPECT_GT(after, before);
+    EXPECT_EQ(after, referenceQ6(db, 0, 1LL << 60, 1, 10));
+}
+
+TEST_F(OlapEngineTest, Q6IgnoresUncommittedFuture)
+{
+    // Snapshot isolation: a query sees the snapshot timestamp, not
+    // transactions that commit afterwards.
+    engine.prepareSnapshot(db.now());
+    std::int64_t at_snapshot = 0;
+    engine.q6(0, 1LL << 60, 1, 10, &at_snapshot);
+
+    const auto frozen = db.now();
+    for (int i = 0; i < 3; ++i)
+        oltp.executeNewOrder();
+
+    engine.prepareSnapshot(frozen); // snapshot at the old timestamp
+    std::int64_t still = 0;
+    engine.q6(0, 1LL << 60, 1, 10, &still);
+    EXPECT_EQ(still, at_snapshot);
+}
+
+TEST_F(OlapEngineTest, Q1GroupsMatchReference)
+{
+    for (int i = 0; i < 3; ++i)
+        oltp.executeNewOrder();
+    engine.prepareSnapshot(db.now());
+
+    std::vector<Q1Row> rows;
+    engine.q1(workload::kDateBase, &rows);
+    ASSERT_FALSE(rows.empty());
+    EXPECT_LE(rows.size(), 10u); // ol_number in [1, 10]
+
+    // Reference aggregation through the version chains.
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto &s = tbl.schema();
+    std::vector<std::uint8_t> buf(s.rowBytes());
+    std::unordered_map<std::int64_t, Q1Row> expect;
+    for (RowId r = 0; r < tbl.usedDataRows(); ++r) {
+        db.readNewest(ChTable::OrderLine, r, buf);
+        const workload::ConstRowView v(s, buf);
+        if (v.getInt("ol_delivery_d") <= workload::kDateBase)
+            continue;
+        auto &g = expect[v.getInt("ol_number")];
+        g.sumQuantity += v.getInt("ol_quantity");
+        g.sumAmount += v.getInt("ol_amount");
+        ++g.count;
+    }
+    ASSERT_EQ(rows.size(), expect.size());
+    for (const auto &row : rows) {
+        const auto &e = expect.at(row.olNumber);
+        EXPECT_EQ(row.sumQuantity, e.sumQuantity);
+        EXPECT_EQ(row.sumAmount, e.sumAmount);
+        EXPECT_EQ(row.count, e.count);
+    }
+}
+
+TEST_F(OlapEngineTest, Q9JoinMatchesReference)
+{
+    engine.prepareSnapshot(db.now());
+    std::vector<Q9Row> rows;
+    const auto rep = engine.q9(&rows);
+    EXPECT_GT(rep.pimNs, 0.0);
+    EXPECT_GT(rep.cpuNs, 0.0);
+
+    // Reference: nested-loop semantics over newest versions.
+    auto &items = db.table(ChTable::Item);
+    const auto &is = items.schema();
+    std::vector<std::uint8_t> buf(is.rowBytes());
+    std::set<std::int64_t> pass;
+    for (RowId r = 0; r < items.usedDataRows(); ++r) {
+        db.readNewest(ChTable::Item, r, buf);
+        const workload::ConstRowView v(is, buf);
+        if (v.getChars(is.columnId("i_data")).substr(0, 8) ==
+            "ORIGINAL")
+            pass.insert(v.getInt("i_id"));
+    }
+    auto &lines = db.table(ChTable::OrderLine);
+    const auto &ls = lines.schema();
+    std::vector<std::uint8_t> lbuf(ls.rowBytes());
+    std::int64_t total = 0;
+    std::uint64_t matches = 0;
+    for (RowId r = 0; r < lines.usedDataRows(); ++r) {
+        db.readNewest(ChTable::OrderLine, r, lbuf);
+        const workload::ConstRowView v(ls, lbuf);
+        if (pass.contains(v.getInt("ol_i_id"))) {
+            total += v.getInt("ol_amount");
+            ++matches;
+        }
+    }
+    std::int64_t got_total = 0;
+    std::uint64_t got_matches = 0;
+    for (const auto &row : rows) {
+        got_total += row.sumAmount;
+        got_matches += row.matches;
+    }
+    EXPECT_EQ(got_total, total);
+    EXPECT_EQ(got_matches, matches);
+}
+
+TEST_F(OlapEngineTest, FragmentationGrowsScanCost)
+{
+    // Fig. 11(b): without defragmentation, query time grows with the
+    // number of preceding transactions (delta blocks accumulate).
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto base = engine.columnScanCost(
+        tbl, tbl.schema().columnId("ol_amount"),
+        pim::OpType::Aggregation);
+    for (int i = 0; i < 100; ++i)
+        oltp.executeMixed();
+    const auto frag = engine.columnScanCost(
+        tbl, tbl.schema().columnId("ol_amount"),
+        pim::OpType::Aggregation);
+    EXPECT_GT(frag.totalBytes, base.totalBytes);
+    EXPECT_GE(frag.schedule.total(), base.schedule.total());
+}
+
+TEST_F(OlapEngineTest, DefragmentationRestoresScanCost)
+{
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto col = tbl.schema().columnId("ol_amount");
+    for (int i = 0; i < 100; ++i)
+        oltp.executeMixed();
+    const auto frag =
+        engine.columnScanCost(tbl, col, pim::OpType::Aggregation);
+    engine.runDefragmentation(mvcc::DefragStrategy::Hybrid);
+    const auto clean =
+        engine.columnScanCost(tbl, col, pim::OpType::Aggregation);
+    EXPECT_LT(clean.totalBytes, frag.totalBytes);
+
+    // And results are still right afterwards.
+    engine.prepareSnapshot(db.now());
+    std::int64_t revenue = 0;
+    engine.q6(0, 1LL << 60, 1, 10, &revenue);
+    EXPECT_EQ(revenue, referenceQ6(db, 0, 1LL << 60, 1, 10));
+}
+
+TEST_F(OlapEngineTest, ConsistencyChargedOncePerQuery)
+{
+    for (int i = 0; i < 20; ++i)
+        oltp.executeMixed();
+    engine.prepareSnapshot(db.now());
+    EXPECT_GT(engine.pendingConsistencyNs(), 0.0);
+    const auto rep = engine.q6(0, 1LL << 60, 1, 10, nullptr);
+    EXPECT_GT(rep.consistencyNs, 0.0);
+    EXPECT_EQ(engine.pendingConsistencyNs(), 0.0);
+    const auto rep2 = engine.q6(0, 1LL << 60, 1, 10, nullptr);
+    EXPECT_EQ(rep2.consistencyNs, 0.0);
+}
+
+TEST_F(OlapEngineTest, BlockCirculantImprovesParallelism)
+{
+    // Fig. 5: with rotation every unit participates; without, only
+    // one device per stripe holds the column.
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto col = tbl.schema().columnId("ol_amount");
+    const auto with = engine.columnScanCost(
+        tbl, col, pim::OpType::Aggregation);
+
+    auto cfg = OlapConfig::pushtapDimm();
+    cfg.blockCirculant = false;
+    OlapEngine no_rotation(db, cfg);
+    const auto without = no_rotation.columnScanCost(
+        tbl, col, pim::OpType::Aggregation);
+
+    EXPECT_EQ(with.activeUnits, 8u * without.activeUnits);
+    EXPECT_GT(without.schedule.total(), with.schedule.total());
+}
+
+TEST_F(OlapEngineTest, CpuBlockedTimeOnlyDuringLoadPhases)
+{
+    engine.prepareSnapshot(db.now());
+    const auto rep = engine.q6(0, 1LL << 60, 1, 10, nullptr);
+    EXPECT_GT(rep.cpuBlockedNs, 0.0);
+    EXPECT_LT(rep.cpuBlockedNs, rep.pimNs);
+}
+
+} // namespace
+} // namespace pushtap::olap

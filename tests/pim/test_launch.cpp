@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "pim/launch.hpp"
+
+namespace pushtap::pim {
+namespace {
+
+TEST(Launch, LsRoundTrip)
+{
+    LsParams p{0xABCDEF, 512, 16, 8, 0x123456, 1024, 32, 4};
+    const auto req = LaunchRequest::ls(p);
+    EXPECT_EQ(req.type(), OpType::LS);
+    EXPECT_TRUE(req.needsBankHandover());
+    const auto decoded =
+        LaunchRequest::decode(req.payload()).lsParams();
+    EXPECT_EQ(decoded, p);
+}
+
+TEST(Launch, FilterRoundTrip)
+{
+    FilterParams p{100, 200, 300, 4, 0x01FFFFFFFFFFFFFFULL};
+    const auto req = LaunchRequest::filter(p);
+    EXPECT_EQ(req.type(), OpType::Filter);
+    EXPECT_FALSE(req.needsBankHandover());
+    EXPECT_EQ(LaunchRequest::decode(req.payload()).filterParams(), p);
+}
+
+TEST(Launch, GroupRoundTrip)
+{
+    GroupParams p{1, 2, 3, 4, 8};
+    EXPECT_EQ(LaunchRequest::decode(
+                  LaunchRequest::group(p).payload())
+                  .groupParams(),
+              p);
+}
+
+TEST(Launch, AggregationRoundTrip)
+{
+    AggregationParams p{10, 20, 30, 40, 2};
+    EXPECT_EQ(LaunchRequest::decode(
+                  LaunchRequest::aggregation(p).payload())
+                  .aggregationParams(),
+              p);
+}
+
+TEST(Launch, HashRoundTrip)
+{
+    HashParams p{5, 6, 7, 0xDEADBEEF, 4};
+    EXPECT_EQ(
+        LaunchRequest::decode(LaunchRequest::hash(p).payload())
+            .hashParams(),
+        p);
+}
+
+TEST(Launch, JoinRoundTrip)
+{
+    JoinParams p{11, 22, 33, 4};
+    EXPECT_EQ(
+        LaunchRequest::decode(LaunchRequest::join(p).payload())
+            .joinParams(),
+        p);
+}
+
+TEST(Launch, DefragmentRoundTrip)
+{
+    DefragmentParams p{0x111111, 0x222222, 64, 0x333333, 64};
+    const auto req = LaunchRequest::defragment(p);
+    EXPECT_TRUE(req.needsBankHandover());
+    EXPECT_EQ(LaunchRequest::decode(req.payload()).defragmentParams(),
+              p);
+}
+
+TEST(Launch, PayloadIs64Bytes)
+{
+    EXPECT_EQ(LaunchRequest::kPayloadBytes, 64u);
+    const auto req = LaunchRequest::filter({0, 0, 0, 1, 0});
+    EXPECT_EQ(req.payload().size(), 64u);
+    EXPECT_EQ(req.payload()[0],
+              static_cast<std::uint8_t>(OpType::Filter));
+}
+
+TEST(Launch, OnlyLsAndDefragNeedHandover)
+{
+    // Section 6.1: "the scheduler only hands over the DRAM bank
+    // control to PIM units when the operation type is LS and
+    // Defragment".
+    EXPECT_TRUE(LaunchRequest::ls({}).needsBankHandover());
+    EXPECT_TRUE(LaunchRequest::defragment({}).needsBankHandover());
+    EXPECT_FALSE(
+        LaunchRequest::filter({0, 0, 0, 1, 0}).needsBankHandover());
+    EXPECT_FALSE(
+        LaunchRequest::group({0, 0, 0, 0, 1}).needsBankHandover());
+    EXPECT_FALSE(LaunchRequest::aggregation({0, 0, 0, 0, 1})
+                     .needsBankHandover());
+    EXPECT_FALSE(
+        LaunchRequest::hash({0, 0, 0, 0, 1}).needsBankHandover());
+    EXPECT_FALSE(
+        LaunchRequest::join({0, 0, 0, 1}).needsBankHandover());
+}
+
+TEST(Launch, DecodeRejectsBadType)
+{
+    LaunchRequest::Payload raw{};
+    raw[0] = 200;
+    EXPECT_THROW(LaunchRequest::decode(raw), pushtap::FatalError);
+}
+
+TEST(Launch, ThreeByteAddressFieldsTruncate)
+{
+    // Address fields are 3 bytes wide per Fig. 7(b).
+    LsParams p{};
+    p.op0Addr = 0xFFFFFF; // max representable
+    const auto d =
+        LaunchRequest::decode(LaunchRequest::ls(p).payload())
+            .lsParams();
+    EXPECT_EQ(d.op0Addr, 0xFFFFFFu);
+}
+
+TEST(Launch, OpTypeNames)
+{
+    EXPECT_STREQ(opTypeName(OpType::LS), "LS");
+    EXPECT_STREQ(opTypeName(OpType::Filter), "Filter");
+    EXPECT_STREQ(opTypeName(OpType::Defragment), "Defragment");
+}
+
+} // namespace
+} // namespace pushtap::pim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "pim/two_phase.hpp"
+
+namespace pushtap::pim {
+namespace {
+
+class TwoPhaseTest : public ::testing::Test
+{
+  protected:
+    CostModel cost{PimConfig::upmemLike()};
+    OffloadOverheads ov{100.0, 50.0, 400.0};
+    TwoPhaseModel model{cost, ov};
+};
+
+TEST_F(TwoPhaseTest, EmptyWorkIsFree)
+{
+    const auto s = model.schedule(OpType::Filter, 0, 4);
+    EXPECT_EQ(s.phases, 0u);
+    EXPECT_EQ(s.total(), 0.0);
+}
+
+TEST_F(TwoPhaseTest, PhaseCountIsChunkCeiling)
+{
+    const Bytes chunk = cost.config().loadChunkBytes();
+    EXPECT_EQ(model.schedule(OpType::Filter, chunk, 4).phases, 1u);
+    EXPECT_EQ(model.schedule(OpType::Filter, chunk + 1, 4).phases,
+              2u);
+    EXPECT_EQ(model.schedule(OpType::Filter, 10 * chunk, 4).phases,
+              10u);
+}
+
+TEST_F(TwoPhaseTest, LoadTimeMatchesDma)
+{
+    const Bytes bytes = 3 * cost.config().loadChunkBytes();
+    const auto s = model.schedule(OpType::Filter, bytes, 4);
+    EXPECT_DOUBLE_EQ(s.loadTime, cost.dmaTime(bytes));
+}
+
+TEST_F(TwoPhaseTest, CpuBlockedOnlyDuringLoadAndHandover)
+{
+    const Bytes bytes = 2 * cost.config().loadChunkBytes();
+    const auto s = model.schedule(OpType::Filter, bytes, 4);
+    // Blocked time = DMA + handover per phase; compute never blocks.
+    EXPECT_DOUBLE_EQ(s.cpuBlockedTime,
+                     s.loadTime + 2 * ov.handoverNs);
+    EXPECT_LT(s.cpuBlockedTime, s.total());
+}
+
+TEST_F(TwoPhaseTest, OverheadPerPhaseStructure)
+{
+    const auto s = model.schedule(OpType::Filter,
+                                  cost.config().loadChunkBytes(), 4);
+    // One phase: (launch + poll) twice (LS + compute) + one handover.
+    EXPECT_DOUBLE_EQ(s.offloadOverhead,
+                     2 * (ov.launchNs + ov.pollNs) + ov.handoverNs);
+}
+
+TEST_F(TwoPhaseTest, OverheadFractionShrinksWithLargerWram)
+{
+    auto small_cfg = PimConfig::upmemLike();
+    small_cfg.wramBytes = 16 * 1024;
+    auto large_cfg = PimConfig::upmemLike();
+    large_cfg.wramBytes = 256 * 1024;
+    const TwoPhaseModel small_m{CostModel(small_cfg), ov};
+    const TwoPhaseModel large_m{CostModel(large_cfg), ov};
+
+    const Bytes work = 4 << 20;
+    const auto s_small = small_m.schedule(OpType::Filter, work, 8);
+    const auto s_large = large_m.schedule(OpType::Filter, work, 8);
+    EXPECT_GT(s_small.overheadFraction(),
+              s_large.overheadFraction());
+    EXPECT_GT(s_small.total(), s_large.total());
+}
+
+TEST_F(TwoPhaseTest, ZeroWidthIsFatal)
+{
+    EXPECT_THROW(model.schedule(OpType::Filter, 100, 0),
+                 pushtap::FatalError);
+}
+
+TEST_F(TwoPhaseTest, ComputeHeavierOpsTakeLonger)
+{
+    const Bytes bytes = cost.config().loadChunkBytes();
+    const auto f = model.schedule(OpType::Filter, bytes, 4);
+    const auto j = model.schedule(OpType::Join, bytes, 4);
+    EXPECT_GT(j.computeTime, f.computeTime);
+    EXPECT_DOUBLE_EQ(j.loadTime, f.loadTime);
+}
+
+} // namespace
+} // namespace pushtap::pim

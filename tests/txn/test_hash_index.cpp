@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "common/rng.hpp"
+#include "txn/hash_index.hpp"
+
+namespace pushtap::txn {
+namespace {
+
+TEST(HashIndex, InsertLookup)
+{
+    HashIndex idx;
+    idx.insert(42, 7);
+    idx.insert(43, 8);
+    EXPECT_EQ(idx.lookup(42), RowId{7});
+    EXPECT_EQ(idx.lookup(43), RowId{8});
+    EXPECT_EQ(idx.lookup(44), std::nullopt);
+    EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(HashIndex, OverwriteKeepsSize)
+{
+    HashIndex idx;
+    idx.insert(1, 10);
+    idx.insert(1, 20);
+    EXPECT_EQ(idx.size(), 1u);
+    EXPECT_EQ(idx.lookup(1), RowId{20});
+}
+
+TEST(HashIndex, GrowsUnderLoad)
+{
+    HashIndex idx(4);
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        idx.insert(k * 2654435761ULL, k);
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        ASSERT_EQ(idx.lookup(k * 2654435761ULL), RowId{k});
+}
+
+TEST(HashIndex, ProbesCounted)
+{
+    HashIndex idx;
+    idx.insert(5, 1);
+    idx.resetProbes();
+    idx.lookup(5);
+    EXPECT_GE(idx.probes(), 1u);
+    const auto before = idx.probes();
+    idx.lookup(6);
+    EXPECT_GT(idx.probes(), before);
+}
+
+TEST(HashIndex, ProbeCountStaysLowAtModerateLoad)
+{
+    HashIndex idx(1024);
+    pushtap::Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        idx.insert(rng(), static_cast<RowId>(i));
+    idx.resetProbes();
+    pushtap::Rng rng2(3);
+    for (int i = 0; i < 1000; ++i)
+        idx.lookup(rng2());
+    // Open addressing at < 70% load: ~1-2 probes per lookup.
+    EXPECT_LT(static_cast<double>(idx.probes()) / 1000.0, 2.5);
+}
+
+TEST(HashIndex, PackKeyDistinct)
+{
+    EXPECT_NE(packKey(1, 2, 3), packKey(1, 3, 2));
+    EXPECT_NE(packKey(0, 0, 5), packKey(5, 0, 0));
+    EXPECT_EQ(packKey(1, 2, 3), packKey(1, 2, 3));
+}
+
+TEST(HashIndex, ZeroKeyWorks)
+{
+    HashIndex idx;
+    idx.insert(0, 99);
+    EXPECT_EQ(idx.lookup(0), RowId{99});
+}
+
+} // namespace
+} // namespace pushtap::txn

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include <memory>
+
+#include "txn/tpcc_engine.hpp"
+#include "workload/row_view.hpp"
+
+namespace pushtap::txn {
+namespace {
+
+using workload::ChTable;
+
+class TpccEngineTest : public ::testing::Test
+{
+  protected:
+    TpccEngineTest()
+        : db(config()),
+          bw(8, 8, true),
+          timing(dram::Geometry::dimmDefault(),
+                 dram::TimingParams::ddr5_3200()),
+          engine(db, InstanceFormat::Unified, bw, timing, 11)
+    {}
+
+    static DatabaseConfig
+    config()
+    {
+        DatabaseConfig cfg;
+        cfg.scale = 0.0002;
+        cfg.blockRows = 64;
+        cfg.deltaFraction = 3.0;
+        cfg.insertHeadroom = 1.0;
+        return cfg;
+    }
+
+    Database db;
+    format::BandwidthModel bw;
+    dram::BatchTimingModel timing;
+    TpccEngine engine;
+};
+
+TEST_F(TpccEngineTest, PaymentCreatesFourVersions)
+{
+    engine.executePayment();
+    const auto &s = engine.stats();
+    EXPECT_EQ(s.transactions, 1u);
+    EXPECT_EQ(s.payments, 1u);
+    // warehouse + district + customer updates + history insert.
+    EXPECT_EQ(s.versionsCreated, 4u);
+}
+
+TEST_F(TpccEngineTest, NewOrderCreatesTwentyThreeVersions)
+{
+    engine.executeNewOrder();
+    // district + 10 stock updates + 10 orderline + orders + neworder.
+    EXPECT_EQ(engine.stats().versionsCreated, 23u);
+}
+
+TEST_F(TpccEngineTest, PaymentMovesMoney)
+{
+    const Timestamp ts = engine.executePayment();
+    // Find the customer version created by the transaction and check
+    // balance moved down, ytd up.
+    auto &customers = db.table(ChTable::Customer);
+    const auto &versions = customers.versions().versions();
+    ASSERT_FALSE(versions.empty());
+    const auto &v = versions.back();
+    EXPECT_EQ(v.writeTs, ts);
+
+    const auto &schema = customers.schema();
+    std::vector<std::uint8_t> now(schema.rowBytes());
+    customers.store().readRow(storage::Region::Delta, v.deltaSlot,
+                              now);
+    std::vector<std::uint8_t> orig(schema.rowBytes());
+    customers.store().readRow(storage::Region::Data, v.rowId, orig);
+
+    const workload::ConstRowView nv(schema, now), ov(schema, orig);
+    EXPECT_LT(nv.getInt("c_balance"), ov.getInt("c_balance"));
+    EXPECT_GT(nv.getInt("c_ytd_payment"),
+              ov.getInt("c_ytd_payment"));
+    EXPECT_EQ(nv.getInt("c_payment_cnt"),
+              ov.getInt("c_payment_cnt") + 1);
+}
+
+TEST_F(TpccEngineTest, NewOrderBumpsDistrictCounter)
+{
+    auto &district = db.table(ChTable::District);
+    const auto &schema = district.schema();
+    std::vector<std::uint8_t> before(schema.rowBytes());
+    std::vector<std::uint8_t> after(schema.rowBytes());
+
+    // Aggregate d_next_o_id over all districts before and after.
+    auto total_next = [&](std::vector<std::uint8_t> &buf) {
+        std::int64_t total = 0;
+        for (RowId r = 0; r < district.populatedRows(); ++r) {
+            // Read through versions for freshness.
+            Database &d = db;
+            d.readNewest(ChTable::District, r, buf);
+            total += workload::ConstRowView(schema, buf)
+                         .getInt("d_next_o_id");
+        }
+        return total;
+    };
+
+    const auto t0 = total_next(before);
+    engine.executeNewOrder();
+    const auto t1 = total_next(after);
+    EXPECT_EQ(t1, t0 + 1);
+}
+
+TEST_F(TpccEngineTest, NewOrderInsertsRows)
+{
+    const auto ol_before =
+        db.table(ChTable::OrderLine).usedDataRows();
+    const auto o_before = db.table(ChTable::Orders).usedDataRows();
+    engine.executeNewOrder();
+    EXPECT_EQ(db.table(ChTable::OrderLine).usedDataRows(),
+              ol_before + 10);
+    EXPECT_EQ(db.table(ChTable::Orders).usedDataRows(),
+              o_before + 1);
+}
+
+TEST_F(TpccEngineTest, CpuBreakdownShapeMatchesFig11c)
+{
+    for (int i = 0; i < 200; ++i)
+        engine.executeMixed();
+    const auto &cpu = engine.stats().cpu;
+    // Fig. 11(c): allocation ~44%, computation ~37%, indexing ~19%,
+    // chain traversal < 0.1% — verify the ordering and rough bands
+    // over the core components.
+    const double core = cpu.get("allocation") +
+                        cpu.get("computation") +
+                        cpu.get("indexing") +
+                        cpu.get("chain_traverse");
+    EXPECT_GT(cpu.get("allocation") / core, 0.35);
+    EXPECT_LT(cpu.get("allocation") / core, 0.55);
+    EXPECT_GT(cpu.get("computation") / core, 0.28);
+    EXPECT_LT(cpu.get("computation") / core, 0.45);
+    EXPECT_GT(cpu.get("indexing") / core, 0.10);
+    EXPECT_LT(cpu.get("indexing") / core, 0.30);
+    EXPECT_LT(cpu.get("chain_traverse") / core, 0.01);
+}
+
+TEST_F(TpccEngineTest, MixedRunsBothTypes)
+{
+    for (int i = 0; i < 50; ++i)
+        engine.executeMixed();
+    EXPECT_GT(engine.stats().payments, 5u);
+    EXPECT_GT(engine.stats().newOrders, 5u);
+    EXPECT_EQ(engine.stats().payments + engine.stats().newOrders,
+              50u);
+}
+
+TEST_F(TpccEngineTest, TimeAccumulates)
+{
+    engine.executePayment();
+    const auto t1 = engine.stats().totalNs();
+    engine.executePayment();
+    EXPECT_GT(engine.stats().totalNs(), t1);
+    EXPECT_GT(engine.stats().memTimeNs, 0.0);
+    EXPECT_GT(engine.stats().memLines, 0.0);
+}
+
+TEST(TpccFormatComparison, FormatsOrderAsInFig9a)
+{
+    // RS is the OLTP-ideal format; CS pays a large penalty; the
+    // unified format lands close to RS (Fig. 9(a): CS +28.1%,
+    // PUSHtap +3.5%).
+    DatabaseConfig cfg;
+    cfg.scale = 0.0002;
+    cfg.blockRows = 64;
+    const format::BandwidthModel bw(8, 8, true);
+    const dram::BatchTimingModel timing(
+        dram::Geometry::dimmDefault(),
+        dram::TimingParams::ddr5_3200());
+
+    auto run = [&](InstanceFormat fmt) {
+        Database db(cfg);
+        TpccEngine engine(db, fmt, bw, timing, 99);
+        for (int i = 0; i < 100; ++i)
+            engine.executeMixed();
+        return engine.stats().avgTxnNs();
+    };
+
+    const double rs = run(InstanceFormat::RowStore);
+    const double cs = run(InstanceFormat::ColumnStore);
+    const double unified = run(InstanceFormat::Unified);
+
+    EXPECT_GT(cs, rs);
+    EXPECT_GT(unified, rs * 0.999);
+    // The unified penalty is far smaller than the column-store one.
+    EXPECT_LT(unified - rs, 0.5 * (cs - rs));
+}
+
+} // namespace
+} // namespace pushtap::txn

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/ch_gen.hpp"
+#include "workload/row_view.hpp"
+
+namespace pushtap::workload {
+namespace {
+
+class ChGenTest : public ::testing::Test
+{
+  protected:
+    ChGenerator gen{42, 0.0002};
+
+    std::vector<std::uint8_t>
+    makeRow(ChTable t, RowId r)
+    {
+        const auto schema = chTableSchema(t);
+        std::vector<std::uint8_t> row(schema.rowBytes());
+        gen.fillRow(t, schema, r, row);
+        return row;
+    }
+};
+
+TEST_F(ChGenTest, Deterministic)
+{
+    const auto a = makeRow(ChTable::Customer, 17);
+    const auto b = makeRow(ChTable::Customer, 17);
+    EXPECT_EQ(a, b);
+    ChGenerator other(43, 0.0002);
+    const auto schema = chTableSchema(ChTable::Customer);
+    std::vector<std::uint8_t> c(schema.rowBytes());
+    other.fillRow(ChTable::Customer, schema, 17, c);
+    EXPECT_NE(a, c);
+}
+
+TEST_F(ChGenTest, OrderlineSemantics)
+{
+    const auto schema = chTableSchema(ChTable::OrderLine);
+    for (RowId r : {RowId{0}, RowId{5}, RowId{37}, RowId{1234}}) {
+        auto row = makeRow(ChTable::OrderLine, r);
+        const ConstRowView v(schema, row);
+        EXPECT_EQ(v.getInt("ol_o_id"),
+                  static_cast<std::int64_t>(r / kLinesPerOrder));
+        EXPECT_EQ(v.getInt("ol_number"),
+                  static_cast<std::int64_t>(r % kLinesPerOrder + 1));
+        EXPECT_GE(v.getInt("ol_quantity"), 1);
+        EXPECT_LE(v.getInt("ol_quantity"), 10);
+        EXPECT_GT(v.getInt("ol_amount"), 0);
+        EXPECT_GT(v.getInt("ol_delivery_d"), kDateBase);
+        EXPECT_LT(v.getInt("ol_i_id"),
+                  static_cast<std::int64_t>(gen.rows(ChTable::Item)));
+    }
+}
+
+TEST_F(ChGenTest, StockKeyedDenselyByItem)
+{
+    const auto schema = chTableSchema(ChTable::Stock);
+    const auto n = gen.rows(ChTable::Stock);
+    EXPECT_EQ(n, gen.rows(ChTable::Item));
+    auto row = makeRow(ChTable::Stock, n - 1);
+    const ConstRowView v(schema, row);
+    EXPECT_EQ(v.getInt("s_i_id"),
+              static_cast<std::int64_t>(n - 1));
+}
+
+TEST_F(ChGenTest, ItemOriginalMarkerRate)
+{
+    const auto schema = chTableSchema(ChTable::Item);
+    int originals = 0;
+    const int n = 2000;
+    for (int r = 0; r < n; ++r) {
+        auto row = makeRow(ChTable::Item, static_cast<RowId>(r));
+        const ConstRowView v(schema, row);
+        if (v.getChars(schema.columnId("i_data")).substr(0, 8) ==
+            "ORIGINAL")
+            ++originals;
+    }
+    EXPECT_NEAR(static_cast<double>(originals) / n, 0.1, 0.03);
+}
+
+TEST_F(ChGenTest, CustomerLastNameFromSyllables)
+{
+    const auto schema = chTableSchema(ChTable::Customer);
+    auto row = makeRow(ChTable::Customer, 3);
+    const ConstRowView v(schema, row);
+    const auto last = v.getChars(schema.columnId("c_last"));
+    // Last names are built from the TPC-C syllable set: uppercase.
+    EXPECT_TRUE(last[0] >= 'A' && last[0] <= 'Z');
+}
+
+TEST_F(ChGenTest, DeliveryDatesTrackOrderNumbers)
+{
+    // Queries with date-range predicates must select contiguous
+    // fractions: later orders get later delivery dates.
+    const auto schema = chTableSchema(ChTable::OrderLine);
+    auto early = makeRow(ChTable::OrderLine, 10);
+    auto late = makeRow(ChTable::OrderLine, 100000);
+    EXPECT_LT(ConstRowView(schema, early).getInt("ol_delivery_d"),
+              ConstRowView(schema, late).getInt("ol_delivery_d"));
+}
+
+TEST_F(ChGenTest, ExtensionColumnsZeroFilled)
+{
+    // HTAPBench schemas extend ORDERS; generated rows must not trip
+    // over the unknown columns.
+    const auto schemas = htapBenchSchemas();
+    const auto &orders = schemas[static_cast<std::size_t>(
+        ChTable::Orders)];
+    std::vector<std::uint8_t> row(orders.rowBytes(), 0xFF);
+    gen.fillRow(ChTable::Orders, orders, 5, row);
+    const ConstRowView v(orders, row);
+    EXPECT_EQ(v.getInt("o_totalprice"), 0);
+}
+
+TEST(RowViewTest, IntRoundTripNegative)
+{
+    const auto schema = chTableSchema(ChTable::Customer);
+    std::vector<std::uint8_t> buf(schema.rowBytes(), 0);
+    RowView v(schema, buf);
+    v.setInt("c_balance", -123456);
+    EXPECT_EQ(v.getInt("c_balance"), -123456);
+}
+
+TEST(RowViewTest, CharsPadAndTruncate)
+{
+    const auto schema = chTableSchema(ChTable::Customer);
+    std::vector<std::uint8_t> buf(schema.rowBytes(), 0xAA);
+    RowView v(schema, buf);
+    v.setChars("c_credit", "GC");
+    EXPECT_EQ(ConstRowView(schema, buf).getChars(
+                  schema.columnId("c_credit")),
+              "GC");
+    v.setChars("c_middle", "TOOLONG");
+    EXPECT_EQ(ConstRowView(schema, buf).getChars(
+                  schema.columnId("c_middle")),
+              "TO");
+}
+
+} // namespace
+} // namespace pushtap::workload

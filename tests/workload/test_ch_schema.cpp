@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "workload/ch_schema.hpp"
+
+namespace pushtap::workload {
+namespace {
+
+TEST(ChSchema, NineTables)
+{
+    const auto schemas = chBenchmarkSchemas();
+    ASSERT_EQ(schemas.size(), kChTableCount);
+    EXPECT_EQ(schemas[0].name(), "warehouse");
+    EXPECT_EQ(schemas[8].name(), "stock");
+}
+
+TEST(ChSchema, ColumnWidthRangeMatchesPaper)
+{
+    // Section 8: CH column widths vary from 2 to 152 bytes (we also
+    // keep a few 1 B TPC-C tinyints).
+    std::uint32_t max_w = 0;
+    for (const auto &s : chBenchmarkSchemas())
+        for (const auto &c : s.columns())
+            max_w = std::max(max_w, c.width);
+    EXPECT_EQ(max_w, 152u);
+}
+
+TEST(ChSchema, OrderlineAmountIsEightBytes)
+{
+    // Section 8 quotes ORDERLINE's amount column at 8 bytes.
+    const auto s = chTableSchema(ChTable::OrderLine);
+    EXPECT_EQ(s.column(s.columnId("ol_amount")).width, 8u);
+}
+
+TEST(ChSchema, RowCountsMatchSection71AtFullScale)
+{
+    const auto counts = chRowCounts(1.0);
+    EXPECT_EQ(counts.at(ChTable::Item), 20'000'000u);
+    EXPECT_EQ(counts.at(ChTable::Stock), 20'000'000u);
+    EXPECT_EQ(counts.at(ChTable::Customer), 6'000'000u);
+    EXPECT_EQ(counts.at(ChTable::Orders), 6'000'000u);
+    EXPECT_EQ(counts.at(ChTable::OrderLine), 60'000'000u);
+    EXPECT_EQ(counts.at(ChTable::NewOrder), 60'000'000u);
+    EXPECT_EQ(counts.at(ChTable::History), 6'000'000u);
+}
+
+TEST(ChSchema, FullScaleDatasetIsTensOfGigabytes)
+{
+    // Section 7.1: the tables occupy ~20 GB.
+    const auto counts = chRowCounts(1.0);
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < kChTableCount; ++i) {
+        const auto t = static_cast<ChTable>(i);
+        bytes += counts.at(t) * chTableSchema(t).rowBytes();
+    }
+    EXPECT_GT(bytes, 10ull << 30);
+    EXPECT_LT(bytes, 40ull << 30);
+}
+
+TEST(ChSchema, DistrictsAreTenPerWarehouseAtAnyScale)
+{
+    for (double scale : {1.0, 0.01, 0.001, 0.0001}) {
+        const auto counts = chRowCounts(scale);
+        EXPECT_EQ(counts.at(ChTable::District),
+                  counts.at(ChTable::Warehouse) * 10)
+            << "scale=" << scale;
+    }
+}
+
+TEST(ChSchema, ScaleRejectsNonPositive)
+{
+    EXPECT_THROW(chRowCounts(0.0), pushtap::FatalError);
+    EXPECT_THROW(chRowCounts(-1.0), pushtap::FatalError);
+}
+
+TEST(ChSchema, HtapBenchExtendsOrdersAndCustomer)
+{
+    const auto schemas = htapBenchSchemas();
+    for (const auto &s : schemas) {
+        if (s.name() == "orders") {
+            EXPECT_TRUE(s.hasColumn("o_totalprice"));
+            EXPECT_TRUE(s.hasColumn("o_orderpriority"));
+        } else if (s.name() == "customer") {
+            EXPECT_TRUE(s.hasColumn("c_mktsegment"));
+        }
+    }
+}
+
+TEST(ChSchema, TableNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < kChTableCount; ++i) {
+        const auto t = static_cast<ChTable>(i);
+        EXPECT_EQ(chTableSchema(t).name(), chTableName(t));
+    }
+}
+
+} // namespace
+} // namespace pushtap::workload

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include "workload/query_catalog.hpp"
+
+namespace pushtap::workload {
+namespace {
+
+TEST(QueryCatalog, TwentyTwoQueries)
+{
+    const auto &cat = chQueryCatalog();
+    ASSERT_EQ(cat.size(), 22u);
+    for (std::size_t i = 0; i < cat.size(); ++i)
+        EXPECT_EQ(cat[i].queryNo, static_cast<int>(i + 1));
+}
+
+TEST(QueryCatalog, AllColumnsExistInSchemas)
+{
+    const auto schemas = chBenchmarkSchemas();
+    for (const auto &q : chQueryCatalog()) {
+        for (const auto &[table, column] : q.columns) {
+            const auto &s =
+                schemas[static_cast<std::size_t>(table)];
+            EXPECT_TRUE(s.hasColumn(column))
+                << "Q" << q.queryNo << " scans missing column "
+                << s.name() << "." << column;
+        }
+    }
+}
+
+TEST(QueryCatalog, Q1SubsetHasFourKeyColumns)
+{
+    // Section 7.2: "the subset Q1-1 contains only 4 key columns".
+    auto schemas = chBenchmarkSchemas();
+    EXPECT_EQ(markKeyColumns(schemas, 1), 4u);
+}
+
+TEST(QueryCatalog, Q1To3SubsetNearThirtyTwoKeyColumns)
+{
+    // Section 7.2: "the subset Q1-3 contains 32 key columns". Our
+    // reconstructed footprints land in the same ballpark.
+    auto schemas = chBenchmarkSchemas();
+    const auto n = markKeyColumns(schemas, 3);
+    EXPECT_GE(n, 24u);
+    EXPECT_LE(n, 36u);
+}
+
+TEST(QueryCatalog, KeyColumnsGrowWithSubset)
+{
+    std::size_t prev = 0;
+    for (int n : {1, 2, 3, 10, 22}) {
+        auto schemas = chBenchmarkSchemas();
+        const auto marked = markKeyColumns(schemas, n);
+        EXPECT_GE(marked, prev) << "subset Q1-" << n;
+        prev = marked;
+    }
+}
+
+TEST(QueryCatalog, ZipIsNeverScanned)
+{
+    // Section 4.1.2: "column zip is not operated by any query".
+    const auto freq = scanFrequencies(22);
+    for (const auto &[key, n] : freq) {
+        (void)n;
+        EXPECT_NE(key.second, "c_zip");
+        EXPECT_NE(key.second, "w_zip");
+        EXPECT_NE(key.second, "d_zip");
+    }
+}
+
+TEST(QueryCatalog, CustomerIdScannedMoreThanState)
+{
+    // Section 4.2: "eight queries analyze column id, while only
+    // three queries analyze column state" — the catalog preserves the
+    // ordering (c_id strictly more popular than c_state).
+    const auto freq = scanFrequencies(22);
+    const auto id_it = freq.find({ChTable::Customer, "c_id"});
+    const auto st_it = freq.find({ChTable::Customer, "c_state"});
+    ASSERT_NE(id_it, freq.end());
+    ASSERT_NE(st_it, freq.end());
+    EXPECT_GT(id_it->second, st_it->second);
+    EXPECT_GE(id_it->second, 8u);
+}
+
+TEST(QueryCatalog, FrequenciesMonotoneInSubsets)
+{
+    const auto f10 = scanFrequencies(10);
+    const auto f22 = scanFrequencies(22);
+    for (const auto &[key, n] : f10) {
+        const auto it = f22.find(key);
+        ASSERT_NE(it, f22.end());
+        EXPECT_GE(it->second, n);
+    }
+}
+
+TEST(QueryCatalog, SubsetRangeValidated)
+{
+    EXPECT_THROW(scanFrequencies(23), pushtap::FatalError);
+    EXPECT_THROW(scanFrequencies(-1), pushtap::FatalError);
+    EXPECT_TRUE(scanFrequencies(0).empty());
+}
+
+TEST(QueryCatalog, HtapBenchFootprintNonEmpty)
+{
+    const auto freq = htapBenchScanFrequencies();
+    EXPECT_GE(freq.size(), 10u);
+}
+
+} // namespace
+} // namespace pushtap::workload
