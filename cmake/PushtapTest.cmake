@@ -1,0 +1,20 @@
+# add_pushtap_test(<area>)
+#
+# Convention-driven test registration: globs tests/<area>/test_*.cpp into a
+# single pushtap_test_<area> binary, links it against the core library, the
+# shared tests/test_main.cpp, and gtest, and registers it with CTest. New
+# test files dropped into an existing tests/<area>/ directory are picked up
+# on reconfigure with no CMake edits.
+function(add_pushtap_test area)
+  file(GLOB test_sources CONFIGURE_DEPENDS
+       ${PROJECT_SOURCE_DIR}/tests/${area}/test_*.cpp)
+  if(NOT test_sources)
+    message(FATAL_ERROR "add_pushtap_test(${area}): no test_*.cpp under tests/${area}/")
+  endif()
+  set(target pushtap_test_${area})
+  add_executable(${target} ${test_sources} ${PROJECT_SOURCE_DIR}/tests/test_main.cpp)
+  target_link_libraries(${target} PRIVATE pushtap pushtap_warnings GTest::gtest)
+  target_include_directories(${target} PRIVATE ${PROJECT_SOURCE_DIR}/tests)
+  add_test(NAME ${area} COMMAND ${target})
+  set_tests_properties(${area} PROPERTIES TIMEOUT 300)
+endfunction()

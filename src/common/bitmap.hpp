@@ -7,6 +7,7 @@
  * the snapshot.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

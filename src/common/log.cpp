@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <string_view>
 
 namespace pushtap {
 namespace log_detail {

@@ -8,10 +8,12 @@
  * and "}}" escape literal braces.
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace pushtap {

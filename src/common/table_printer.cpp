@@ -1,7 +1,11 @@
 #include "common/table_printer.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 

@@ -1,5 +1,7 @@
 #include "dram/address.hpp"
 
+#include <cstdint>
+
 #include "common/log.hpp"
 
 namespace pushtap::dram {

@@ -1,6 +1,7 @@
 #include "dram/bank_state.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace pushtap::dram {
 

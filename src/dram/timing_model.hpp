@@ -10,6 +10,7 @@
  * scale.
  */
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/types.hpp"

@@ -1,7 +1,10 @@
 #include "format/bandwidth.hpp"
 
+#include <cstdint>
 #include <numeric>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 

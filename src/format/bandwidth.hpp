@@ -16,6 +16,7 @@
  */
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"

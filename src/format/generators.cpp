@@ -1,7 +1,11 @@
 #include "format/generators.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 

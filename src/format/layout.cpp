@@ -1,6 +1,9 @@
 #include "format/layout.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 

@@ -1,5 +1,8 @@
 #include "format/row_codec.hpp"
 
+#include <cstdint>
+#include <span>
+
 #include "common/log.hpp"
 
 namespace pushtap::format {

@@ -1,5 +1,10 @@
 #include "format/schema.hpp"
 
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/log.hpp"
 
 namespace pushtap::format {

@@ -10,6 +10,7 @@
  * compact aligned format may split across devices.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,5 +1,8 @@
 #include "htap/analytic_olap.hpp"
 
+#include <cstdint>
+#include <string>
+
 #include "workload/ch_schema.hpp"
 
 namespace pushtap::htap {

@@ -1,7 +1,9 @@
 #include "htap/frontier.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 namespace pushtap::htap {
 

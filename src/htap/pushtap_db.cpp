@@ -1,5 +1,9 @@
 #include "htap/pushtap_db.hpp"
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 namespace pushtap::htap {
 
 PushtapDB::PushtapDB(const PushtapOptions &opts) : opts_(opts)

@@ -17,8 +17,10 @@
  * @endcode
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/types.hpp"
 #include "mvcc/defragmenter.hpp"

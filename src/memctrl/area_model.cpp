@@ -1,5 +1,7 @@
 #include "memctrl/area_model.hpp"
 
+#include <cstdint>
+
 namespace pushtap::memctrl {
 
 std::uint64_t

@@ -1,5 +1,9 @@
 #include "memctrl/controller.hpp"
 
+#include <cstdint>
+#include <deque>
+#include <utility>
+
 #include "common/log.hpp"
 
 namespace pushtap::memctrl {

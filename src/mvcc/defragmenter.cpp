@@ -1,5 +1,6 @@
 #include "mvcc/defragmenter.hpp"
 
+#include <cstdint>
 #include <limits>
 
 #include "common/log.hpp"

@@ -1,5 +1,7 @@
 #include "mvcc/snapshotter.hpp"
 
+#include <cstddef>
+
 namespace pushtap::mvcc {
 
 SnapshotStats

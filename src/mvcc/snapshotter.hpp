@@ -9,6 +9,7 @@
  * newer than the snapshot timestamp are skipped (like T5 in Fig. 6).
  */
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hpp"

@@ -1,5 +1,7 @@
 #include "mvcc/version_manager.hpp"
 
+#include <cstdint>
+
 #include "common/log.hpp"
 
 namespace pushtap::mvcc {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 #include "format/bandwidth.hpp"

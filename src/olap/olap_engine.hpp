@@ -14,6 +14,7 @@
  * transfer steps of the multi-column operators.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

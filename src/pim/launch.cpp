@@ -1,5 +1,8 @@
 #include "pim/launch.hpp"
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/log.hpp"
 
 namespace pushtap::pim {

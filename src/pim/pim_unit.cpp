@@ -1,6 +1,8 @@
 #include "pim/pim_unit.hpp"
 
+#include <cstdint>
 #include <cstring>
+#include <span>
 
 #include "common/log.hpp"
 

@@ -1,6 +1,7 @@
 #include "pim/two_phase.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/log.hpp"
 

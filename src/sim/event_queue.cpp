@@ -1,5 +1,8 @@
 #include "sim/event_queue.hpp"
 
+#include <cstdint>
+#include <utility>
+
 #include "common/log.hpp"
 
 namespace pushtap::sim {

@@ -7,9 +7,11 @@
  * insertion order so simulations are deterministic.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"

@@ -1,6 +1,10 @@
 #include "storage/table_store.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <span>
+#include <vector>
 
 #include "common/log.hpp"
 

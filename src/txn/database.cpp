@@ -1,6 +1,12 @@
 #include "txn/database.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 #include "workload/query_catalog.hpp"

@@ -8,8 +8,11 @@
  * one copy of the data both engines operate on (Fig. 2(d)).
  */
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"

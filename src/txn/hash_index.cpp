@@ -1,5 +1,10 @@
 #include "txn/hash_index.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "common/log.hpp"
 
 namespace pushtap::txn {

@@ -8,6 +8,7 @@
  * ids. Probe counts are tracked for the transaction cost breakdown.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

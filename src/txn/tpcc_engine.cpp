@@ -1,5 +1,9 @@
 #include "txn/tpcc_engine.hpp"
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "common/log.hpp"
 #include "workload/row_view.hpp"
 

@@ -12,6 +12,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"

@@ -1,5 +1,10 @@
 #include "workload/ch_schema.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
 #include "common/log.hpp"
 
 namespace pushtap::workload {

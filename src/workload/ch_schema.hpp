@@ -9,6 +9,7 @@
  * maximum width the paper quotes in section 8.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

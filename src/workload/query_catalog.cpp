@@ -1,6 +1,12 @@
 #include "workload/query_catalog.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 

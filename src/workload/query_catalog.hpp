@@ -13,9 +13,11 @@
  * deliberately easy to edit.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "format/schema.hpp"

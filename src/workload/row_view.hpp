@@ -6,9 +6,11 @@
  * representation transactions operate on directly (section 6.3).
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "common/log.hpp"

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+/**
+ * @file
+ * Edge cases around the 64-bit word boundary and out-of-range queries,
+ * added during build bring-up. The MVCC snapshot path depends on the
+ * tail word staying trimmed (count() and operator== would otherwise
+ * see ghost bits past size()).
+ */
+
+#include "common/bitmap.hpp"
+
+namespace pushtap {
+namespace {
+
+TEST(BitmapEdges, WordBoundarySizes)
+{
+    for (std::size_t n : {63u, 64u, 65u, 127u, 128u, 129u}) {
+        Bitmap b(n, true);
+        EXPECT_EQ(b.size(), n);
+        EXPECT_EQ(b.count(), n) << "ghost bits at n=" << n;
+        EXPECT_EQ(b.storageBytes(), ((n + 63) / 64) * 8);
+        // The last valid bit is set; probing it must succeed.
+        EXPECT_TRUE(b.test(n - 1));
+    }
+}
+
+TEST(BitmapEdges, SetAllTrimsTailWord)
+{
+    Bitmap b(70);
+    b.setAll(true);
+    EXPECT_EQ(b.count(), 70u);
+    // Raw words: the second word may only carry 70 - 64 = 6 bits.
+    ASSERT_EQ(b.words().size(), 2u);
+    EXPECT_EQ(b.words()[1], (1ULL << 6) - 1);
+}
+
+TEST(BitmapEdges, FindNextFromAtOrPastSizeReturnsSize)
+{
+    Bitmap b(100, true);
+    EXPECT_EQ(b.findNext(100), 100u);
+    EXPECT_EQ(b.findNext(1000), 100u);
+    Bitmap empty;
+    EXPECT_EQ(empty.findNext(0), 0u);
+}
+
+TEST(BitmapEdges, FindNextCrossesWordBoundary)
+{
+    Bitmap b(200);
+    b.set(64); // first bit of the second word
+    b.set(191); // last bit of the third word
+    EXPECT_EQ(b.findNext(0), 64u);
+    EXPECT_EQ(b.findNext(64), 64u);
+    EXPECT_EQ(b.findNext(65), 191u);
+    EXPECT_EQ(b.findNext(192), 200u);
+}
+
+TEST(BitmapEdges, FindNextFromExactBoundaryBit)
+{
+    Bitmap b(128);
+    b.set(63);
+    b.set(127);
+    EXPECT_EQ(b.findNext(63), 63u);
+    EXPECT_EQ(b.findNext(64), 127u);
+    EXPECT_EQ(b.findNext(127), 127u);
+    EXPECT_EQ(b.findNext(128), 128u);
+}
+
+TEST(BitmapEdges, GrowPreservesExistingBits)
+{
+    Bitmap b(64);
+    b.set(0);
+    b.set(63);
+    b.grow(130);
+    EXPECT_EQ(b.size(), 130u);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(63));
+    EXPECT_FALSE(b.test(64));
+    EXPECT_FALSE(b.test(129));
+    // grow() never shrinks.
+    b.grow(10);
+    EXPECT_EQ(b.size(), 130u);
+}
+
+TEST(BitmapEdges, GrowWithinLastWordExposesZeroBits)
+{
+    // Growing 60 -> 64 stays inside one word; the previously trimmed
+    // tail must read as 0, not as stale set bits.
+    Bitmap b(60, true);
+    b.grow(64);
+    EXPECT_EQ(b.count(), 60u);
+    EXPECT_FALSE(b.test(60));
+    EXPECT_FALSE(b.test(63));
+}
+
+TEST(BitmapEdges, EqualityDistinguishesSizeWithIdenticalWords)
+{
+    // 63 and 64 bits of zeros occupy one identical word each, but the
+    // bitmaps are different snapshots.
+    Bitmap a(63);
+    Bitmap b(64);
+    EXPECT_FALSE(a == b);
+    Bitmap c(63);
+    EXPECT_TRUE(a == c);
+}
+
+TEST(BitmapEdges, ZeroSizedBitmapIsWellBehaved)
+{
+    Bitmap b(0);
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_EQ(b.storageBytes(), 0u);
+    EXPECT_EQ(b.findNext(0), 0u);
+    EXPECT_TRUE(b == Bitmap());
+}
+
+} // namespace
+} // namespace pushtap

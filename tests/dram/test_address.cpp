@@ -112,8 +112,9 @@ TEST(AddressMap, DeviceLocalConsistentWithStreaming)
             map.decompose(static_cast<std::uint64_t>(i) * line_stride);
         EXPECT_EQ(c.device, 0u);
         const std::uint64_t local = map.deviceLocal(c);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_EQ(local - prev_local, geom.interleaveGranularity);
+        }
         prev_local = local;
     }
 }

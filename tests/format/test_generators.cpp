@@ -183,7 +183,7 @@ TEST_P(CompactRandomSchema, InvariantsHoldOnRandomSchemas)
     std::vector<Column> cols;
     for (int i = 0; i < ncols; ++i) {
         Column c;
-        c.name = "c" + std::to_string(i);
+        c.name = std::string("c") + std::to_string(i);
         c.width = static_cast<std::uint32_t>(rng.inRange(1, 40));
         c.type = ColType::Char;
         c.isKey = rng.flip(0.5);
