@@ -3,7 +3,8 @@
  * Fig. 9(b): analytical-query time breakdown (CPU compute / PIM
  * compute / consistency) as a function of the number of transactions
  * that updated the data before the query, for Ideal, MI, PUSHtap and
- * the HBM variants.
+ * the HBM variants — followed by the executable CH query suite run
+ * end-to-end through PushtapDB::runQuery.
  *
  * The functional single-instance engine runs at scale 1/1000 (the
  * timing model is analytic in row counts, so ratios carry); the paper
@@ -13,14 +14,19 @@
  * PUSHtap +1.5%; at large counts MI slows 13.3x while PUSHtap stays
  * within 12.6%; PUSHtap(HBM) is 1.4x faster at 8M; MI(HBM) with a
  * dedicated rebuild accelerator pays only +24.1%.
+ *
+ * Results are also written to BENCH_fig9b.json (machine-readable, so
+ * the perf trajectory across PRs can be recorded).
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/table_printer.hpp"
 #include "htap/analytic_olap.hpp"
 #include "htap/pushtap_db.hpp"
+#include "workload/query_catalog.hpp"
 
 using namespace pushtap;
 
@@ -41,8 +47,19 @@ struct Measured
     TimeNs total() const { return pim + cpu + consistency; }
 };
 
-Measured
-runPushtap(std::uint64_t txns, bool hbm)
+/** One row of the JSON report. */
+struct JsonRow
+{
+    std::string section; ///< "sweep" or "suite"
+    std::uint64_t paperTxns = 0;
+    std::string system;
+    std::string query;
+    Measured t{};
+    std::uint64_t rows = 0;
+};
+
+htap::PushtapOptions
+pushtapOptions(bool hbm)
 {
     htap::PushtapOptions opts;
     opts.database.scale = kScale;
@@ -59,11 +76,48 @@ runPushtap(std::uint64_t txns, bool hbm)
     // the 1/1000 run keeps the paper's proportions.
     opts.olap.snapshotFixedNs *= kScale;
     opts.olap.defragFixedNs *= kScale;
-    htap::PushtapDB db(opts);
+    return opts;
+}
 
+Measured
+runPushtap(std::uint64_t txns, bool hbm)
+{
+    htap::PushtapDB db(pushtapOptions(hbm));
     db.mixed(txns);
     const auto rep = db.q6(0, 1LL << 60, 1, 10, nullptr);
     return {rep.pimNs, rep.cpuNs, rep.consistencyNs};
+}
+
+void
+writeJson(const std::vector<JsonRow> &rows, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"figure\": \"fig9b\",\n"
+                    "  \"scale\": %g,\n  \"rows\": [\n",
+                 kScale);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"section\": \"%s\", \"paper_txns\": %llu, "
+            "\"system\": \"%s\", \"query\": \"%s\", "
+            "\"pim_ns\": %.1f, \"cpu_ns\": %.1f, "
+            "\"consistency_ns\": %.1f, \"total_ns\": %.1f, "
+            "\"result_rows\": %llu}%s\n",
+            r.section.c_str(),
+            static_cast<unsigned long long>(r.paperTxns),
+            r.system.c_str(), r.query.c_str(), r.t.pim, r.t.cpu,
+            r.t.consistency, r.t.total(),
+            static_cast<unsigned long long>(r.rows),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path, rows.size());
 }
 
 } // namespace
@@ -75,6 +129,7 @@ main()
         {10'000, 10},   {100'000, 100},    {1'000'000, 1'000},
         {4'000'000, 4'000}, {8'000'000, 8'000},
     };
+    std::vector<JsonRow> json;
 
     // Baselines share one database population for scan sizing.
     txn::DatabaseConfig cfg;
@@ -92,69 +147,85 @@ main()
                      "CPU (us)", "consistency (us)", "total (us)",
                      "consistency share"});
     const double us = 1000.0;
+    auto addRow = [&](std::uint64_t paper_txns, const char *system,
+                      const Measured &m) {
+        tp.addRow({std::to_string(paper_txns), system,
+                   TablePrinter::num(m.pim / us, 1),
+                   TablePrinter::num(m.cpu / us, 1),
+                   TablePrinter::num(m.consistency / us, 1),
+                   TablePrinter::num(m.total() / us, 1),
+                   TablePrinter::num(m.total() > 0.0
+                                         ? m.consistency /
+                                               m.total() * 100.0
+                                         : 0.0,
+                                     1) +
+                       "%"});
+        json.push_back(
+            {"sweep", paper_txns, system, "Q6", m, 0});
+    };
     for (const auto &pt : points) {
         const double versions =
             static_cast<double>(pt.scaledTxns) * 13.5;
+        const auto pending =
+            static_cast<std::uint64_t>(versions);
 
         const auto ideal = analytic.q6(htap::BaselineKind::Ideal, 0);
-        tp.addRow({std::to_string(pt.paperTxns), "Ideal",
-                   TablePrinter::num(ideal.pimNs / us, 1),
-                   TablePrinter::num(ideal.cpuNs / us, 1), "0.0",
-                   TablePrinter::num(ideal.totalNs() / us, 1),
-                   "0.0%"});
+        addRow(pt.paperTxns, "Ideal",
+               {ideal.pimNs, ideal.cpuNs, ideal.consistencyNs});
 
         const auto mi = analytic.q6(
-            htap::BaselineKind::MultiInstance,
-            static_cast<std::uint64_t>(versions));
-        tp.addRow({std::to_string(pt.paperTxns), "MI",
-                   TablePrinter::num(mi.pimNs / us, 1),
-                   TablePrinter::num(mi.cpuNs / us, 1),
-                   TablePrinter::num(mi.consistencyNs / us, 1),
-                   TablePrinter::num(mi.totalNs() / us, 1),
-                   TablePrinter::num(mi.consistencyNs /
-                                         mi.totalNs() * 100.0,
-                                     1) +
-                       "%"});
+            htap::BaselineKind::MultiInstance, pending);
+        addRow(pt.paperTxns, "MI",
+               {mi.pimNs, mi.cpuNs, mi.consistencyNs});
 
-        const auto push = runPushtap(pt.scaledTxns, false);
-        tp.addRow({std::to_string(pt.paperTxns), "PUSHtap",
-                   TablePrinter::num(push.pim / us, 1),
-                   TablePrinter::num(push.cpu / us, 1),
-                   TablePrinter::num(push.consistency / us, 1),
-                   TablePrinter::num(push.total() / us, 1),
-                   TablePrinter::num(push.consistency /
-                                         push.total() * 100.0,
-                                     1) +
-                       "%"});
+        addRow(pt.paperTxns, "PUSHtap",
+               runPushtap(pt.scaledTxns, false));
 
         const auto mi_hbm = analytic.q6(
-            htap::BaselineKind::MultiInstanceAccel,
-            static_cast<std::uint64_t>(versions));
-        tp.addRow({std::to_string(pt.paperTxns), "MI (HBM+accel)",
-                   TablePrinter::num(mi_hbm.pimNs / us, 1),
-                   TablePrinter::num(mi_hbm.cpuNs / us, 1),
-                   TablePrinter::num(mi_hbm.consistencyNs / us, 1),
-                   TablePrinter::num(mi_hbm.totalNs() / us, 1),
-                   TablePrinter::num(mi_hbm.consistencyNs /
-                                         mi_hbm.totalNs() * 100.0,
-                                     1) +
-                       "%"});
+            htap::BaselineKind::MultiInstanceAccel, pending);
+        addRow(pt.paperTxns, "MI (HBM+accel)",
+               {mi_hbm.pimNs, mi_hbm.cpuNs, mi_hbm.consistencyNs});
 
-        const auto push_hbm = runPushtap(pt.scaledTxns, true);
-        tp.addRow({std::to_string(pt.paperTxns), "PUSHtap (HBM)",
-                   TablePrinter::num(push_hbm.pim / us, 1),
-                   TablePrinter::num(push_hbm.cpu / us, 1),
-                   TablePrinter::num(push_hbm.consistency / us, 1),
-                   TablePrinter::num(push_hbm.total() / us, 1),
-                   TablePrinter::num(push_hbm.consistency /
-                                         push_hbm.total() * 100.0,
-                                     1) +
-                       "%"});
+        addRow(pt.paperTxns, "PUSHtap (HBM)",
+               runPushtap(pt.scaledTxns, true));
     }
     tp.print();
     std::printf(
         "\npaper: MI +123.3%% consistency at 1M vs PUSHtap +1.5%%; "
         "MI 13.3x slower at large counts, PUSHtap <= 12.6%%;\n"
         "PUSHtap(HBM) 1.4x faster at 8M; MI(HBM+accel) +24.1%%\n");
+
+    // The wider executable suite, end-to-end through runQuery after
+    // 1000 mixed transactions (PUSHtap vs the Ideal baseline).
+    std::printf("\nExecutable CH suite through the plan pipeline "
+                "(1000 txns, scale 1/1000)\n\n");
+    htap::PushtapDB suite_db(pushtapOptions(false));
+    suite_db.mixed(1'000);
+    TablePrinter sp({"query", "result rows", "PIM (us)", "CPU (us)",
+                     "consistency (us)", "total (us)",
+                     "Ideal total (us)"});
+    for (const auto &q : workload::chExecutablePlans()) {
+        olap::QueryResult res;
+        const auto rep = suite_db.runQuery(q.plan, &res);
+        const auto ideal = analytic.runQuery(
+            htap::BaselineKind::Ideal, q.plan, 0);
+        sp.addRow({rep.name, std::to_string(res.rows.size()),
+                   TablePrinter::num(rep.pimNs / us, 1),
+                   TablePrinter::num(rep.cpuNs / us, 1),
+                   TablePrinter::num(rep.consistencyNs / us, 1),
+                   TablePrinter::num(rep.totalNs() / us, 1),
+                   TablePrinter::num(ideal.totalNs() / us, 1)});
+        json.push_back(
+            {"suite", 1'000'000, "PUSHtap", rep.name,
+             {rep.pimNs, rep.cpuNs, rep.consistencyNs},
+             res.rows.size()});
+        json.push_back(
+            {"suite", 1'000'000, "Ideal", rep.name,
+             {ideal.pimNs, ideal.cpuNs, ideal.consistencyNs},
+             0});
+    }
+    sp.print();
+
+    writeJson(json, "BENCH_fig9b.json");
     return 0;
 }

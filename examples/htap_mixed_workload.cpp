@@ -11,6 +11,9 @@
  *    phases),
  *  - data freshness (every query sees all committed transactions).
  *
+ * After the rounds, the full executable CH suite (Q1, Q3, Q4, Q6,
+ * Q9, Q12, Q14, Q19) runs end-to-end through the plan pipeline.
+ *
  * Usage: htap_mixed_workload [rounds]    (default 5)
  */
 
@@ -18,6 +21,7 @@
 #include <cstdlib>
 
 #include "htap/pushtap_db.hpp"
+#include "workload/query_catalog.hpp"
 
 using namespace pushtap;
 
@@ -79,6 +83,23 @@ main(int argc, char **argv)
             std::printf("  !! freshness violation: revenue did not "
                         "grow\n");
         last_revenue = revenue;
+    }
+
+    std::printf("\nexecutable CH suite through "
+                "PushtapDB::runQuery:\n");
+    std::printf("query | result rows | first row count | "
+                "total ms (PIM/CPU/cons)\n");
+    for (const auto &q : workload::chExecutablePlans()) {
+        olap::QueryResult res;
+        const auto rep = db.runQuery(q.plan, &res);
+        std::printf("%5s | %11zu | %15llu | %5.2f "
+                    "(%4.2f/%4.2f/%4.2f)\n",
+                    rep.name.c_str(), res.rows.size(),
+                    static_cast<unsigned long long>(
+                        res.rows.empty() ? 0
+                                         : res.rows.front().count),
+                    rep.totalNs() / 1e6, rep.pimNs / 1e6,
+                    rep.cpuNs / 1e6, rep.consistencyNs / 1e6);
     }
 
     std::printf("\nOLTP totals: %llu txns, avg %.0f ns; defrag "

@@ -115,6 +115,18 @@ class TableLayout
      */
     const Placement &keyPlacement(ColumnId id) const;
 
+    /**
+     * The placement of column @p id if it occupies exactly one
+     * fragment (typed single-read path), nullptr when the column is
+     * shredded across fragments.
+     */
+    const Placement *
+    singlePlacement(ColumnId id) const
+    {
+        const auto &pls = byColumn_.at(id);
+        return pls.size() == 1 ? &pls.front() : nullptr;
+    }
+
     /** Sum of rowWidth over parts: device-local bytes per row. */
     std::uint32_t bytesPerDevicePerRow() const;
 

@@ -9,6 +9,18 @@
 
 namespace pushtap::format {
 
+std::int64_t
+decodeValue(const Column &col, std::span<const std::uint8_t> bytes)
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < col.width && i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    if (col.type == ColType::Int && col.width < 8 &&
+        (v & (1ULL << (8 * col.width - 1))))
+        v |= ~((1ULL << (8 * col.width)) - 1);
+    return static_cast<std::int64_t>(v);
+}
+
 TableSchema::TableSchema(std::string name, std::vector<Column> columns)
     : name_(std::move(name)), columns_(std::move(columns))
 {

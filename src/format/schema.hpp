@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,16 @@ struct Column
     ColType type = ColType::Char;
     bool isKey = false;    ///< Scanned by the OLAP workload.
 };
+
+/**
+ * Decode one column value from its raw little-endian bytes:
+ * sign-extended for Int columns narrower than 8 bytes, raw bit
+ * pattern otherwise. @p bytes must hold at least col.width bytes.
+ * This is the single typed-read primitive shared by the row views,
+ * the table store and the OLAP operators.
+ */
+std::int64_t decodeValue(const Column &col,
+                         std::span<const std::uint8_t> bytes);
 
 class TableSchema
 {

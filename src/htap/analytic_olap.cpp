@@ -1,5 +1,7 @@
 #include "htap/analytic_olap.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -89,61 +91,96 @@ kindName(BaselineKind k)
 } // namespace
 
 BaselineReport
+AnalyticOlapModel::runQuery(BaselineKind kind,
+                            const olap::QueryPlan &plan,
+                            std::uint64_t pending_versions) const
+{
+    olap::validatePlan(plan);
+
+    BaselineReport rep;
+    rep.name = std::string(kindName(kind)) + "/" + plan.name;
+
+    auto rows_of = [this](ChTable t) {
+        return db_.table(t).usedDataRows();
+    };
+    auto width_of = [this](ChTable t, const std::string &col) {
+        const auto &s = db_.table(t).schema();
+        return s.column(s.columnId(col)).width;
+    };
+    // Clean packed columns: every operator input is one ideal scan,
+    // char predicates included (the column-store instance scans them
+    // in PIM, unlike the single-instance engine's CPU gather).
+    auto scan = [&](ChTable t, const std::string &col) {
+        rep.pimNs += idealColumnScan(rows_of(t), width_of(t, col))
+                         .total();
+    };
+    auto scan_input = [&](const olap::TableInput &in) {
+        for (const auto &p : in.intPredicates)
+            scan(in.table, p.column);
+        for (const auto &p : in.charPredicates)
+            scan(in.table, p.column);
+    };
+
+    scan_input(plan.probe);
+    const std::uint64_t probe_rows = rows_of(plan.probe.table);
+    for (const auto &join : plan.joins) {
+        scan_input(join.build);
+        for (const auto &[build_col, ref] : join.keys) {
+            scan(join.build.table, build_col);
+            scan(olap::tableOf(plan, ref), ref.column);
+        }
+        const std::uint64_t build_rows = rows_of(join.build.table);
+        pim::CostModel cm(pimCfg_);
+        rep.pimNs += cm.computeTime(
+            pim::OpType::Join,
+            (build_rows + probe_rows) / geom_.totalPimUnits() + 1);
+        rep.cpuNs += 2.0 * timing_.cpuPeakBandwidth().transferTime(
+                               (build_rows + probe_rows) * 4);
+    }
+    for (const auto &key : plan.groupBy)
+        scan(olap::tableOf(plan, key), key.column);
+    for (const auto &agg : plan.aggregates)
+        scan(olap::tableOf(plan, agg.value), agg.value.column);
+
+    // CPU merge: joined plans already paid the bucket partition; a
+    // grouped scan ships one 2 B group index per row; an ungrouped
+    // scan merges one partial value per unit per aggregate.
+    if (plan.joins.empty()) {
+        if (!plan.groupBy.empty()) {
+            rep.cpuNs += timing_.cpuPeakBandwidth().transferTime(
+                probe_rows * 2);
+        } else {
+            const auto naggs = std::max<std::size_t>(
+                1, plan.aggregates.size());
+            rep.cpuNs += timing_.cpuPeakBandwidth().transferTime(
+                static_cast<Bytes>(geom_.totalPimUnits()) * 8 *
+                naggs);
+        }
+    }
+
+    rep.consistencyNs = consistency(kind, pending_versions);
+    return rep;
+}
+
+BaselineReport
 AnalyticOlapModel::q1(BaselineKind kind,
                       std::uint64_t pending_versions) const
 {
-    const auto &tbl = db_.table(ChTable::OrderLine);
-    const std::uint64_t rows = tbl.usedDataRows();
-    BaselineReport rep;
-    rep.name = std::string(kindName(kind)) + "/Q1";
-    for (std::uint32_t w : {8u, 1u, 2u, 8u}) // delivery,number,qty,amt
-        rep.pimNs += idealColumnScan(rows, w).total();
-    rep.cpuNs += timing_.cpuPeakBandwidth().transferTime(rows * 2);
-    rep.consistencyNs = consistency(kind, pending_versions);
-    return rep;
+    return runQuery(kind, olap::plans::q1(), pending_versions);
 }
 
 BaselineReport
 AnalyticOlapModel::q6(BaselineKind kind,
                       std::uint64_t pending_versions) const
 {
-    const auto &tbl = db_.table(ChTable::OrderLine);
-    const std::uint64_t rows = tbl.usedDataRows();
-    BaselineReport rep;
-    rep.name = std::string(kindName(kind)) + "/Q6";
-    for (std::uint32_t w : {8u, 2u, 8u}) // delivery, qty, amount
-        rep.pimNs += idealColumnScan(rows, w).total();
-    rep.cpuNs += timing_.cpuPeakBandwidth().transferTime(
-        static_cast<Bytes>(geom_.totalPimUnits()) * 8);
-    rep.consistencyNs = consistency(kind, pending_versions);
-    return rep;
+    return runQuery(kind, olap::plans::q6(), pending_versions);
 }
 
 BaselineReport
 AnalyticOlapModel::q9(BaselineKind kind,
                       std::uint64_t pending_versions) const
 {
-    const auto &lines = db_.table(ChTable::OrderLine);
-    const auto &items = db_.table(ChTable::Item);
-    const std::uint64_t n_lines = lines.usedDataRows();
-    const std::uint64_t n_items = items.usedDataRows();
-
-    BaselineReport rep;
-    rep.name = std::string(kindName(kind)) + "/Q9";
-    rep.pimNs += idealColumnScan(n_items, 4).total();  // hash i_id
-    rep.pimNs += idealColumnScan(n_items, 50).total(); // i_data filter
-    rep.pimNs += idealColumnScan(n_lines, 4).total();  // hash ol_i_id
-    rep.pimNs += idealColumnScan(n_lines, 8).total();  // amount agg
-    rep.pimNs += idealColumnScan(n_lines, 2).total();  // supply group
-    pim::CostModel cm(pimCfg_);
-    rep.pimNs += cm.computeTime(pim::OpType::Join,
-                                (n_items + n_lines) /
-                                        geom_.totalPimUnits() +
-                                    1);
-    rep.cpuNs += 2.0 * timing_.cpuPeakBandwidth().transferTime(
-                           (n_items + n_lines) * 4);
-    rep.consistencyNs = consistency(kind, pending_versions);
-    return rep;
+    return runQuery(kind, olap::plans::q9(), pending_versions);
 }
 
 } // namespace pushtap::htap

@@ -13,7 +13,10 @@
  *    before a query can see fresh data.
  *
  * Both systems answer queries identically to the single-instance
- * engine by construction, so only times are modelled here.
+ * engine by construction, so only times are modelled here: runQuery()
+ * walks the same logical plans (olap/plan.hpp) the engine executes
+ * and prices every operator on clean packed columns. Q1/Q6/Q9 remain
+ * as plan wrappers.
  */
 
 #include <cstdint>
@@ -23,6 +26,8 @@
 #include "common/types.hpp"
 #include "dram/timing_model.hpp"
 #include "mvcc/version_manager.hpp"
+#include "olap/plan.hpp"
+#include "olap/query_report.hpp"
 #include "pim/two_phase.hpp"
 #include "txn/database.hpp"
 
@@ -37,19 +42,13 @@ enum class BaselineKind : std::uint8_t
     MultiInstanceAccel,
 };
 
-struct BaselineReport
-{
-    std::string name;
-    TimeNs pimNs = 0.0;
-    TimeNs cpuNs = 0.0;
-    TimeNs consistencyNs = 0.0; ///< Rebuild time (zero for Ideal).
-
-    TimeNs
-    totalNs() const
-    {
-        return pimNs + cpuNs + consistencyNs;
-    }
-};
+/**
+ * Baseline query report: the shared OLAP report shape, with
+ * consistencyNs carrying the column-store rebuild time (zero for
+ * Ideal) and the engine-only fields (cpuBlockedNs, rowsVisible) left
+ * at zero.
+ */
+using BaselineReport = olap::QueryReport;
 
 class AnalyticOlapModel
 {
@@ -68,7 +67,17 @@ class AnalyticOlapModel
     pim::TwoPhaseSchedule idealColumnScan(std::uint64_t rows,
                                           std::uint32_t width) const;
 
-    /** Q1/Q6/Q9 priced on clean columns over current table sizes. */
+    /**
+     * Price @p plan on clean packed columns over current table
+     * sizes: one ideal scan per predicate / group / aggregate
+     * column, hash + partition + probe work per join, plus the
+     * consistency charge of @p kind.
+     */
+    BaselineReport runQuery(BaselineKind kind,
+                            const olap::QueryPlan &plan,
+                            std::uint64_t pending_versions) const;
+
+    /** Q1/Q6/Q9 plan wrappers (predicate values do not affect cost). */
     BaselineReport q1(BaselineKind kind,
                       std::uint64_t pending_versions) const;
     BaselineReport q6(BaselineKind kind,

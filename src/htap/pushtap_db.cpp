@@ -4,6 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/log.hpp"
+#include "workload/query_catalog.hpp"
+
 namespace pushtap::htap {
 
 PushtapDB::PushtapDB(const PushtapOptions &opts) : opts_(opts)
@@ -20,16 +23,23 @@ PushtapDB::PushtapDB(const PushtapOptions &opts) : opts_(opts)
     olap_ = std::make_unique<olap::OlapEngine>(*db_, opts_.olap);
 }
 
+TimeNs
+PushtapDB::runDefragPass()
+{
+    sinceDefrag_ = 0;
+    const TimeNs t =
+        olap_->runDefragmentation(opts_.defragStrategy);
+    defragPauseNs_ += t;
+    return t;
+}
+
 void
 PushtapDB::maybeDefrag()
 {
     if (opts_.defragInterval == 0)
         return;
-    if (++sinceDefrag_ >= opts_.defragInterval) {
-        defragPauseNs_ +=
-            olap_->runDefragmentation(opts_.defragStrategy);
-        sinceDefrag_ = 0;
-    }
+    if (++sinceDefrag_ >= opts_.defragInterval)
+        runDefragPass();
 }
 
 void
@@ -60,6 +70,25 @@ PushtapDB::mixed(std::uint64_t n)
 }
 
 olap::QueryReport
+PushtapDB::runQuery(const olap::QueryPlan &plan,
+                    olap::QueryResult *result)
+{
+    olap_->prepareSnapshot(db_->now());
+    return olap_->runQuery(plan, result);
+}
+
+olap::QueryReport
+PushtapDB::runQuery(int ch_query_no, olap::QueryResult *result)
+{
+    const auto *plan = workload::executableQueryPlan(ch_query_no);
+    if (!plan)
+        fatal("CH query Q{} is footprint-only (no executable plan "
+              "in the catalog yet)",
+              ch_query_no);
+    return runQuery(*plan, result);
+}
+
+olap::QueryReport
 PushtapDB::q1(std::int64_t delivery_after,
               std::vector<olap::Q1Row> *rows)
 {
@@ -86,11 +115,7 @@ PushtapDB::q9(std::vector<olap::Q9Row> *rows)
 TimeNs
 PushtapDB::defragment()
 {
-    sinceDefrag_ = 0;
-    const TimeNs t =
-        olap_->runDefragmentation(opts_.defragStrategy);
-    defragPauseNs_ += t;
-    return t;
+    return runDefragPass();
 }
 
 } // namespace pushtap::htap

@@ -9,11 +9,18 @@
  * snapshot first, and defragmentation runs every N transactions
  * (N = 10k per section 7.4).
  *
+ * Analytical queries run through runQuery(): any logical plan
+ * (olap/plan.hpp), or a CH query number with an executable catalog
+ * plan (workload/query_catalog.hpp). Q1/Q6/Q9 remain as convenience
+ * wrappers.
+ *
  * Quickstart:
  * @code
  *   htap::PushtapDB db;                       // default small scale
  *   db.mixed(1000);                           // run transactions
  *   auto rep = db.q6(lo, hi, 1, 10, &revenue);  // fresh analytics
+ *   olap::QueryResult q12;
+ *   db.runQuery(12, &q12);                    // catalog plan
  * @endcode
  */
 
@@ -62,10 +69,22 @@ class PushtapDB
     void mixed(std::uint64_t n);
 
     /**
-     * Fresh analytical queries: snapshot at the current commit
-     * timestamp first, then execute. Data freshness is exact: every
-     * committed transaction is visible.
+     * Fresh analytical query: snapshot at the current commit
+     * timestamp first, then execute @p plan through the operator
+     * pipeline. Data freshness is exact: every committed transaction
+     * is visible.
      */
+    olap::QueryReport runQuery(const olap::QueryPlan &plan,
+                               olap::QueryResult *result = nullptr);
+
+    /**
+     * Run the catalog's executable plan of CH query @p ch_query_no
+     * (fatal for footprint-only queries).
+     */
+    olap::QueryReport runQuery(int ch_query_no,
+                               olap::QueryResult *result = nullptr);
+
+    /** Q1/Q6/Q9 convenience wrappers over runQuery(). */
     olap::QueryReport q1(std::int64_t delivery_after,
                          std::vector<olap::Q1Row> *rows = nullptr);
     olap::QueryReport q6(std::int64_t d_lo, std::int64_t d_hi,
@@ -86,6 +105,16 @@ class PushtapDB
 
   private:
     void maybeDefrag();
+
+    /**
+     * The one defragmentation path (automatic and forced): the pass
+     * time is charged to the OLTP pause only — the next query pays
+     * its snapshot through the engine's pending-consistency charge,
+     * never the defragmentation itself — and the interval counter
+     * resets, so a forced pass cannot double-count with the
+     * automatic one.
+     */
+    TimeNs runDefragPass();
 
     PushtapOptions opts_;
     std::unique_ptr<txn::Database> db_;

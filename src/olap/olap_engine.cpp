@@ -1,10 +1,8 @@
 #include "olap/olap_engine.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -14,7 +12,6 @@
 
 namespace pushtap::olap {
 
-using storage::Region;
 using workload::ChTable;
 
 OlapConfig
@@ -163,63 +160,149 @@ OlapEngine::takeConsistency()
     return t;
 }
 
+void
+OlapEngine::priceCpuGather(const txn::TableRuntime &tbl,
+                           const std::string &column,
+                           QueryReport &rep) const
+{
+    // Normal columns (no query in the key-selection set scans them by
+    // themselves) are evaluated by the CPU across the devices "with a
+    // performance loss" (section 4.1.2).
+    const auto access = format::BandwidthModel(
+                            db_.config().devices,
+                            cfg_.geom.interleaveGranularity,
+                            cfg_.geom.stripedLines)
+                            .columnSetAccess(
+                                tbl.layout(),
+                                {tbl.schema().columnId(column)});
+    rep.cpuNs += busTime(static_cast<Bytes>(
+        access.fetchedBytes *
+        static_cast<double>(tbl.usedDataRows())));
+}
+
+void
+OlapEngine::priceColumnRead(const txn::TableRuntime &tbl,
+                            const std::string &column, pim::OpType op,
+                            QueryReport &rep) const
+{
+    const ColumnId c = tbl.schema().columnId(column);
+    const auto &col = tbl.schema().column(c);
+    if (col.type == format::ColType::Int &&
+        tbl.layout().singlePlacement(c) != nullptr) {
+        const auto cost = columnScanCost(tbl, c, op);
+        rep.pimNs += cost.schedule.total();
+        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+        return;
+    }
+    priceCpuGather(tbl, column, rep);
+}
+
+void
+OlapEngine::priceQuery(const QueryPlan &plan, QueryReport &rep) const
+{
+    const auto &probe_tbl = db_.table(plan.probe.table);
+    const std::uint64_t probe_rows =
+        scannedDataRows(probe_tbl) +
+        probe_tbl.versions().deltaUsed();
+
+    // Predicate filters: one serial PIM scan per pushed-down Int
+    // predicate column, the CPU gather path for Char predicates.
+    auto price_input = [&](const TableInput &in) {
+        const auto &tbl = db_.table(in.table);
+        for (const auto &p : in.charPredicates)
+            priceCpuGather(tbl, p.column, rep);
+        for (const auto &p : in.intPredicates)
+            priceColumnRead(tbl, p.column, pim::OpType::Filter, rep);
+    };
+    price_input(plan.probe);
+
+    // Hash joins: PIM hashes both key columns, the CPU fetches the
+    // hashes, partitions buckets and pushes them back (4 B per value
+    // each way), then the PIM units probe within buckets.
+    for (const auto &join : plan.joins) {
+        price_input(join.build);
+        const auto &build_tbl = db_.table(join.build.table);
+        for (const auto &[build_col, ref] : join.keys) {
+            priceColumnRead(build_tbl, build_col, pim::OpType::Hash,
+                            rep);
+            priceColumnRead(db_.table(tableOf(plan, ref)), ref.column,
+                            pim::OpType::Hash, rep);
+        }
+        const std::uint64_t build_rows = build_tbl.usedDataRows();
+        rep.cpuNs += 2.0 * busTime((build_rows + probe_rows) * 4);
+        pim::CostModel cm(cfg_.pimConfig);
+        rep.pimNs += cm.computeTime(
+            pim::OpType::Join,
+            (build_rows + probe_rows) / cfg_.geom.totalPimUnits() +
+                1);
+    }
+
+    // Grouped aggregation: one Group scan per key, one Aggregation
+    // scan per aggregated column.
+    for (const auto &key : plan.groupBy)
+        priceColumnRead(db_.table(tableOf(plan, key)), key.column,
+                        pim::OpType::Group, rep);
+    for (const auto &agg : plan.aggregates)
+        priceColumnRead(db_.table(tableOf(plan, agg.value)),
+                        agg.value.column, pim::OpType::Aggregation,
+                        rep);
+}
+
+void
+OlapEngine::priceMerge(const QueryPlan &plan, std::uint64_t visible,
+                       QueryReport &rep) const
+{
+    // Joined plans already paid the bucket partition/shuffle, which
+    // co-locates group fragments; nothing further to merge.
+    if (!plan.joins.empty())
+        return;
+    if (!plan.groupBy.empty()) {
+        // CPU transfers the group indices to the banks holding the
+        // aggregated columns (2 B per visible row), then merges the
+        // per-unit partial sums.
+        rep.cpuNs += busTime(visible * 2);
+        rep.cpuNs += busTime(static_cast<Bytes>(
+                                 cfg_.geom.totalPimUnits()) *
+                             plan.groupSlots * 8);
+        return;
+    }
+    // CPU merges one partial value per unit per aggregate.
+    const auto naggs =
+        std::max<std::size_t>(1, plan.aggregates.size());
+    rep.cpuNs += busTime(static_cast<Bytes>(
+                             cfg_.geom.totalPimUnits()) *
+                         8 * naggs);
+}
+
+QueryReport
+OlapEngine::runQuery(const QueryPlan &plan, QueryResult *result)
+{
+    QueryReport rep;
+    rep.name = plan.name;
+    rep.consistencyNs = takeConsistency();
+
+    // executePlan validates the plan before any pricing walk.
+    auto exec = executePlan(db_, plan);
+    rep.rowsVisible = exec.rowsVisible;
+
+    priceQuery(plan, rep);
+    priceMerge(plan, exec.rowsVisible, rep);
+
+    if (result)
+        *result = std::move(exec.result);
+    return rep;
+}
+
 QueryReport
 OlapEngine::q1(std::int64_t delivery_after, std::vector<Q1Row> *rows)
 {
-    auto &tbl = db_.table(ChTable::OrderLine);
-    const auto &s = tbl.schema();
-    const ColumnId c_delivery = s.columnId("ol_delivery_d");
-    const ColumnId c_number = s.columnId("ol_number");
-    const ColumnId c_quantity = s.columnId("ol_quantity");
-    const ColumnId c_amount = s.columnId("ol_amount");
-
-    QueryReport rep;
-    rep.name = "Q1";
-    rep.consistencyNs = takeConsistency();
-
-    // PIM pipeline: Filter(delivery) -> Group(number) ->
-    // Aggregation(quantity) -> Aggregation(amount), serial scans.
-    for (const auto &[col, op] :
-         {std::pair{c_delivery, pim::OpType::Filter},
-          std::pair{c_number, pim::OpType::Group},
-          std::pair{c_quantity, pim::OpType::Aggregation},
-          std::pair{c_amount, pim::OpType::Aggregation}}) {
-        const auto cost = columnScanCost(tbl, col, op);
-        rep.pimNs += cost.schedule.total();
-        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
-    }
-    // CPU transfers the group indices to the banks holding the
-    // aggregated columns (2 B per visible row), then merges the
-    // per-unit partial sums.
-    std::uint64_t visible = 0;
-
-    std::array<Q1Row, 16> groups{};
-    forEachVisible(tbl, [&](Region reg, RowId r) {
-        ++visible;
-        const auto delivery =
-            tbl.store().columnValue(reg, c_delivery, r);
-        if (delivery <= delivery_after)
-            return;
-        const auto number =
-            tbl.store().columnValue(reg, c_number, r);
-        auto &g = groups.at(static_cast<std::size_t>(number));
-        g.olNumber = number;
-        g.sumQuantity +=
-            tbl.store().columnValue(reg, c_quantity, r);
-        g.sumAmount += tbl.store().columnValue(reg, c_amount, r);
-        ++g.count;
-    });
-    rep.rowsVisible = visible;
-    rep.cpuNs += busTime(visible * 2);
-    rep.cpuNs += busTime(static_cast<Bytes>(
-                     cfg_.geom.totalPimUnits()) *
-                 16 * 8);
-
+    QueryResult res;
+    auto rep = runQuery(plans::q1(delivery_after), &res);
     if (rows) {
         rows->clear();
-        for (const auto &g : groups)
-            if (g.count)
-                rows->push_back(g);
+        for (const auto &row : res.rows)
+            rows->push_back(Q1Row{row.keys[0], row.aggs[0],
+                                  row.aggs[1], row.count});
     }
     return rep;
 }
@@ -229,149 +312,23 @@ OlapEngine::q6(std::int64_t d_lo, std::int64_t d_hi,
                std::int64_t q_lo, std::int64_t q_hi,
                std::int64_t *revenue)
 {
-    auto &tbl = db_.table(ChTable::OrderLine);
-    const auto &s = tbl.schema();
-    const ColumnId c_delivery = s.columnId("ol_delivery_d");
-    const ColumnId c_quantity = s.columnId("ol_quantity");
-    const ColumnId c_amount = s.columnId("ol_amount");
-
-    QueryReport rep;
-    rep.name = "Q6";
-    rep.consistencyNs = takeConsistency();
-
-    for (const auto &[col, op] :
-         {std::pair{c_delivery, pim::OpType::Filter},
-          std::pair{c_quantity, pim::OpType::Filter},
-          std::pair{c_amount, pim::OpType::Aggregation}}) {
-        const auto cost = columnScanCost(tbl, col, op);
-        rep.pimNs += cost.schedule.total();
-        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
-    }
-    // CPU merges one partial sum per unit.
-    rep.cpuNs += busTime(static_cast<Bytes>(
-        cfg_.geom.totalPimUnits()) * 8);
-
-    std::int64_t sum = 0;
-    std::uint64_t visible = 0;
-    forEachVisible(tbl, [&](Region reg, RowId r) {
-        ++visible;
-        const auto d = tbl.store().columnValue(reg, c_delivery, r);
-        if (d < d_lo || d >= d_hi)
-            return;
-        const auto q = tbl.store().columnValue(reg, c_quantity, r);
-        if (q < q_lo || q > q_hi)
-            return;
-        sum += tbl.store().columnValue(reg, c_amount, r);
-    });
-    rep.rowsVisible = visible;
+    QueryResult res;
+    auto rep = runQuery(plans::q6(d_lo, d_hi, q_lo, q_hi), &res);
     if (revenue)
-        *revenue = sum;
+        *revenue = res.rows.front().aggs[0];
     return rep;
 }
 
 QueryReport
 OlapEngine::q9(std::vector<Q9Row> *rows)
 {
-    auto &items = db_.table(ChTable::Item);
-    auto &lines = db_.table(ChTable::OrderLine);
-    const auto &is = items.schema();
-    const auto &ls = lines.schema();
-    const ColumnId c_iid = is.columnId("i_id");
-    const ColumnId c_idata = is.columnId("i_data");
-    const ColumnId c_olid = ls.columnId("ol_i_id");
-    const ColumnId c_supply = ls.columnId("ol_supply_w_id");
-    const ColumnId c_amount = ls.columnId("ol_amount");
-
-    QueryReport rep;
-    rep.name = "Q9";
-    rep.consistencyNs = takeConsistency();
-
-    // Phase 1: the i_data predicate. i_data is a normal column (no
-    // query in the key-selection set scans it by itself), so the CPU
-    // evaluates it across the devices "with a performance loss"
-    // (section 4.1.2).
-    const auto idata_access = format::BandwidthModel(
-                                  db_.config().devices,
-                                  cfg_.geom.interleaveGranularity,
-                                  cfg_.geom.stripedLines)
-                                  .columnSetAccess(items.layout(),
-                                                   {c_idata});
-    rep.cpuNs += busTime(static_cast<Bytes>(
-        idata_access.fetchedBytes *
-        static_cast<double>(items.usedDataRows())));
-
-    // Phase 2: PIM hashes both join columns.
-    for (const auto &[tbl, col] :
-         {std::pair<txn::TableRuntime *, ColumnId>{&items, c_iid},
-          std::pair<txn::TableRuntime *, ColumnId>{&lines, c_olid}}) {
-        const auto cost =
-            columnScanCost(*tbl, col, pim::OpType::Hash);
-        rep.pimNs += cost.schedule.total();
-        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
-    }
-
-    // Phase 3: CPU fetches hashes, partitions buckets, pushes them
-    // back (4 B per value each way).
-    const std::uint64_t n_items = items.usedDataRows();
-    const std::uint64_t n_lines =
-        scannedDataRows(lines) + lines.versions().deltaUsed();
-    rep.cpuNs += 2.0 * busTime((n_items + n_lines) * 4);
-
-    // Phase 4: PIM joins within buckets (probe work across both
-    // inputs) and aggregates amount by supply warehouse.
-    {
-        pim::CostModel cm(cfg_.pimConfig);
-        const std::uint64_t per_unit =
-            (n_items + n_lines) / cfg_.geom.totalPimUnits() + 1;
-        rep.pimNs += cm.computeTime(pim::OpType::Join, per_unit);
-        const auto agg =
-            columnScanCost(lines, c_amount, pim::OpType::Aggregation);
-        rep.pimNs += agg.schedule.total();
-        const auto grp =
-            columnScanCost(lines, c_supply, pim::OpType::Group);
-        rep.pimNs += grp.schedule.total();
-        rep.cpuBlockedNs +=
-            agg.schedule.cpuBlockedTime + grp.schedule.cpuBlockedTime;
-    }
-
-    // Functional execution: filtered item set, then the join.
-    std::unordered_map<std::int64_t, bool> item_passes;
-    forEachVisible(items, [&](Region reg, RowId r) {
-        std::vector<std::uint8_t> buf(is.rowBytes());
-        items.store().readRow(reg, r, buf);
-        const workload::ConstRowView v(is, buf);
-        const auto data = v.getChars(c_idata);
-        const bool pass = data.substr(0, 8) == "ORIGINAL";
-        if (pass)
-            item_passes[v.getInt("i_id")] = true;
-    });
-
-    std::unordered_map<std::int64_t, Q9Row> agg;
-    std::uint64_t visible = 0;
-    forEachVisible(lines, [&](Region reg, RowId r) {
-        ++visible;
-        const auto iid = lines.store().columnValue(reg, c_olid, r);
-        if (!item_passes.contains(iid))
-            return;
-        const auto wid = lines.store().columnValue(reg, c_supply, r);
-        auto &row = agg[wid];
-        row.supplyWarehouse = wid;
-        row.sumAmount +=
-            lines.store().columnValue(reg, c_amount, r);
-        ++row.matches;
-    });
-    rep.rowsVisible = visible;
-
+    QueryResult res;
+    auto rep = runQuery(plans::q9(), &res);
     if (rows) {
         rows->clear();
-        for (const auto &[k, v] : agg) {
-            (void)k;
-            rows->push_back(v);
-        }
-        std::sort(rows->begin(), rows->end(),
-                  [](const Q9Row &a, const Q9Row &b) {
-                      return a.supplyWarehouse < b.supplyWarehouse;
-                  });
+        for (const auto &row : res.rows)
+            rows->push_back(
+                Q9Row{row.keys[0], row.aggs[0], row.count});
     }
     return rep;
 }

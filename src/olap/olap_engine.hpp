@@ -7,11 +7,13 @@
  * load/compute phases across the PIM units, preceded by snapshotting
  * and (periodically) defragmentation.
  *
- * Queries are executed functionally over the snapshot bitmaps — the
- * returned aggregates are exact and verifiable against a reference
- * scan — while the timing model prices each scan with the two-phase
- * schedule, the controller's offload overheads, and the CPU-side
- * transfer steps of the multi-column operators.
+ * Queries are logical plans (olap/plan.hpp) executed by the physical
+ * operator pipeline (olap/operators.hpp) over the snapshot bitmaps —
+ * the returned aggregates are exact and verifiable against a
+ * reference scan — while runQuery() prices each operator with the
+ * two-phase schedule, the controller's offload overheads, and the
+ * CPU-side transfer steps of the multi-column operators. Q1/Q6/Q9
+ * remain as thin wrappers over their plan definitions.
  */
 
 #include <cstddef>
@@ -24,6 +26,9 @@
 #include "memctrl/offload_costs.hpp"
 #include "mvcc/defragmenter.hpp"
 #include "mvcc/snapshotter.hpp"
+#include "olap/operators.hpp"
+#include "olap/plan.hpp"
+#include "olap/query_report.hpp"
 #include "pim/two_phase.hpp"
 #include "txn/database.hpp"
 
@@ -56,23 +61,6 @@ struct ScanCost
     Bytes bytesPerUnit = 0;
     std::uint32_t activeUnits = 0;
     pim::TwoPhaseSchedule schedule; ///< Per-unit phase schedule.
-};
-
-/** One query's execution report (Fig. 9(b) decomposition). */
-struct QueryReport
-{
-    std::string name;
-    TimeNs pimNs = 0.0;         ///< PIM load + compute + offload.
-    TimeNs cpuNs = 0.0;         ///< CPU-side operator work.
-    TimeNs consistencyNs = 0.0; ///< Snapshot (+ defragmentation).
-    TimeNs cpuBlockedNs = 0.0;  ///< Bank-lock time seen by OLTP.
-    std::uint64_t rowsVisible = 0;
-
-    TimeNs
-    totalNs() const
-    {
-        return pimNs + cpuNs + consistencyNs;
-    }
 };
 
 /** Q1 aggregate rows. */
@@ -114,16 +102,24 @@ class OlapEngine
     /** Pending consistency charge (cleared by the next query). */
     TimeNs pendingConsistencyNs() const { return pendingConsistency_; }
 
-    /** Q1: pricing summary over ORDERLINE. */
+    /**
+     * Execute @p plan through the operator pipeline over the current
+     * snapshot, pricing every operator (scan / filter / join / group
+     * / aggregate) through the two-phase and offload models.
+     */
+    QueryReport runQuery(const QueryPlan &plan,
+                         QueryResult *result = nullptr);
+
+    /** Q1: pricing summary over ORDERLINE (plan wrapper). */
     QueryReport q1(std::int64_t delivery_after,
                    std::vector<Q1Row> *rows = nullptr);
 
-    /** Q6: revenue-change selection over ORDERLINE. */
+    /** Q6: revenue-change selection over ORDERLINE (plan wrapper). */
     QueryReport q6(std::int64_t d_lo, std::int64_t d_hi,
                    std::int64_t q_lo, std::int64_t q_hi,
                    std::int64_t *revenue = nullptr);
 
-    /** Q9: item x orderline hash join, profit per supply warehouse. */
+    /** Q9: item x orderline hash join (plan wrapper). */
     QueryReport q9(std::vector<Q9Row> *rows = nullptr);
 
     /** Price one scan of @p column of table @p t as operator @p op. */
@@ -147,20 +143,27 @@ class OlapEngine
     std::uint64_t scannedDataRows(const txn::TableRuntime &tbl) const;
     std::uint64_t scannedDeltaRows(const txn::TableRuntime &tbl) const;
 
-    /** Apply fn(region, row) for every snapshot-visible row. */
-    template <typename Fn>
-    void
-    forEachVisible(const txn::TableRuntime &tbl, Fn &&fn) const
-    {
-        const auto &dv = tbl.store().dataVisible();
-        for (std::size_t r = dv.findNext(0); r < dv.size();
-             r = dv.findNext(r + 1))
-            fn(storage::Region::Data, static_cast<RowId>(r));
-        const auto &xv = tbl.store().deltaVisible();
-        for (std::size_t r = xv.findNext(0); r < xv.size();
-             r = xv.findNext(r + 1))
-            fn(storage::Region::Delta, static_cast<RowId>(r));
-    }
+    /**
+     * Accumulate the plan's operator timing contributions into
+     * @p rep: PIM scan schedules for predicates / group keys /
+     * aggregates, hash + partition + probe work per join, and the
+     * CPU gather path for char-predicate (normal) columns.
+     */
+    void priceQuery(const QueryPlan &plan, QueryReport &rep) const;
+
+    /** CPU-side merge charges that depend on the visible-row count. */
+    void priceMerge(const QueryPlan &plan, std::uint64_t visible,
+                    QueryReport &rep) const;
+
+    /** PIM scan when unfragmented, CPU gather otherwise. */
+    void priceColumnRead(const txn::TableRuntime &tbl,
+                         const std::string &column, pim::OpType op,
+                         QueryReport &rep) const;
+
+    /** CPU fragment-gather of one column (normal-column path). */
+    void priceCpuGather(const txn::TableRuntime &tbl,
+                        const std::string &column,
+                        QueryReport &rep) const;
 
     TimeNs takeConsistency();
 

@@ -1,0 +1,325 @@
+#include "olap/operators.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace pushtap::olap {
+
+using storage::Region;
+
+ColumnScanner::ColumnScanner(const txn::TableRuntime &tbl,
+                             const std::string &column)
+    : store_(&tbl.store()),
+      col_(tbl.schema().columnId(column)),
+      single_(tbl.layout().singlePlacement(col_) != nullptr)
+{
+    column_ = &tbl.schema().column(col_);
+    buf_.resize(column_->width);
+}
+
+std::int64_t
+ColumnScanner::intAt(Region reg, RowId r) const
+{
+    if (single_)
+        return store_->columnValue(reg, col_, r);
+    store_->readColumnBytes(reg, col_, r, buf_);
+    return format::decodeValue(*column_, buf_);
+}
+
+std::string_view
+ColumnScanner::charsAt(Region reg, RowId r) const
+{
+    store_->readColumnBytes(reg, col_, r, buf_);
+    return {reinterpret_cast<const char *>(buf_.data()),
+            buf_.size()};
+}
+
+RowFilter::RowFilter(const txn::TableRuntime &tbl,
+                     const TableInput &input)
+{
+    for (const auto &p : input.intPredicates)
+        intPreds_.push_back(
+            {ColumnScanner(tbl, p.column), p.lo, p.hi});
+    for (const auto &p : input.charPredicates)
+        charPreds_.push_back(
+            {ColumnScanner(tbl, p.column), p.prefix, p.negate});
+}
+
+bool
+RowFilter::pass(Region reg, RowId r) const
+{
+    for (const auto &p : intPreds_) {
+        const auto v = p.scan.intAt(reg, r);
+        if (v < p.lo || v > p.hi)
+            return false;
+    }
+    for (const auto &p : charPreds_) {
+        const auto chars = p.scan.charsAt(reg, r);
+        const bool match =
+            chars.substr(0, p.prefix.size()) == p.prefix;
+        if (match == p.negate)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Exact hash-key encoding: 8 little-endian bytes per value. */
+void
+appendKey(std::string &key, std::int64_t v)
+{
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+        key.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+}
+
+/** One join's built hash table: key -> matching payload tuples. */
+struct BuildSide
+{
+    std::unordered_map<std::string,
+                       std::vector<std::vector<std::int64_t>>>
+        buckets;
+};
+
+/**
+ * Evaluates one ColRef per probe row: a typed probe-column scan or a
+ * lookup into the current match of an earlier inner join.
+ */
+struct RefReader
+{
+    int side = ColRef::kProbe;
+    std::size_t payloadIdx = 0;
+    std::optional<ColumnScanner> scan; ///< Set for probe-side refs.
+
+    std::int64_t
+    value(Region reg, RowId r,
+          const std::vector<const std::vector<std::int64_t> *>
+              &current) const
+    {
+        if (side == ColRef::kProbe)
+            return scan->intAt(reg, r);
+        return (*current[static_cast<std::size_t>(side)])[payloadIdx];
+    }
+};
+
+RefReader
+makeRefReader(const txn::Database &db, const QueryPlan &plan,
+              const ColRef &ref)
+{
+    RefReader rd;
+    rd.side = ref.side;
+    if (ref.side == ColRef::kProbe) {
+        rd.scan.emplace(db.table(plan.probe.table), ref.column);
+        return rd;
+    }
+    const auto &payload =
+        plan.joins[static_cast<std::size_t>(ref.side)].payload;
+    rd.payloadIdx = static_cast<std::size_t>(
+        std::find(payload.begin(), payload.end(), ref.column) -
+        payload.begin());
+    return rd;
+}
+
+/** Grouped-aggregation accumulator (exact integer arithmetic). */
+struct Accum
+{
+    std::vector<std::int64_t> aggs;
+    std::uint64_t count = 0;
+};
+
+} // namespace
+
+PlanExecution
+executePlan(const txn::Database &db, const QueryPlan &plan)
+{
+    validatePlan(plan);
+    const auto &probe_tbl = db.table(plan.probe.table);
+
+    // Build phase: hash each (filtered) build table.
+    std::vector<BuildSide> builds(plan.joins.size());
+    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+        const auto &join = plan.joins[k];
+        const auto &tbl = db.table(join.build.table);
+        const RowFilter filter(tbl, join.build);
+        std::vector<ColumnScanner> key_scans;
+        for (const auto &[build_col, ref] : join.keys) {
+            (void)ref;
+            key_scans.emplace_back(tbl, build_col);
+        }
+        std::vector<ColumnScanner> payload_scans;
+        for (const auto &col : join.payload)
+            payload_scans.emplace_back(tbl, col);
+
+        std::string key; // reused across rows
+        forEachVisibleRow(tbl.store(), [&](Region reg, RowId r) {
+            if (!filter.pass(reg, r))
+                return;
+            key.clear();
+            for (const auto &s : key_scans)
+                appendKey(key, s.intAt(reg, r));
+            auto &bucket = builds[k].buckets[key];
+            if (join.kind == JoinKind::Inner) {
+                std::vector<std::int64_t> tuple;
+                tuple.reserve(payload_scans.size());
+                for (const auto &s : payload_scans)
+                    tuple.push_back(s.intAt(reg, r));
+                bucket.push_back(std::move(tuple));
+            } else if (bucket.empty()) {
+                // Semi/Anti joins only need existence.
+                bucket.emplace_back();
+            }
+        });
+    }
+
+    // Probe-side readers.
+    const RowFilter probe_filter(probe_tbl, plan.probe);
+    std::vector<std::vector<RefReader>> join_key_refs(
+        plan.joins.size());
+    for (std::size_t k = 0; k < plan.joins.size(); ++k)
+        for (const auto &[build_col, ref] : plan.joins[k].keys) {
+            (void)build_col;
+            join_key_refs[k].push_back(makeRefReader(db, plan, ref));
+        }
+    std::vector<RefReader> group_refs;
+    for (const auto &key : plan.groupBy)
+        group_refs.push_back(makeRefReader(db, plan, key));
+    std::vector<RefReader> agg_refs;
+    for (const auto &agg : plan.aggregates)
+        agg_refs.push_back(makeRefReader(db, plan, agg.value));
+
+    // Probe phase: filter, join, accumulate into ordered groups.
+    // The per-row scratch buffers live outside the scan loop: inner
+    // joins reset their `current` slot after descending and semi /
+    // anti joins never set one, so reuse is safe.
+    std::map<std::vector<std::int64_t>, Accum> groups;
+    std::uint64_t visible = 0;
+    std::vector<const std::vector<std::int64_t> *> current(
+        plan.joins.size(), nullptr);
+    std::vector<std::string> level_keys(plan.joins.size());
+    std::vector<std::int64_t> group_key;
+    forEachVisibleRow(probe_tbl.store(), [&](Region reg, RowId r) {
+        ++visible;
+        if (!probe_filter.pass(reg, r))
+            return;
+
+        auto accumulate = [&]() {
+            group_key.clear();
+            for (const auto &g : group_refs)
+                group_key.push_back(g.value(reg, r, current));
+            auto &acc = groups[group_key];
+            if (acc.count == 0)
+                acc.aggs.assign(agg_refs.size(), 0);
+            for (std::size_t i = 0; i < agg_refs.size(); ++i) {
+                const auto v = agg_refs[i].value(reg, r, current);
+                switch (plan.aggregates[i].kind) {
+                  case AggKind::Sum:
+                    acc.aggs[i] += v;
+                    break;
+                  case AggKind::Min:
+                    acc.aggs[i] =
+                        acc.count == 0 ? v
+                                       : std::min(acc.aggs[i], v);
+                    break;
+                  case AggKind::Max:
+                    acc.aggs[i] =
+                        acc.count == 0 ? v
+                                       : std::max(acc.aggs[i], v);
+                    break;
+                }
+            }
+            ++acc.count;
+        };
+
+        auto descend = [&](auto &&self, std::size_t k) -> void {
+            if (k == plan.joins.size()) {
+                accumulate();
+                return;
+            }
+            auto &key = level_keys[k];
+            key.clear();
+            for (const auto &ref : join_key_refs[k])
+                appendKey(key, ref.value(reg, r, current));
+            const auto it = builds[k].buckets.find(key);
+            const bool found = it != builds[k].buckets.end() &&
+                               !it->second.empty();
+            switch (plan.joins[k].kind) {
+              case JoinKind::Semi:
+                if (found)
+                    self(self, k + 1);
+                break;
+              case JoinKind::Anti:
+                if (!found)
+                    self(self, k + 1);
+                break;
+              case JoinKind::Inner:
+                if (!found)
+                    break;
+                for (const auto &tuple : it->second) {
+                    current[k] = &tuple;
+                    self(self, k + 1);
+                }
+                current[k] = nullptr;
+                break;
+            }
+        };
+        descend(descend, 0);
+    });
+
+    // An ungrouped query always yields exactly one row (zero sums
+    // and count when nothing matched).
+    if (plan.groupBy.empty() && groups.empty())
+        groups[{}] = Accum{std::vector<std::int64_t>(
+                               plan.aggregates.size(), 0),
+                           0};
+
+    // Materialize (std::map iteration = ascending group keys), then
+    // sort/limit.
+    PlanExecution out;
+    out.rowsVisible = visible;
+    out.result.rows.reserve(groups.size());
+    for (auto &[key, acc] : groups)
+        out.result.rows.push_back(
+            ResultRow{key, std::move(acc.aggs), acc.count});
+
+    if (!plan.orderBy.empty()) {
+        std::stable_sort(
+            out.result.rows.begin(), out.result.rows.end(),
+            [&plan](const ResultRow &a, const ResultRow &b) {
+                for (const auto &sk : plan.orderBy) {
+                    std::int64_t av = 0, bv = 0;
+                    switch (sk.target) {
+                      case SortKey::Target::GroupKey:
+                        av = a.keys[sk.index];
+                        bv = b.keys[sk.index];
+                        break;
+                      case SortKey::Target::Aggregate:
+                        av = a.aggs[sk.index];
+                        bv = b.aggs[sk.index];
+                        break;
+                      case SortKey::Target::Count:
+                        av = static_cast<std::int64_t>(a.count);
+                        bv = static_cast<std::int64_t>(b.count);
+                        break;
+                    }
+                    if (av != bv)
+                        return sk.descending ? av > bv : av < bv;
+                }
+                return false;
+            });
+    }
+    if (plan.limit != 0 && out.result.rows.size() > plan.limit)
+        out.result.rows.resize(plan.limit);
+    return out;
+}
+
+} // namespace pushtap::olap

@@ -1,0 +1,124 @@
+#pragma once
+
+/**
+ * @file
+ * Physical operators of the OLAP pipeline: a typed column scan over
+ * the snapshot bitmaps, predicate filters, a hash join (build +
+ * probe), a grouped aggregate and a sort/limit, composed by
+ * executePlan() according to a logical QueryPlan.
+ *
+ * The operators compute exact results over the MVCC snapshot — every
+ * aggregate is verifiable against a reference scan through the
+ * version chains — while the timing contribution of each operator is
+ * accumulated separately by the pricing walks in olap_engine.cpp and
+ * analytic_olap.cpp.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "olap/plan.hpp"
+#include "storage/table_store.hpp"
+#include "txn/database.hpp"
+
+namespace pushtap::olap {
+
+/** Apply fn(region, row) to every snapshot-visible row of a table. */
+template <typename Fn>
+void
+forEachVisibleRow(const storage::TableStore &store, Fn &&fn)
+{
+    const auto &dv = store.dataVisible();
+    for (std::size_t r = dv.findNext(0); r < dv.size();
+         r = dv.findNext(r + 1))
+        fn(storage::Region::Data, static_cast<RowId>(r));
+    const auto &xv = store.deltaVisible();
+    for (std::size_t r = xv.findNext(0); r < xv.size();
+         r = xv.findNext(r + 1))
+        fn(storage::Region::Delta, static_cast<RowId>(r));
+}
+
+/**
+ * Typed scan of one column of one table: the PIM units' localized
+ * single read for unfragmented (key) columns, the CPU fragment-gather
+ * path otherwise.
+ */
+class ColumnScanner
+{
+  public:
+    ColumnScanner(const txn::TableRuntime &tbl,
+                  const std::string &column);
+
+    std::int64_t intAt(storage::Region reg, RowId r) const;
+
+    /**
+     * Raw column bytes. The view aliases this scanner's scratch
+     * buffer: it is invalidated by the next charsAt — or intAt on a
+     * fragmented column — on the same scanner.
+     */
+    std::string_view charsAt(storage::Region reg, RowId r) const;
+
+  private:
+    const storage::TableStore *store_;
+    const format::Column *column_;
+    ColumnId col_;
+    bool single_; ///< One fragment: the fast columnValue path.
+    mutable std::vector<std::uint8_t> buf_;
+};
+
+/** Predicate filter over one table's pushed-down predicates. */
+class RowFilter
+{
+  public:
+    RowFilter(const txn::TableRuntime &tbl, const TableInput &input);
+
+    bool pass(storage::Region reg, RowId r) const;
+
+  private:
+    struct IntPred
+    {
+        ColumnScanner scan;
+        std::int64_t lo, hi;
+    };
+    struct CharPred
+    {
+        ColumnScanner scan;
+        std::string prefix;
+        bool negate;
+    };
+    std::vector<IntPred> intPreds_;
+    std::vector<CharPred> charPreds_;
+};
+
+/** One output row of a plan. */
+struct ResultRow
+{
+    std::vector<std::int64_t> keys; ///< Group-key values.
+    std::vector<std::int64_t> aggs; ///< Aggregate values.
+    std::uint64_t count = 0;        ///< Rows in the group.
+};
+
+struct QueryResult
+{
+    std::vector<ResultRow> rows;
+};
+
+struct PlanExecution
+{
+    QueryResult result;
+    /** Snapshot-visible rows of the probe table (filtered or not). */
+    std::uint64_t rowsVisible = 0;
+};
+
+/**
+ * Execute @p plan exactly over the current snapshot bitmaps of @p db.
+ * The plan is validated first (fatal on malformed plans).
+ */
+PlanExecution executePlan(const txn::Database &db,
+                          const QueryPlan &plan);
+
+} // namespace pushtap::olap

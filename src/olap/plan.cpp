@@ -1,0 +1,366 @@
+#include "olap/plan.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace pushtap::olap {
+
+using workload::ChTable;
+
+workload::ChTable
+tableOf(const QueryPlan &plan, const ColRef &ref)
+{
+    if (ref.side == ColRef::kProbe)
+        return plan.probe.table;
+    return plan.joins.at(static_cast<std::size_t>(ref.side))
+        .build.table;
+}
+
+std::set<std::pair<workload::ChTable, std::string>>
+touchedColumns(const QueryPlan &plan)
+{
+    std::set<std::pair<ChTable, std::string>> touched;
+    auto addInput = [&touched](const TableInput &in) {
+        for (const auto &p : in.intPredicates)
+            touched.emplace(in.table, p.column);
+        for (const auto &p : in.charPredicates)
+            touched.emplace(in.table, p.column);
+    };
+    auto addRef = [&touched, &plan](const ColRef &ref) {
+        touched.emplace(tableOf(plan, ref), ref.column);
+    };
+
+    addInput(plan.probe);
+    for (const auto &join : plan.joins) {
+        addInput(join.build);
+        for (const auto &[build_col, ref] : join.keys) {
+            touched.emplace(join.build.table, build_col);
+            addRef(ref);
+        }
+    }
+    for (const auto &key : plan.groupBy)
+        addRef(key);
+    for (const auto &agg : plan.aggregates)
+        addRef(agg.value);
+    return touched;
+}
+
+namespace {
+
+const format::TableSchema &
+schemaOf(ChTable t)
+{
+    static const auto schemas = workload::chBenchmarkSchemas();
+    return schemas[static_cast<std::size_t>(t)];
+}
+
+void
+checkColumn(const QueryPlan &plan, ChTable t, const std::string &name,
+            format::ColType type)
+{
+    const auto &s = schemaOf(t);
+    if (!s.hasColumn(name))
+        fatal("plan {}: table {} has no column {}", plan.name,
+              s.name(), name);
+    const auto &col = s.column(s.columnId(name));
+    if (col.type != type)
+        fatal("plan {}: column {}.{} has the wrong type", plan.name,
+              s.name(), name);
+}
+
+/** Resolve @p ref against the probe table or joins [0, upto). */
+void
+checkRef(const QueryPlan &plan, const ColRef &ref, std::size_t upto,
+         const char *what)
+{
+    if (ref.side == ColRef::kProbe) {
+        checkColumn(plan, plan.probe.table, ref.column,
+                    format::ColType::Int);
+        return;
+    }
+    if (ref.side < 0 ||
+        static_cast<std::size_t>(ref.side) >= upto)
+        fatal("plan {}: {} references side {} (only the probe and "
+              "{} earlier joins are in scope)",
+              plan.name, what, ref.side, upto);
+    const auto &join = plan.joins[static_cast<std::size_t>(ref.side)];
+    if (join.kind != JoinKind::Inner)
+        fatal("plan {}: {} references the payload of a non-inner "
+              "join", plan.name, what);
+    if (std::find(join.payload.begin(), join.payload.end(),
+                  ref.column) == join.payload.end())
+        fatal("plan {}: {} references column {} absent from join {} "
+              "payload", plan.name, what, ref.column, ref.side);
+}
+
+void
+checkInput(const QueryPlan &plan, const TableInput &in)
+{
+    // An empty range (lo > hi) is legal: it selects nothing, the
+    // way a degenerate query window does.
+    for (const auto &p : in.intPredicates)
+        checkColumn(plan, in.table, p.column, format::ColType::Int);
+    for (const auto &p : in.charPredicates)
+        checkColumn(plan, in.table, p.column, format::ColType::Char);
+}
+
+} // namespace
+
+void
+validatePlan(const QueryPlan &plan)
+{
+    if (plan.name.empty())
+        fatal("plan has no name");
+    checkInput(plan, plan.probe);
+    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+        const auto &join = plan.joins[k];
+        checkInput(plan, join.build);
+        if (join.keys.empty())
+            fatal("plan {}: join {} has no equality keys", plan.name,
+                  k);
+        for (const auto &[build_col, ref] : join.keys) {
+            checkColumn(plan, join.build.table, build_col,
+                        format::ColType::Int);
+            checkRef(plan, ref, k, "join key");
+        }
+        for (const auto &col : join.payload)
+            checkColumn(plan, join.build.table, col,
+                        format::ColType::Int);
+        if (join.kind != JoinKind::Inner && !join.payload.empty())
+            fatal("plan {}: join {} is semi/anti but has a payload",
+                  plan.name, k);
+    }
+    for (const auto &key : plan.groupBy)
+        checkRef(plan, key, plan.joins.size(), "group key");
+    for (const auto &agg : plan.aggregates)
+        checkRef(plan, agg.value, plan.joins.size(), "aggregate");
+    for (const auto &sk : plan.orderBy) {
+        const std::size_t bound =
+            sk.target == SortKey::Target::GroupKey
+                ? plan.groupBy.size()
+                : sk.target == SortKey::Target::Aggregate
+                      ? plan.aggregates.size()
+                      : 1;
+        if (sk.target != SortKey::Target::Count && sk.index >= bound)
+            fatal("plan {}: sort key index {} out of range",
+                  plan.name, sk.index);
+    }
+}
+
+namespace plans {
+
+namespace {
+
+/** The never-matching range (lo > hi selects nothing). */
+IntRange
+emptyRange(const char *column)
+{
+    return {column, 0, -1};
+}
+
+} // namespace
+
+QueryPlan
+q1(std::int64_t delivery_after)
+{
+    QueryPlan p;
+    p.name = "Q1";
+    p.probe.table = ChTable::OrderLine;
+    // Strictly-greater-than as an inclusive range; nothing is
+    // greater than INT64_MAX.
+    p.probe.intPredicates = {
+        delivery_after == std::numeric_limits<std::int64_t>::max()
+            ? emptyRange("ol_delivery_d")
+            : IntRange{"ol_delivery_d", delivery_after + 1,
+                       std::numeric_limits<std::int64_t>::max()}};
+    p.groupBy = {{ColRef::kProbe, "ol_number"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_quantity"}},
+                    {AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q6(std::int64_t d_lo, std::int64_t d_hi, std::int64_t q_lo,
+   std::int64_t q_hi)
+{
+    QueryPlan p;
+    p.name = "Q6";
+    p.probe.table = ChTable::OrderLine;
+    // The engine's historical Q6 takes a half-open delivery range;
+    // nothing is below INT64_MIN.
+    p.probe.intPredicates = {
+        d_hi == std::numeric_limits<std::int64_t>::min()
+            ? emptyRange("ol_delivery_d")
+            : IntRange{"ol_delivery_d", d_lo, d_hi - 1},
+        {"ol_quantity", q_lo, q_hi}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q9()
+{
+    QueryPlan p;
+    p.name = "Q9";
+    p.probe.table = ChTable::OrderLine;
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "ol_i_id"}}};
+    p.joins = {std::move(items)};
+    p.groupBy = {{ColRef::kProbe, "ol_supply_w_id"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q3(std::int64_t entry_after, std::string state_prefix)
+{
+    QueryPlan p;
+    p.name = "Q3";
+    p.probe.table = ChTable::OrderLine;
+
+    JoinSpec pending;
+    pending.build.table = ChTable::NewOrder;
+    pending.kind = JoinKind::Semi;
+    pending.keys = {{"no_o_id", {ColRef::kProbe, "ol_o_id"}},
+                    {"no_d_id", {ColRef::kProbe, "ol_d_id"}},
+                    {"no_w_id", {ColRef::kProbe, "ol_w_id"}}};
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {
+        {"o_entry_d", entry_after,
+         std::numeric_limits<std::int64_t>::max()}};
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}},
+                   {"o_d_id", {ColRef::kProbe, "ol_d_id"}},
+                   {"o_w_id", {ColRef::kProbe, "ol_w_id"}}};
+    orders.payload = {"o_c_id", "o_entry_d"};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.charPredicates = {
+        {"c_state", std::move(state_prefix), false}};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {1, "o_c_id"}},
+                      {"c_d_id", {ColRef::kProbe, "ol_d_id"}},
+                      {"c_w_id", {ColRef::kProbe, "ol_w_id"}}};
+
+    p.joins = {std::move(pending), std::move(orders),
+               std::move(customers)};
+    p.groupBy = {{ColRef::kProbe, "ol_o_id"},
+                 {ColRef::kProbe, "ol_d_id"},
+                 {ColRef::kProbe, "ol_w_id"},
+                 {1, "o_entry_d"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    p.limit = 10;
+    return p;
+}
+
+QueryPlan
+q4(std::int64_t entry_lo, std::int64_t entry_hi,
+   std::int64_t delivered_after)
+{
+    QueryPlan p;
+    p.name = "Q4";
+    p.probe.table = ChTable::Orders;
+    p.probe.intPredicates = {{"o_entry_d", entry_lo, entry_hi}};
+
+    JoinSpec lines;
+    lines.build.table = ChTable::OrderLine;
+    lines.build.intPredicates = {
+        {"ol_delivery_d", delivered_after,
+         std::numeric_limits<std::int64_t>::max()}};
+    lines.kind = JoinKind::Semi;
+    lines.keys = {{"ol_o_id", {ColRef::kProbe, "o_id"}},
+                  {"ol_d_id", {ColRef::kProbe, "o_d_id"}},
+                  {"ol_w_id", {ColRef::kProbe, "o_w_id"}}};
+    p.joins = {std::move(lines)};
+
+    p.groupBy = {{ColRef::kProbe, "o_ol_cnt"}};
+    return p;
+}
+
+QueryPlan
+q12(std::int64_t delivery_lo, std::int64_t delivery_hi,
+    std::int64_t carrier_lo, std::int64_t carrier_hi)
+{
+    QueryPlan p;
+    p.name = "Q12";
+    p.probe.table = ChTable::OrderLine;
+    p.probe.intPredicates = {
+        {"ol_delivery_d", delivery_lo, delivery_hi}};
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {
+        {"o_entry_d", std::numeric_limits<std::int64_t>::min(),
+         delivery_hi},
+        {"o_carrier_id", carrier_lo, carrier_hi}};
+    orders.kind = JoinKind::Inner;
+    // Composite order key: o_id alone is not unique across
+    // districts (each district's runtime counter overlaps the seed
+    // id range), exactly why CH Q12 joins on the full triple.
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}},
+                   {"o_d_id", {ColRef::kProbe, "ol_d_id"}},
+                   {"o_w_id", {ColRef::kProbe, "ol_w_id"}}};
+    orders.payload = {"o_ol_cnt"};
+    p.joins = {std::move(orders)};
+
+    p.groupBy = {{0, "o_ol_cnt"}};
+    return p;
+}
+
+QueryPlan
+q14(std::int64_t delivery_lo, std::int64_t delivery_hi)
+{
+    QueryPlan p;
+    p.name = "Q14";
+    p.probe.table = ChTable::OrderLine;
+    p.probe.intPredicates = {
+        {"ol_delivery_d", delivery_lo, delivery_hi}};
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "ol_i_id"}}};
+    p.joins = {std::move(items)};
+
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q19(std::int64_t q_lo, std::int64_t q_hi, std::int64_t w_lo,
+    std::int64_t w_hi, std::int64_t price_lo, std::int64_t price_hi)
+{
+    QueryPlan p;
+    p.name = "Q19";
+    p.probe.table = ChTable::OrderLine;
+    p.probe.intPredicates = {{"ol_quantity", q_lo, q_hi},
+                             {"ol_w_id", w_lo, w_hi}};
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.intPredicates = {{"i_price", price_lo, price_hi}};
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "ol_i_id"}}};
+    p.joins = {std::move(items)};
+
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+} // namespace plans
+
+} // namespace pushtap::olap

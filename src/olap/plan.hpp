@@ -1,0 +1,212 @@
+#pragma once
+
+/**
+ * @file
+ * Logical query plans for the CH-benCHmark analytical queries.
+ *
+ * A plan is pure data: one probe table with pushed-down predicates, a
+ * chain of hash joins against filtered build tables, a grouped
+ * aggregation and an optional sort/limit. The physical operators in
+ * olap/operators.hpp execute a plan exactly over the MVCC snapshot
+ * bitmaps; the pricing walks in olap/olap_engine.cpp (single-instance
+ * PIM engine) and htap/analytic_olap.cpp (Ideal/MI baselines) derive
+ * each operator's timing contribution from the same structure.
+ *
+ * The builders in plans:: define the executable CH queries. Q1/Q6/Q9
+ * reproduce the engine's original bespoke code paths exactly; the
+ * remaining queries follow the standard CH rewrites, with correlated
+ * subquery predicates flattened to absolute ranges where noted.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/ch_gen.hpp"
+#include "workload/ch_schema.hpp"
+
+namespace pushtap::olap {
+
+/**
+ * Reference to a column of one of the plan's inputs: the probe table
+ * (side == kProbe) or the payload of an earlier join (side == index
+ * into QueryPlan::joins; the column must be in that join's payload).
+ */
+struct ColRef
+{
+    static constexpr int kProbe = -1;
+
+    int side = kProbe;
+    std::string column;
+
+    bool operator==(const ColRef &) const = default;
+};
+
+/** Inclusive integer range predicate over one Int column. */
+struct IntRange
+{
+    std::string column;
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+};
+
+/** Byte-prefix predicate over a Char column. */
+struct CharPrefix
+{
+    std::string column;
+    std::string prefix;
+    bool negate = false; ///< Keep rows NOT starting with the prefix.
+};
+
+/** One input table with its pushed-down predicates. */
+struct TableInput
+{
+    workload::ChTable table{};
+    std::vector<IntRange> intPredicates;
+    std::vector<CharPrefix> charPredicates;
+};
+
+enum class JoinKind : std::uint8_t
+{
+    Inner, ///< Emit one output per matching build row.
+    Semi,  ///< Keep probe rows with at least one match (EXISTS).
+    Anti,  ///< Keep probe rows with no match (NOT EXISTS).
+};
+
+/** Hash join of a filtered build table against probe-side columns. */
+struct JoinSpec
+{
+    TableInput build;
+    JoinKind kind = JoinKind::Inner;
+    /** Equality pairs: build column == probe-side reference. */
+    std::vector<std::pair<std::string, ColRef>> keys;
+    /** Build columns carried downstream (Inner joins only). */
+    std::vector<std::string> payload;
+};
+
+enum class AggKind : std::uint8_t
+{
+    Sum,
+    Min,
+    Max,
+};
+
+/** One aggregate over an Int column (a row count is always kept). */
+struct AggSpec
+{
+    AggKind kind = AggKind::Sum;
+    ColRef value;
+};
+
+/** One sort criterion over the result rows. */
+struct SortKey
+{
+    enum class Target : std::uint8_t
+    {
+        GroupKey,  ///< index into QueryPlan::groupBy
+        Aggregate, ///< index into QueryPlan::aggregates
+        Count,     ///< the per-group row count (index unused)
+    };
+
+    Target target = Target::GroupKey;
+    std::size_t index = 0;
+    bool descending = false;
+};
+
+/**
+ * A complete logical plan. Result rows are grouped by `groupBy`
+ * (exactly one ungrouped row when empty), carry `aggregates` plus a
+ * row count, and are ordered by `orderBy` (ascending group keys when
+ * empty), truncated to `limit` rows when non-zero.
+ */
+struct QueryPlan
+{
+    std::string name;
+    TableInput probe;
+    std::vector<JoinSpec> joins;
+    std::vector<ColRef> groupBy;
+    std::vector<AggSpec> aggregates;
+    std::vector<SortKey> orderBy;
+    std::uint64_t limit = 0;
+    /**
+     * Group slots per PIM unit the CPU merge step transfers (the
+     * grouped-aggregate CPU pricing term; 16 matches Q1's fixed
+     * ol_number domain).
+     */
+    std::uint32_t groupSlots = 16;
+};
+
+/** Table a column reference resolves to. */
+workload::ChTable tableOf(const QueryPlan &plan, const ColRef &ref);
+
+/**
+ * Every (table, column) the plan reads — predicates, join keys, group
+ * keys and aggregate inputs. This is the set the query-catalog
+ * footprint consistency test compares against QueryFootprint.
+ */
+std::set<std::pair<workload::ChTable, std::string>>
+touchedColumns(const QueryPlan &plan);
+
+/**
+ * Structural validation against the CH schemas: referenced columns
+ * exist with the right ColType, join-key/group/aggregate references
+ * resolve to the probe table or an earlier Inner join's payload.
+ * fatal() on violation.
+ */
+void validatePlan(const QueryPlan &plan);
+
+namespace plans {
+
+/** Q1: pricing summary over ORDERLINE, grouped by ol_number. */
+QueryPlan q1(std::int64_t delivery_after = workload::kDateBase);
+
+/** Q6: revenue-change selection over ORDERLINE. */
+QueryPlan q6(std::int64_t d_lo = workload::kDateBase,
+             std::int64_t d_hi = workload::kDateBase + 2000,
+             std::int64_t q_lo = 1, std::int64_t q_hi = 10);
+
+/**
+ * Q9 (simplified): ITEM x ORDERLINE hash join on the "ORIGINAL"
+ * items, profit per supply warehouse. The STOCK and ORDERS legs of
+ * the full CH Q9 are elided (the catalog footprint keeps them, so
+ * this plan touches a strict subset of its footprint).
+ */
+QueryPlan q9();
+
+/** Q3: shipping priority — customer x neworder x orders x orderline. */
+QueryPlan q3(std::int64_t entry_after = workload::kDateBase,
+             std::string state_prefix = "A");
+
+/**
+ * Q4: order priority checking. The correlated `ol_delivery_d >=
+ * o_entry_d` EXISTS predicate is flattened to an absolute date bound.
+ */
+QueryPlan q4(std::int64_t entry_lo = workload::kDateBase,
+             std::int64_t entry_hi = workload::kDateBase + 4000,
+             std::int64_t delivered_after = workload::kDateBase);
+
+/**
+ * Q12: shipping mode / order priority. The correlated `o_entry_d <=
+ * ol_delivery_d` predicate is flattened to an absolute range.
+ */
+QueryPlan q12(std::int64_t delivery_lo = workload::kDateBase,
+              std::int64_t delivery_hi = workload::kDateBase + 4000,
+              std::int64_t carrier_lo = 1,
+              std::int64_t carrier_hi = 2);
+
+/** Q14: promotion effect over ITEM x ORDERLINE. */
+QueryPlan q14(std::int64_t delivery_lo = workload::kDateBase,
+              std::int64_t delivery_hi = workload::kDateBase + 4000);
+
+/** Q19: discounted revenue over ITEM x ORDERLINE. */
+QueryPlan q19(std::int64_t q_lo = 1, std::int64_t q_hi = 5,
+              std::int64_t w_lo = 0, std::int64_t w_hi = 0,
+              std::int64_t price_lo = 100,
+              std::int64_t price_hi = 5000);
+
+} // namespace plans
+
+} // namespace pushtap::olap

@@ -116,13 +116,26 @@ TableStore::columnValue(Region reg, ColumnId c, RowId r) const
     const auto &bytes = regionStore(reg).parts[pl.part][dev];
     const std::uint64_t off = r * w + pl.slotOffset;
 
-    std::uint64_t v = 0;
-    for (std::uint32_t i = 0; i < col.width; ++i)
-        v |= static_cast<std::uint64_t>(bytes[off + i]) << (8 * i);
-    if (col.type == format::ColType::Int && col.width < 8 &&
-        (v & (1ULL << (8 * col.width - 1))))
-        v |= ~((1ULL << (8 * col.width)) - 1);
-    return static_cast<std::int64_t>(v);
+    return format::decodeValue(
+        col, std::span<const std::uint8_t>(bytes).subspan(off));
+}
+
+void
+TableStore::readColumnBytes(Region reg, ColumnId c, RowId r,
+                            std::span<std::uint8_t> out) const
+{
+    const auto &col = schema().column(c);
+    if (out.size() < col.width)
+        panic("readColumnBytes: buffer {} < column width {}",
+              out.size(), col.width);
+    for (const auto &pl : layout_->placements(c)) {
+        const auto w = layout_->parts()[pl.part].rowWidth;
+        const std::uint32_t dev = circulant_.deviceFor(pl.slot, r);
+        const auto &bytes = regionStore(reg).parts[pl.part][dev];
+        std::memcpy(out.data() + pl.fragment.byteOffset,
+                    bytes.data() + r * w + pl.slotOffset,
+                    pl.fragment.byteCount);
+    }
 }
 
 Bytes

@@ -83,6 +83,15 @@ class TableStore
     std::int64_t columnValue(Region reg, ColumnId c, RowId r) const;
 
     /**
+     * Gather the raw bytes of one column of one row, fragment by
+     * fragment (works for fragmented normal columns and char columns;
+     * this is the CPU gather path the bandwidth model prices). @p out
+     * must hold at least the column's width.
+     */
+    void readColumnBytes(Region reg, ColumnId c, RowId r,
+                         std::span<std::uint8_t> out) const;
+
+    /**
      * Copy the full row @p from (delta) over row @p to (data) the way
      * the PIM Defragment operation does: device-local, slot-aligned
      * copies. Requires both rows to have the same rotation. Returns

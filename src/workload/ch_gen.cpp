@@ -81,8 +81,11 @@ ChGenerator::fillRow(ChTable t, const format::TableSchema &schema,
         v.setChars("d_zip", "987654321");
         v.setInt("d_tax", rng.inRange(0, 2000));
         v.setInt("d_ytd", 3'000'000);
-        v.setInt("d_next_o_id",
-                 static_cast<std::int64_t>(n_orders / n_districts));
+        // Runtime order ids start above every seed o_id so the
+        // composite (o_id, d_id, w_id) order key stays unique across
+        // inserts (CH join multiplicity and the PK index depend on
+        // it).
+        v.setInt("d_next_o_id", static_cast<std::int64_t>(n_orders));
         break;
       case ChTable::Customer:
         v.setInt("c_id", static_cast<std::int64_t>(r));

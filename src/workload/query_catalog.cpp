@@ -145,13 +145,18 @@ buildCatalog()
           {T::Stock, "s_w_id"},
           {T::Stock, "s_quantity"},
           {T::Stock, "s_order_cnt"}}},
-        // Q12: shipping mode / order priority.
+        // Q12: shipping mode / order priority (joined on the full
+        // composite order key, as the CH rewrite does).
         {12,
          {{T::Orders, "o_id"},
+          {T::Orders, "o_d_id"},
+          {T::Orders, "o_w_id"},
           {T::Orders, "o_entry_d"},
           {T::Orders, "o_carrier_id"},
           {T::Orders, "o_ol_cnt"},
           {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_d_id"},
+          {T::OrderLine, "ol_w_id"},
           {T::OrderLine, "ol_delivery_d"}}},
         // Q13: customer distribution.
         {13,
@@ -245,6 +250,37 @@ chQueryCatalog()
 {
     static const std::vector<QueryFootprint> catalog = buildCatalog();
     return catalog;
+}
+
+const std::vector<ExecutableQuery> &
+chExecutablePlans()
+{
+    static const std::vector<ExecutableQuery> plans = [] {
+        namespace p = olap::plans;
+        std::vector<ExecutableQuery> v;
+        v.push_back({1, true, p::q1()});
+        v.push_back({3, true, p::q3()});
+        v.push_back({4, true, p::q4()});
+        v.push_back({6, true, p::q6()});
+        // Q9 keeps the engine's original ITEM x ORDERLINE semantics;
+        // the full CH Q9 footprint (STOCK / ORDERS legs) stays in
+        // the catalog for the key-column model.
+        v.push_back({9, false, p::q9()});
+        v.push_back({12, true, p::q12()});
+        v.push_back({14, true, p::q14()});
+        v.push_back({19, true, p::q19()});
+        return v;
+    }();
+    return plans;
+}
+
+const olap::QueryPlan *
+executableQueryPlan(int query_no)
+{
+    for (const auto &q : chExecutablePlans())
+        if (q.queryNo == query_no)
+            return &q.plan;
+    return nullptr;
 }
 
 std::map<std::pair<ChTable, std::string>, std::uint32_t>

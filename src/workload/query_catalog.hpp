@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "format/schema.hpp"
+#include "olap/plan.hpp"
 #include "workload/ch_schema.hpp"
 
 namespace pushtap::workload {
@@ -35,6 +36,37 @@ struct QueryFootprint
 
 /** All 22 CH query footprints, ordered by query number. */
 const std::vector<QueryFootprint> &chQueryCatalog();
+
+/**
+ * One CH query with an executable plan definition (olap/plan.hpp)
+ * living next to its footprint.
+ */
+struct ExecutableQuery
+{
+    int queryNo; ///< 1-based TPC-H query number.
+    /**
+     * True when the plan's touched (table, column) set equals the
+     * query's footprint entry exactly. False marks a documented
+     * simplification (Q9 elides its STOCK/ORDERS legs to preserve
+     * the engine's original semantics) whose touched set must then
+     * be a strict subset of the footprint.
+     */
+    bool coversFootprint;
+    olap::QueryPlan plan; ///< Default-parameter plan.
+};
+
+/**
+ * All queries with executable plans, ordered by query number. The
+ * remaining catalog entries are footprint-only (data for the
+ * key-column model, not yet runnable).
+ */
+const std::vector<ExecutableQuery> &chExecutablePlans();
+
+/**
+ * The default-parameter plan of query @p query_no, or nullptr when
+ * the query is footprint-only.
+ */
+const olap::QueryPlan *executableQueryPlan(int query_no);
 
 /**
  * Per-(table, column) scan frequency over queries [1, n_queries]

@@ -37,13 +37,8 @@ class ConstRowView
     getInt(ColumnId id) const
     {
         const auto &col = schema_->column(id);
-        const std::uint32_t off = schema_->canonicalOffset(id);
-        std::uint64_t v = 0;
-        for (std::uint32_t i = 0; i < col.width; ++i)
-            v |= static_cast<std::uint64_t>(bytes_[off + i]) << (8 * i);
-        if (col.width < 8 && (v & (1ULL << (8 * col.width - 1))))
-            v |= ~((1ULL << (8 * col.width)) - 1);
-        return static_cast<std::int64_t>(v);
+        return format::decodeValue(
+            col, bytes_.subspan(schema_->canonicalOffset(id)));
     }
 
     std::int64_t
@@ -59,6 +54,12 @@ class ConstRowView
         return {reinterpret_cast<const char *>(
                     bytes_.data() + schema_->canonicalOffset(id)),
                 col.width};
+    }
+
+    std::string_view
+    getChars(std::string_view name) const
+    {
+        return getChars(schema_->columnId(std::string(name)));
     }
 
   private:

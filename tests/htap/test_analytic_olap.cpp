@@ -4,6 +4,7 @@
 
 #include "htap/analytic_olap.hpp"
 #include "memctrl/offload_costs.hpp"
+#include "workload/query_catalog.hpp"
 
 namespace pushtap::htap {
 namespace {
@@ -87,6 +88,48 @@ TEST_F(AnalyticOlapTest, NamesIdentifySystem)
               "MI/Q6");
     EXPECT_EQ(model.q9(BaselineKind::MultiInstanceAccel, 0).name,
               "MI(accel)/Q9");
+}
+
+TEST_F(AnalyticOlapTest, WrappersDelegateToRunQuery)
+{
+    for (const auto kind :
+         {BaselineKind::Ideal, BaselineKind::MultiInstance}) {
+        const auto w = model.q9(kind, 5000);
+        const auto g = model.runQuery(kind, olap::plans::q9(), 5000);
+        EXPECT_EQ(w.name, g.name);
+        EXPECT_DOUBLE_EQ(w.pimNs, g.pimNs);
+        EXPECT_DOUBLE_EQ(w.cpuNs, g.cpuNs);
+        EXPECT_DOUBLE_EQ(w.consistencyNs, g.consistencyNs);
+    }
+}
+
+TEST_F(AnalyticOlapTest, RunQueryPricesWiderChSuite)
+{
+    // Every catalog plan prices end-to-end on the baselines, and
+    // MI's rebuild charge is plan-independent.
+    for (const auto &q : workload::chExecutablePlans()) {
+        const auto ideal =
+            model.runQuery(BaselineKind::Ideal, q.plan, 10'000);
+        EXPECT_GT(ideal.pimNs, 0.0) << q.plan.name;
+        EXPECT_EQ(ideal.consistencyNs, 0.0) << q.plan.name;
+        const auto mi = model.runQuery(BaselineKind::MultiInstance,
+                                       q.plan, 10'000);
+        EXPECT_DOUBLE_EQ(mi.consistencyNs,
+                         model.rebuildTime(10'000, false))
+            << q.plan.name;
+        EXPECT_DOUBLE_EQ(mi.pimNs, ideal.pimNs) << q.plan.name;
+    }
+}
+
+TEST_F(AnalyticOlapTest, JoinPlansCostMoreThanTheirProbeScan)
+{
+    const auto q14 =
+        model.runQuery(BaselineKind::Ideal, olap::plans::q14(), 0);
+    auto scan_only = olap::plans::q14();
+    scan_only.joins.clear();
+    const auto scan =
+        model.runQuery(BaselineKind::Ideal, scan_only, 0);
+    EXPECT_GT(q14.totalNs(), scan.totalNs());
 }
 
 } // namespace

@@ -91,5 +91,98 @@ TEST_F(PushtapDbTest, OltpStatsAccumulate)
     EXPECT_GT(db.oltp().stats().totalNs(), 0.0);
 }
 
+TEST_F(PushtapDbTest, RunQueryExecutesWiderChSuite)
+{
+    db.mixed(20);
+    for (int n : {3, 4, 12, 14, 19}) {
+        olap::QueryResult res;
+        const auto rep = db.runQuery(n, &res);
+        // std::string(..) + avoids the GCC 12 -Wrestrict false
+        // positive on operator+(const char*, string&&) (PR 105651).
+        EXPECT_EQ(rep.name, std::string("Q") + std::to_string(n))
+            << "Q" << n;
+        EXPECT_GT(rep.pimNs, 0.0) << "Q" << n;
+        EXPECT_GT(rep.totalNs(), 0.0) << "Q" << n;
+        EXPECT_GT(rep.rowsVisible, 0u) << "Q" << n;
+    }
+}
+
+TEST_F(PushtapDbTest, RunQuerySnapshotsForFreshness)
+{
+    olap::QueryResult before;
+    db.runQuery(14, &before);
+    db.newOrders(10);
+    olap::QueryResult after;
+    const auto rep = db.runQuery(14, &after);
+    EXPECT_GT(rep.consistencyNs, 0.0); // snapshot charged
+    // Q14 is an ungrouped sum over ORDERLINE: new lines only add.
+    ASSERT_EQ(after.rows.size(), 1u);
+    EXPECT_GE(after.rows[0].count, before.rows[0].count);
+}
+
+TEST_F(PushtapDbTest, RunQueryRejectsFootprintOnlyQueries)
+{
+    EXPECT_THROW(db.runQuery(2), pushtap::FatalError);
+    EXPECT_THROW(db.runQuery(22), pushtap::FatalError);
+}
+
+TEST_F(PushtapDbTest, RunQueryAcceptsAdHocPlans)
+{
+    db.mixed(10);
+    auto plan = olap::plans::q6(0, 1LL << 60, 1, 10);
+    plan.name = "adhoc";
+    olap::QueryResult res;
+    const auto rep = db.runQuery(plan, &res);
+    EXPECT_EQ(rep.name, "adhoc");
+    ASSERT_EQ(res.rows.size(), 1u);
+    EXPECT_GT(res.rows[0].aggs[0], 0);
+}
+
+// ---- Defragmentation attribution: forced and automatic passes
+// ---- must charge the OLTP pause identically and never leak into
+// ---- the next query's consistency share.
+
+TEST_F(PushtapDbTest, ForcedDefragMatchesAutomaticAttribution)
+{
+    db.mixed(30);
+    const auto pause_before = db.oltpDefragPauseNs();
+    const TimeNs t = db.defragment();
+    EXPECT_GT(t, 0.0);
+    // The pass time lands in the OLTP pause exactly once.
+    EXPECT_DOUBLE_EQ(db.oltpDefragPauseNs(), pause_before + t);
+    // And the counter resets like the automatic path.
+    EXPECT_EQ(db.transactionsSinceDefrag(), 0u);
+}
+
+TEST_F(PushtapDbTest, DefragNotChargedToQueryConsistency)
+{
+    db.mixed(30);
+    const TimeNs pending_before =
+        db.olap().pendingConsistencyNs();
+    db.defragment();
+    // Defragmentation itself adds nothing to the pending charge;
+    // the next query pays only its snapshot.
+    EXPECT_DOUBLE_EQ(db.olap().pendingConsistencyNs(),
+                     pending_before);
+    const auto rep = db.q6(0, 1LL << 60, 1, 10, nullptr);
+    EXPECT_GT(rep.consistencyNs, 0.0); // its own snapshot
+    // A second query without intervening work pays no residue.
+    const auto rep2 = db.olap().runQuery(olap::plans::q14(), nullptr);
+    EXPECT_EQ(rep2.consistencyNs, 0.0);
+}
+
+TEST_F(PushtapDbTest, BackToBackForcedDefragDoesNotDoubleCount)
+{
+    db.mixed(30);
+    const TimeNs first = db.defragment();
+    const auto pause_after_first = db.oltpDefragPauseNs();
+    // Nothing accumulated since: the second pass is near-empty and
+    // adds only its own (fixed) cost, not the first pass's again.
+    const TimeNs second = db.defragment();
+    EXPECT_LT(second, first);
+    EXPECT_DOUBLE_EQ(db.oltpDefragPauseNs(),
+                     pause_after_first + second);
+}
+
 } // namespace
 } // namespace pushtap::htap

@@ -5,8 +5,10 @@
 #include <memory>
 #include <unordered_map>
 
+#include "format/bandwidth.hpp"
 #include "olap/olap_engine.hpp"
 #include "txn/tpcc_engine.hpp"
+#include "workload/query_catalog.hpp"
 #include "workload/row_view.hpp"
 
 namespace pushtap::olap {
@@ -274,6 +276,169 @@ TEST_F(OlapEngineTest, CpuBlockedTimeOnlyDuringLoadPhases)
     const auto rep = engine.q6(0, 1LL << 60, 1, 10, nullptr);
     EXPECT_GT(rep.cpuBlockedNs, 0.0);
     EXPECT_LT(rep.cpuBlockedNs, rep.pimNs);
+}
+
+// ---- Plan-pipeline equivalence: the q1/q6/q9 wrappers must keep
+// ---- the pre-refactor QueryReport decomposition exactly.
+
+TEST_F(OlapEngineTest, Q6TimingMatchesBespokeDecomposition)
+{
+    // Reconstruct the original hand-rolled Q6 pricing: three serial
+    // scans (Filter delivery, Filter quantity, Aggregation amount)
+    // plus one 8 B partial-sum merge per PIM unit.
+    for (int i = 0; i < 20; ++i)
+        oltp.executeMixed();
+    engine.prepareSnapshot(db.now());
+    const auto rep = engine.q6(0, 1LL << 60, 1, 10, nullptr);
+
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto &s = tbl.schema();
+    TimeNs pim = 0.0, blocked = 0.0;
+    for (const auto &[name, op] :
+         {std::pair{"ol_delivery_d", pim::OpType::Filter},
+          std::pair{"ol_quantity", pim::OpType::Filter},
+          std::pair{"ol_amount", pim::OpType::Aggregation}}) {
+        const auto cost =
+            engine.columnScanCost(tbl, s.columnId(name), op);
+        pim += cost.schedule.total();
+        blocked += cost.schedule.cpuBlockedTime;
+    }
+    const auto cfg = engine.config();
+    const TimeNs cpu =
+        dram::BatchTimingModel(cfg.geom, cfg.timing)
+            .cpuPeakBandwidth()
+            .transferTime(
+                static_cast<Bytes>(cfg.geom.totalPimUnits()) * 8);
+
+    EXPECT_DOUBLE_EQ(rep.pimNs, pim);
+    EXPECT_DOUBLE_EQ(rep.cpuNs, cpu);
+    EXPECT_DOUBLE_EQ(rep.cpuBlockedNs, blocked);
+    EXPECT_EQ(rep.rowsVisible, tbl.usedDataRows());
+}
+
+TEST_F(OlapEngineTest, Q1TimingMatchesBespokeDecomposition)
+{
+    for (int i = 0; i < 20; ++i)
+        oltp.executeMixed();
+    engine.prepareSnapshot(db.now());
+    const auto rep = engine.q1(workload::kDateBase, nullptr);
+
+    auto &tbl = db.table(ChTable::OrderLine);
+    const auto &s = tbl.schema();
+    TimeNs pim = 0.0;
+    for (const auto &[name, op] :
+         {std::pair{"ol_delivery_d", pim::OpType::Filter},
+          std::pair{"ol_number", pim::OpType::Group},
+          std::pair{"ol_quantity", pim::OpType::Aggregation},
+          std::pair{"ol_amount", pim::OpType::Aggregation}})
+        pim += engine.columnScanCost(tbl, s.columnId(name), op)
+                   .schedule.total();
+    const auto cfg = engine.config();
+    const dram::BatchTimingModel tm(cfg.geom, cfg.timing);
+    TimeNs cpu =
+        tm.cpuPeakBandwidth().transferTime(rep.rowsVisible * 2);
+    cpu += tm.cpuPeakBandwidth().transferTime(
+        static_cast<Bytes>(cfg.geom.totalPimUnits()) * 16 * 8);
+
+    EXPECT_DOUBLE_EQ(rep.pimNs, pim);
+    EXPECT_DOUBLE_EQ(rep.cpuNs, cpu);
+}
+
+TEST_F(OlapEngineTest, Q9TimingMatchesBespokeDecomposition)
+{
+    for (int i = 0; i < 20; ++i)
+        oltp.executeMixed();
+    engine.prepareSnapshot(db.now());
+    const auto rep = engine.q9(nullptr);
+
+    auto &items = db.table(ChTable::Item);
+    auto &lines = db.table(ChTable::OrderLine);
+    const auto cfg = engine.config();
+    const dram::BatchTimingModel tm(cfg.geom, cfg.timing);
+
+    // i_data: CPU gather across the devices.
+    const auto idata = format::BandwidthModel(
+                           db.config().devices,
+                           cfg.geom.interleaveGranularity,
+                           cfg.geom.stripedLines)
+                           .columnSetAccess(
+                               items.layout(),
+                               {items.schema().columnId("i_data")});
+    TimeNs cpu = tm.cpuPeakBandwidth().transferTime(
+        static_cast<Bytes>(idata.fetchedBytes *
+                           static_cast<double>(
+                               items.usedDataRows())));
+    // Bucket partition: 4 B per value each way.
+    const std::uint64_t n_items = items.usedDataRows();
+    const std::uint64_t n_lines =
+        lines.usedDataRows() + lines.versions().deltaUsed();
+    cpu += 2.0 * tm.cpuPeakBandwidth().transferTime(
+                     (n_items + n_lines) * 4);
+
+    // Hash both join columns, probe, then group + aggregate.
+    TimeNs pim = 0.0;
+    pim += engine.columnScanCost(items,
+                                 items.schema().columnId("i_id"),
+                                 pim::OpType::Hash)
+               .schedule.total();
+    pim += engine.columnScanCost(lines,
+                                 lines.schema().columnId("ol_i_id"),
+                                 pim::OpType::Hash)
+               .schedule.total();
+    pim += pim::CostModel(cfg.pimConfig)
+               .computeTime(pim::OpType::Join,
+                            (n_items + n_lines) /
+                                    cfg.geom.totalPimUnits() +
+                                1);
+    pim += engine.columnScanCost(
+                     lines,
+                     lines.schema().columnId("ol_supply_w_id"),
+                     pim::OpType::Group)
+               .schedule.total();
+    pim += engine.columnScanCost(lines,
+                                 lines.schema().columnId("ol_amount"),
+                                 pim::OpType::Aggregation)
+               .schedule.total();
+
+    EXPECT_DOUBLE_EQ(rep.cpuNs, cpu);
+    EXPECT_NEAR(rep.pimNs, pim, 1e-6 * pim);
+}
+
+TEST_F(OlapEngineTest, WrappersAreThinPlanDefinitions)
+{
+    for (int i = 0; i < 10; ++i)
+        oltp.executeMixed();
+
+    engine.prepareSnapshot(db.now());
+    std::int64_t revenue = 0;
+    const auto wrapped = engine.q6(0, 1LL << 60, 1, 10, &revenue);
+
+    engine.prepareSnapshot(db.now());
+    QueryResult res;
+    const auto planned =
+        engine.runQuery(plans::q6(0, 1LL << 60, 1, 10), &res);
+
+    EXPECT_DOUBLE_EQ(wrapped.pimNs, planned.pimNs);
+    EXPECT_DOUBLE_EQ(wrapped.cpuNs, planned.cpuNs);
+    EXPECT_DOUBLE_EQ(wrapped.cpuBlockedNs, planned.cpuBlockedNs);
+    EXPECT_EQ(wrapped.rowsVisible, planned.rowsVisible);
+    ASSERT_EQ(res.rows.size(), 1u);
+    EXPECT_EQ(res.rows[0].aggs[0], revenue);
+}
+
+TEST_F(OlapEngineTest, RunQueryChargesPendingConsistencyOnce)
+{
+    for (int i = 0; i < 10; ++i)
+        oltp.executeMixed();
+    engine.prepareSnapshot(db.now());
+    EXPECT_GT(engine.pendingConsistencyNs(), 0.0);
+    const auto rep =
+        engine.runQuery(*workload::executableQueryPlan(14), nullptr);
+    EXPECT_GT(rep.consistencyNs, 0.0);
+    EXPECT_EQ(engine.pendingConsistencyNs(), 0.0);
+    const auto rep2 =
+        engine.runQuery(*workload::executableQueryPlan(4), nullptr);
+    EXPECT_EQ(rep2.consistencyNs, 0.0);
 }
 
 } // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include <algorithm>
+
+#include "olap/plan.hpp"
+#include "workload/query_catalog.hpp"
+
+namespace pushtap::olap {
+namespace {
+
+using workload::ChTable;
+
+TEST(Plan, BuildersValidate)
+{
+    for (const auto &q : workload::chExecutablePlans())
+        EXPECT_NO_THROW(validatePlan(q.plan))
+            << "Q" << q.queryNo;
+}
+
+TEST(Plan, TableOfResolvesSides)
+{
+    const auto q3 = plans::q3();
+    EXPECT_EQ(tableOf(q3, {ColRef::kProbe, "ol_amount"}),
+              ChTable::OrderLine);
+    // Side 1 is the ORDERS inner join.
+    EXPECT_EQ(tableOf(q3, {1, "o_entry_d"}), ChTable::Orders);
+}
+
+TEST(Plan, TouchedColumnsQ1MatchesFootprint)
+{
+    const auto touched = touchedColumns(plans::q1());
+    const std::set<std::pair<ChTable, std::string>> expect = {
+        {ChTable::OrderLine, "ol_number"},
+        {ChTable::OrderLine, "ol_quantity"},
+        {ChTable::OrderLine, "ol_amount"},
+        {ChTable::OrderLine, "ol_delivery_d"},
+    };
+    EXPECT_EQ(touched, expect);
+}
+
+TEST(Plan, TouchedColumnsIncludePayloadsOnlyWhenReferenced)
+{
+    // Q12 carries o_ol_cnt as payload and groups by it; the payload
+    // itself is not a separate touch.
+    const auto touched = touchedColumns(plans::q12());
+    EXPECT_TRUE(touched.contains({ChTable::Orders, "o_ol_cnt"}));
+    EXPECT_FALSE(touched.contains({ChTable::Orders, "o_all_local"}));
+}
+
+TEST(Plan, ValidateRejectsUnknownColumn)
+{
+    auto p = plans::q6();
+    p.probe.intPredicates.push_back({"no_such_column", 0, 1});
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+TEST(Plan, ValidateRejectsWrongPredicateType)
+{
+    auto p = plans::q6();
+    // ol_dist_info is a Char column; an int range over it is a bug.
+    p.probe.intPredicates.push_back({"ol_dist_info", 0, 1});
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+TEST(Plan, ValidateRejectsForwardSideReference)
+{
+    auto p = plans::q9();
+    // Group key referencing join 2, but only one join exists.
+    p.groupBy.push_back({2, "i_price"});
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+TEST(Plan, ValidateRejectsSemiJoinPayloadReference)
+{
+    auto p = plans::q9();
+    // Q9's item join is a semi join: its payload is off limits.
+    p.groupBy.push_back({0, "i_price"});
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+TEST(Plan, ValidateRejectsSemiJoinWithPayload)
+{
+    auto p = plans::q9();
+    p.joins[0].payload = {"i_price"};
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+TEST(Plan, EmptyRangesAreLegalSelections)
+{
+    // lo > hi selects nothing — a degenerate query window, not a
+    // malformed plan.
+    auto p = plans::q6();
+    p.probe.intPredicates.push_back({"ol_quantity", 10, 1});
+    EXPECT_NO_THROW(validatePlan(p));
+}
+
+TEST(Plan, BoundaryWindowsProduceEmptyRanges)
+{
+    // delivery_after = INT64_MAX matches nothing (old semantics:
+    // strictly greater); d_hi = INT64_MIN is an empty half-open
+    // window. Neither may overflow or reject.
+    const auto max = std::numeric_limits<std::int64_t>::max();
+    const auto min = std::numeric_limits<std::int64_t>::min();
+    for (const auto &plan :
+         {plans::q1(max), plans::q6(min, min, 1, 10),
+          plans::q6(0, 0, 1, 10)}) {
+        EXPECT_NO_THROW(validatePlan(plan));
+        const auto &pred = plan.probe.intPredicates.front();
+        EXPECT_GT(pred.lo, pred.hi) << plan.name;
+    }
+}
+
+TEST(Plan, ValidateRejectsSortIndexOutOfRange)
+{
+    auto p = plans::q1();
+    p.orderBy.push_back({SortKey::Target::Aggregate, 7, false});
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+TEST(Plan, ValidateRejectsJoinWithoutKeys)
+{
+    auto p = plans::q9();
+    p.joins[0].keys.clear();
+    EXPECT_THROW(validatePlan(p), pushtap::FatalError);
+}
+
+} // namespace
+} // namespace pushtap::olap

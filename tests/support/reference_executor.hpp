@@ -1,0 +1,263 @@
+#pragma once
+
+/**
+ * @file
+ * Naive reference executor for logical query plans. The plan
+ * *semantics* are the shared specification; the mechanisms that have
+ * room to hide bugs are deliberately different from the physical
+ * operators':
+ *
+ *  - row visibility: version chains (Database::readNewest) instead
+ *    of snapshot bitmaps,
+ *  - column access: canonical row views instead of typed per-column
+ *    scanners over the unified layout,
+ *  - join keys: int tuples in ordered maps instead of packed byte
+ *    strings in hash maps,
+ *  - match expansion: breadth-first context lists instead of
+ *    recursive descent.
+ *
+ * Aggregate accumulation and the orderBy/limit step are direct
+ * transcriptions of the plan spec in both executors, so defects
+ * there would be shared; the operator suites pin those behaviors
+ * with independent direct assertions (explicit ordering checks,
+ * hand-computed Min/Max) instead.
+ *
+ * The property suites assert that every plan-based query's
+ * aggregates exactly match this executor over the same snapshot.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "olap/plan.hpp"
+#include "txn/database.hpp"
+#include "workload/row_view.hpp"
+
+namespace pushtap::testsupport {
+
+struct RefRow
+{
+    std::vector<std::int64_t> keys;
+    std::vector<std::int64_t> aggs;
+    std::uint64_t count = 0;
+};
+
+namespace detail {
+
+inline bool
+passes(const workload::ConstRowView &v, const olap::TableInput &in)
+{
+    for (const auto &p : in.intPredicates) {
+        const auto x = v.getInt(p.column);
+        if (x < p.lo || x > p.hi)
+            return false;
+    }
+    for (const auto &p : in.charPredicates) {
+        const bool match = v.getChars(p.column).substr(
+                               0, p.prefix.size()) == p.prefix;
+        if (match == p.negate)
+            return false;
+    }
+    return true;
+}
+
+/** All newest-version canonical rows of a table, chain-resolved. */
+inline std::vector<std::vector<std::uint8_t>>
+materialize(txn::Database &db, workload::ChTable t)
+{
+    const auto &tbl = db.table(t);
+    std::vector<std::vector<std::uint8_t>> rows(
+        tbl.usedDataRows(),
+        std::vector<std::uint8_t>(tbl.schema().rowBytes()));
+    for (RowId r = 0; r < rows.size(); ++r)
+        db.readNewest(t, r, rows[r]);
+    return rows;
+}
+
+} // namespace detail
+
+/**
+ * Execute @p plan over the newest committed versions. Result rows
+ * are ordered like the operator pipeline's: ascending group keys,
+ * then plan.orderBy / plan.limit.
+ */
+inline std::vector<RefRow>
+referenceExecute(txn::Database &db, const olap::QueryPlan &plan)
+{
+    using olap::ColRef;
+    using olap::JoinKind;
+
+    // Build sides: key tuple -> payload tuples (empty marker for
+    // semi/anti existence).
+    std::vector<std::map<std::vector<std::int64_t>,
+                         std::vector<std::vector<std::int64_t>>>>
+        builds(plan.joins.size());
+    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+        const auto &join = plan.joins[k];
+        const auto &schema = db.table(join.build.table).schema();
+        for (const auto &bytes :
+             detail::materialize(db, join.build.table)) {
+            const workload::ConstRowView v(schema, bytes);
+            if (!detail::passes(v, join.build))
+                continue;
+            std::vector<std::int64_t> key;
+            for (const auto &[build_col, ref] : join.keys) {
+                (void)ref;
+                key.push_back(v.getInt(build_col));
+            }
+            auto &bucket = builds[k][key];
+            if (join.kind == JoinKind::Inner) {
+                std::vector<std::int64_t> tuple;
+                for (const auto &col : join.payload)
+                    tuple.push_back(v.getInt(col));
+                bucket.push_back(std::move(tuple));
+            } else if (bucket.empty()) {
+                bucket.emplace_back();
+            }
+        }
+    }
+
+    const auto &probe_schema = db.table(plan.probe.table).schema();
+    struct Acc
+    {
+        std::vector<std::int64_t> aggs;
+        std::uint64_t count = 0;
+    };
+    std::map<std::vector<std::int64_t>, Acc> groups;
+
+    // One context = the chosen build match per inner join so far.
+    using Ctx = std::vector<const std::vector<std::int64_t> *>;
+
+    for (const auto &bytes :
+         detail::materialize(db, plan.probe.table)) {
+        const workload::ConstRowView v(probe_schema, bytes);
+        if (!detail::passes(v, plan.probe))
+            continue;
+
+        auto resolve = [&](const Ctx &ctx, const ColRef &ref) {
+            if (ref.side == ColRef::kProbe)
+                return v.getInt(ref.column);
+            const auto &payload =
+                plan.joins[static_cast<std::size_t>(ref.side)]
+                    .payload;
+            const auto idx = static_cast<std::size_t>(
+                std::find(payload.begin(), payload.end(),
+                          ref.column) -
+                payload.begin());
+            return (*ctx[static_cast<std::size_t>(ref.side)])[idx];
+        };
+
+        // Breadth-first join expansion, level by level.
+        std::vector<Ctx> contexts{Ctx(plan.joins.size(), nullptr)};
+        for (std::size_t k = 0;
+             k < plan.joins.size() && !contexts.empty(); ++k) {
+            std::vector<Ctx> next;
+            for (const auto &ctx : contexts) {
+                std::vector<std::int64_t> key;
+                for (const auto &[build_col, ref] :
+                     plan.joins[k].keys) {
+                    (void)build_col;
+                    key.push_back(resolve(ctx, ref));
+                }
+                const auto it = builds[k].find(key);
+                const bool found =
+                    it != builds[k].end() && !it->second.empty();
+                switch (plan.joins[k].kind) {
+                  case JoinKind::Semi:
+                    if (found)
+                        next.push_back(ctx);
+                    break;
+                  case JoinKind::Anti:
+                    if (!found)
+                        next.push_back(ctx);
+                    break;
+                  case JoinKind::Inner:
+                    if (!found)
+                        break;
+                    for (const auto &tuple : it->second) {
+                        Ctx c = ctx;
+                        c[k] = &tuple;
+                        next.push_back(std::move(c));
+                    }
+                    break;
+                }
+            }
+            contexts = std::move(next);
+        }
+
+        for (const auto &ctx : contexts) {
+            std::vector<std::int64_t> key;
+            for (const auto &g : plan.groupBy)
+                key.push_back(resolve(ctx, g));
+            auto &acc = groups[key];
+            if (acc.count == 0)
+                acc.aggs.assign(plan.aggregates.size(), 0);
+            for (std::size_t i = 0; i < plan.aggregates.size();
+                 ++i) {
+                const auto x =
+                    resolve(ctx, plan.aggregates[i].value);
+                switch (plan.aggregates[i].kind) {
+                  case olap::AggKind::Sum:
+                    acc.aggs[i] += x;
+                    break;
+                  case olap::AggKind::Min:
+                    acc.aggs[i] = acc.count == 0
+                                      ? x
+                                      : std::min(acc.aggs[i], x);
+                    break;
+                  case olap::AggKind::Max:
+                    acc.aggs[i] = acc.count == 0
+                                      ? x
+                                      : std::max(acc.aggs[i], x);
+                    break;
+                }
+            }
+            ++acc.count;
+        }
+    }
+
+    if (plan.groupBy.empty() && groups.empty())
+        groups[{}] = Acc{std::vector<std::int64_t>(
+                             plan.aggregates.size(), 0),
+                         0};
+
+    std::vector<RefRow> rows;
+    rows.reserve(groups.size());
+    for (auto &[key, acc] : groups)
+        rows.push_back(RefRow{key, std::move(acc.aggs), acc.count});
+
+    if (!plan.orderBy.empty()) {
+        std::stable_sort(
+            rows.begin(), rows.end(),
+            [&plan](const RefRow &a, const RefRow &b) {
+                for (const auto &sk : plan.orderBy) {
+                    std::int64_t av = 0, bv = 0;
+                    switch (sk.target) {
+                      case olap::SortKey::Target::GroupKey:
+                        av = a.keys[sk.index];
+                        bv = b.keys[sk.index];
+                        break;
+                      case olap::SortKey::Target::Aggregate:
+                        av = a.aggs[sk.index];
+                        bv = b.aggs[sk.index];
+                        break;
+                      case olap::SortKey::Target::Count:
+                        av = static_cast<std::int64_t>(a.count);
+                        bv = static_cast<std::int64_t>(b.count);
+                        break;
+                    }
+                    if (av != bv)
+                        return sk.descending ? av > bv : av < bv;
+                }
+                return false;
+            });
+    }
+    if (plan.limit != 0 && rows.size() > plan.limit)
+        rows.resize(plan.limit);
+    return rows;
+}
+
+} // namespace pushtap::testsupport

@@ -2,6 +2,9 @@
 
 #include "common/log.hpp"
 
+#include <set>
+
+#include "olap/plan.hpp"
 #include "workload/query_catalog.hpp"
 
 namespace pushtap::workload {
@@ -105,6 +108,94 @@ TEST(QueryCatalog, HtapBenchFootprintNonEmpty)
 {
     const auto freq = htapBenchScanFrequencies();
     EXPECT_GE(freq.size(), 10u);
+}
+
+// ---- Executable plans <-> footprint consistency (the key-column
+// ---- model of Fig. 8(c,d) derives from the footprints, so every
+// ---- executable plan must stay within — and normally equal — its
+// ---- catalog entry).
+
+std::set<std::pair<ChTable, std::string>>
+footprintSet(int query_no)
+{
+    for (const auto &q : chQueryCatalog())
+        if (q.queryNo == query_no)
+            return {q.columns.begin(), q.columns.end()};
+    ADD_FAILURE() << "no footprint for Q" << query_no;
+    return {};
+}
+
+TEST(QueryCatalog, ExecutablePlansCoverAtLeastEightQueries)
+{
+    const auto &plans = chExecutablePlans();
+    EXPECT_GE(plans.size(), 8u);
+    int prev = 0;
+    for (const auto &q : plans) {
+        EXPECT_GT(q.queryNo, prev) << "ordered by query number";
+        prev = q.queryNo;
+        // std::string(..) + avoids the GCC 12 -Wrestrict false
+        // positive on operator+(const char*, string&&) (PR 105651).
+        EXPECT_EQ(q.plan.name,
+                  std::string("Q") + std::to_string(q.queryNo));
+    }
+    // The three original queries plus at least five more.
+    for (int n : {1, 3, 4, 6, 9, 12, 14, 19})
+        EXPECT_NE(executableQueryPlan(n), nullptr) << "Q" << n;
+}
+
+TEST(QueryCatalog, FootprintOnlyQueriesHaveNoPlan)
+{
+    for (int n : {2, 5, 7, 8, 10, 11, 13})
+        EXPECT_EQ(executableQueryPlan(n), nullptr) << "Q" << n;
+}
+
+TEST(QueryCatalog, PlanTouchedColumnsMatchFootprint)
+{
+    for (const auto &q : chExecutablePlans()) {
+        const auto touched = olap::touchedColumns(q.plan);
+        const auto footprint = footprintSet(q.queryNo);
+        if (q.coversFootprint) {
+            EXPECT_EQ(touched, footprint) << "Q" << q.queryNo;
+        } else {
+            // Documented simplification: strictly fewer columns,
+            // never a column outside the footprint.
+            EXPECT_LT(touched.size(), footprint.size())
+                << "Q" << q.queryNo;
+            for (const auto &col : touched)
+                EXPECT_TRUE(footprint.contains(col))
+                    << "Q" << q.queryNo << " touches "
+                    << chTableName(col.first) << "." << col.second
+                    << " outside its footprint";
+        }
+    }
+}
+
+TEST(QueryCatalog, OnlyQ9IsASimplifiedPlan)
+{
+    for (const auto &q : chExecutablePlans())
+        EXPECT_EQ(q.coversFootprint, q.queryNo != 9)
+            << "Q" << q.queryNo;
+}
+
+TEST(QueryCatalog, ExecutablePlansOnlyScanKeyColumns)
+{
+    // Every column an executable plan touches is a key column under
+    // the full Q1-22 subset — the paper's premise that PIM scans
+    // operate on unfragmented key columns.
+    auto schemas = chBenchmarkSchemas();
+    markKeyColumns(schemas, 22);
+    for (const auto &q : chExecutablePlans())
+        for (const auto &[table, column] :
+             olap::touchedColumns(q.plan)) {
+            const auto &s =
+                schemas[static_cast<std::size_t>(table)];
+            EXPECT_TRUE(
+                s.column(s.columnId(column)).isKey ||
+                s.column(s.columnId(column)).type ==
+                    format::ColType::Char)
+                << "Q" << q.queryNo << " scans non-key "
+                << s.name() << "." << column;
+        }
 }
 
 } // namespace
