@@ -2,18 +2,26 @@
  * @file
  * Google-benchmark micro-benchmarks for the core kernels: compact
  * aligned bin-packing, row scatter/gather re-layout, snapshot bitmap
- * updates, PIM filter throughput, and hash-index lookups.
+ * updates, PIM filter throughput, hash-index lookups, and the batch
+ * execution layer (morsel column decode, selection-vector filtering,
+ * word-level visibility extraction) vs the row-at-a-time paths —
+ * so kernel-level regressions are visible independent of the query
+ * suite.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitmap.hpp"
 #include "common/rng.hpp"
 #include "format/generators.hpp"
 #include "format/row_codec.hpp"
+#include "olap/batch.hpp"
 #include "pim/pim_unit.hpp"
+#include "storage/table_store.hpp"
 #include "txn/hash_index.hpp"
 #include "workload/ch_schema.hpp"
 
@@ -134,6 +142,145 @@ BM_PimFilter(benchmark::State &state)
         static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_PimFilter);
+
+/**
+ * A populated ORDERLINE-format store for the batch-kernel benches
+ * (owns the layout/schema the store references).
+ */
+struct BenchStore
+{
+    static constexpr std::uint64_t kRows = 1 << 16;
+
+    format::TableSchema schema;
+    format::TableLayout layout;
+    storage::TableStore store;
+
+    BenchStore()
+        : schema([] {
+              auto s = workload::chTableSchema(
+                  workload::ChTable::OrderLine);
+              s.setKeyColumns({"ol_o_id", "ol_amount",
+                               "ol_quantity", "ol_delivery_d"});
+              return s;
+          }()),
+          layout(format::compactAligned(schema, 8, 0.6)),
+          store(layout, format::BlockCirculant(8, 1024), kRows, 16)
+    {
+        Rng rng(31);
+        std::vector<std::uint8_t> row(schema.rowBytes());
+        for (RowId r = 0; r < kRows; ++r) {
+            for (auto &b : row)
+                b = static_cast<std::uint8_t>(rng());
+            store.writeRow(storage::Region::Data, r, row);
+        }
+    }
+
+    static const BenchStore &
+    instance()
+    {
+        static const BenchStore bs;
+        return bs;
+    }
+};
+
+void
+BM_MorselDecodeInt(benchmark::State &state)
+{
+    // Morsel-at-a-time stride decode of one Int column (the batch
+    // executor's hot gather), rows/sec.
+    const auto &bs = BenchStore::instance();
+    const olap::BatchColumnReader rd(bs.store, "ol_amount");
+    olap::SelectionVector sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        sel.idx.push_back(i);
+    olap::ColumnBatch batch;
+    RowId base = 0;
+    for (auto _ : state) {
+        const olap::Morsel m{storage::Region::Data, base,
+                             olap::kMorselRows};
+        rd.gatherInts(m, sel.span(), batch);
+        benchmark::DoNotOptimize(batch.ints.data());
+        base = (base + olap::kMorselRows) % BenchStore::kRows;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+}
+BENCHMARK(BM_MorselDecodeInt);
+
+void
+BM_RowAtATimeDecodeInt(benchmark::State &state)
+{
+    // The pre-batching per-row path (scratch buffer + decodeValue)
+    // over the same column, for contrast with BM_MorselDecodeInt.
+    const auto &bs = BenchStore::instance();
+    const ColumnId col = bs.schema.columnId("ol_amount");
+    const auto &column = bs.schema.column(col);
+    std::vector<std::uint8_t> buf(column.width);
+    RowId r = 0;
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        bs.store.readColumnBytes(storage::Region::Data, col, r,
+                                 buf);
+        sink += format::decodeValue(column, buf);
+        benchmark::DoNotOptimize(sink);
+        r = (r + 1) % BenchStore::kRows;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RowAtATimeDecodeInt);
+
+void
+BM_MorselFilterRange(benchmark::State &state)
+{
+    // Fused decode + selection-vector range filter per morsel: the
+    // whole predicate pass of a Q6-style scan, rows/sec.
+    const auto &bs = BenchStore::instance();
+    const olap::BatchColumnReader rd(bs.store, "ol_quantity");
+    olap::SelectionVector all;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    olap::SelectionVector sel;
+    olap::ColumnBatch batch;
+    RowId base = 0;
+    for (auto _ : state) {
+        const olap::Morsel m{storage::Region::Data, base,
+                             olap::kMorselRows};
+        sel.idx = all.idx;
+        rd.gatherInts(m, sel.span(), batch);
+        olap::filterIntRange(batch.ints, sel, -64, 63);
+        benchmark::DoNotOptimize(sel.idx.data());
+        base = (base + olap::kMorselRows) % BenchStore::kRows;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+}
+BENCHMARK(BM_MorselFilterRange);
+
+void
+BM_BitmapCollectSetBits(benchmark::State &state)
+{
+    // Word-level visibility extraction (morsel selection build) vs
+    // the bit-by-bit findNext walk of BM_BitmapFindNext.
+    Bitmap b(1 << 20);
+    for (std::size_t i = 0; i < (1 << 20); i += 3)
+        b.set(i);
+    std::vector<std::uint32_t> out;
+    std::size_t from = 0;
+    for (auto _ : state) {
+        out.clear();
+        b.collectSetBits(from, from + olap::kMorselRows, out);
+        benchmark::DoNotOptimize(out.data());
+        from = (from + olap::kMorselRows) % ((1 << 20) -
+                                            olap::kMorselRows);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+}
+BENCHMARK(BM_BitmapCollectSetBits);
 
 void
 BM_HashIndexLookup(benchmark::State &state)

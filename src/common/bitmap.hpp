@@ -108,6 +108,38 @@ class Bitmap
         }
     }
 
+    /**
+     * Append the offsets (i - from) of every set bit i in
+     * [from, to) to @p out, ascending. Word-at-a-time: this is how
+     * the batch executor turns a snapshot bitmap range into a
+     * morsel's selection vector without walking bit-by-bit.
+     */
+    void
+    collectSetBits(std::size_t from, std::size_t to,
+                   std::vector<std::uint32_t> &out) const
+    {
+        if (to > nbits_)
+            to = nbits_;
+        if (from >= to)
+            return;
+        std::size_t wi = from >> 6;
+        const std::size_t wlast = (to - 1) >> 6;
+        for (; wi <= wlast; ++wi) {
+            std::uint64_t w = words_[wi];
+            if (wi == from >> 6)
+                w &= ~std::uint64_t{0} << (from & 63);
+            if (wi == wlast && (to & 63) != 0)
+                w &= ~std::uint64_t{0} >> (64 - (to & 63));
+            while (w != 0) {
+                const std::size_t bit =
+                    (wi << 6) +
+                    static_cast<std::size_t>(__builtin_ctzll(w));
+                out.push_back(static_cast<std::uint32_t>(bit - from));
+                w &= w - 1;
+            }
+        }
+    }
+
     bool
     operator==(const Bitmap &o) const
     {

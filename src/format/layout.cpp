@@ -48,6 +48,16 @@ TableLayout::keyPlacement(ColumnId id) const
     return v.front();
 }
 
+std::optional<StrideAccess>
+TableLayout::strideAccess(ColumnId id) const
+{
+    const Placement *pl = singlePlacement(id);
+    if (pl == nullptr)
+        return std::nullopt;
+    return StrideAccess{pl->part, pl->slot, pl->slotOffset,
+                        parts_[pl->part].rowWidth};
+}
+
 std::uint32_t
 TableLayout::bytesPerDevicePerRow() const
 {

@@ -89,6 +89,21 @@ struct Placement
 };
 
 /**
+ * Device-local strided address of an unfragmented column: row r's
+ * bytes live at offset r * stride + slotOffset of the part's region
+ * on whichever device the block-circulant rotation assigns slot
+ * `slot` for r. This is the zero-copy entry point batch decode uses
+ * to stream a column straight off the region bytes.
+ */
+struct StrideAccess
+{
+    std::uint32_t part;
+    std::uint32_t slot;
+    std::uint32_t slotOffset;
+    std::uint32_t stride; ///< The part's rowWidth in bytes.
+};
+
+/**
  * Complete unified layout of one table over a d-device stripe.
  * Produced by the generators in format/generators.hpp; immutable
  * afterwards.
@@ -126,6 +141,13 @@ class TableLayout
         const auto &pls = byColumn_.at(id);
         return pls.size() == 1 ? &pls.front() : nullptr;
     }
+
+    /**
+     * Strided single-read access to column @p id when it occupies
+     * exactly one fragment; std::nullopt when the column is shredded
+     * (batch decode then falls back to the fragment-gather path).
+     */
+    std::optional<StrideAccess> strideAccess(ColumnId id) const;
 
     /** Sum of rowWidth over parts: device-local bytes per row. */
     std::uint32_t bytesPerDevicePerRow() const;

@@ -19,6 +19,27 @@
 
 namespace pushtap::format {
 
+/**
+ * Batch-decode entry points. Both stream one column for a whole
+ * selection of rows laid out with a fixed byte stride — the CPU-side
+ * analog of a PIM unit's serial column read, and the primitive the
+ * morsel executor builds on. `base` points at the selection's first
+ * row's column bytes; row offsets[i]'s value lives at
+ * base + offsets[i] * stride.
+ */
+
+/** Decode (sign-extending Int columns) into out[0..offsets.size()). */
+void decodeIntStride(const Column &col, const std::uint8_t *base,
+                     std::size_t stride,
+                     std::span<const std::uint32_t> offsets,
+                     std::int64_t *out);
+
+/** Copy col.width raw bytes per row into out (offsets.size()*width). */
+void gatherCharsStride(const Column &col, const std::uint8_t *base,
+                       std::size_t stride,
+                       std::span<const std::uint32_t> offsets,
+                       std::uint8_t *out);
+
 class RowCodec
 {
   public:

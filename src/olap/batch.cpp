@@ -1,0 +1,155 @@
+#include "olap/batch.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "format/row_codec.hpp"
+
+namespace pushtap::olap {
+
+using storage::Region;
+
+BatchColumnReader::BatchColumnReader(const storage::TableStore &store,
+                                     const std::string &column)
+    : BatchColumnReader(store, store.schema().columnId(column))
+{
+}
+
+BatchColumnReader::BatchColumnReader(const storage::TableStore &store,
+                                     ColumnId c)
+    : store_(&store),
+      column_(&store.schema().column(c)),
+      col_(c),
+      access_(store.layout().strideAccess(c))
+{
+    if (!access_)
+        buf_.resize(column_->width);
+}
+
+/**
+ * Split the selection into runs that stay inside one block-circulant
+ * block (the device holding the slot is constant within a block) and
+ * hand each run's strided base pointer to @p emit(sub_sel, base,
+ * out_index). Requires the stride path (access_ set).
+ */
+template <typename Emit>
+void
+BatchColumnReader::forEachStrideSegment(
+    const Morsel &m, std::span<const std::uint32_t> sel,
+    Emit &&emit) const
+{
+    const auto &bc = store_->circulant();
+    std::size_t i = 0;
+    while (i < sel.size()) {
+        const RowId row = m.base + sel[i];
+        std::size_t j = i + 1;
+        if (bc.enabled()) {
+            const RowId block_end =
+                (bc.blockOf(row) + 1) * bc.blockRows();
+            while (j < sel.size() && m.base + sel[j] < block_end)
+                ++j;
+        } else {
+            j = sel.size();
+        }
+        const std::uint32_t dev = bc.deviceFor(access_->slot, row);
+        const std::uint8_t *base =
+            store_->partBytes(m.reg, access_->part, dev).data() +
+            access_->slotOffset + m.base * access_->stride;
+        emit(sel.subspan(i, j - i), base, i);
+        i = j;
+    }
+}
+
+void
+BatchColumnReader::gatherInts(const Morsel &m,
+                              std::span<const std::uint32_t> sel,
+                              ColumnBatch &out) const
+{
+    out.ints.resize(sel.size());
+    if (!access_) {
+        for (std::size_t i = 0; i < sel.size(); ++i) {
+            store_->readColumnBytes(m.reg, col_, m.base + sel[i],
+                                    buf_);
+            out.ints[i] = format::decodeValue(*column_, buf_);
+        }
+        return;
+    }
+    forEachStrideSegment(
+        m, sel,
+        [&](std::span<const std::uint32_t> seg,
+            const std::uint8_t *base, std::size_t at) {
+            format::decodeIntStride(*column_, base, access_->stride,
+                                    seg, out.ints.data() + at);
+        });
+}
+
+void
+BatchColumnReader::gatherChars(const Morsel &m,
+                               std::span<const std::uint32_t> sel,
+                               ColumnBatch &out) const
+{
+    const std::uint32_t w = column_->width;
+    out.chars.resize(sel.size() * w);
+    if (!access_) {
+        for (std::size_t i = 0; i < sel.size(); ++i)
+            store_->readColumnBytes(
+                m.reg, col_, m.base + sel[i],
+                std::span<std::uint8_t>(out.chars).subspan(i * w, w));
+        return;
+    }
+    forEachStrideSegment(
+        m, sel,
+        [&](std::span<const std::uint32_t> seg,
+            const std::uint8_t *base, std::size_t at) {
+            format::gatherCharsStride(*column_, base,
+                                      access_->stride, seg,
+                                      out.chars.data() + at * w);
+        });
+}
+
+void
+visibleRows(const storage::TableStore &store, const Morsel &m,
+            SelectionVector &sel)
+{
+    sel.clear();
+    const Bitmap &bm = m.reg == Region::Data ? store.dataVisible()
+                                             : store.deltaVisible();
+    bm.collectSetBits(m.base, m.base + m.count, sel.idx);
+}
+
+void
+filterIntRange(std::span<const std::int64_t> vals,
+               SelectionVector &sel, std::int64_t lo, std::int64_t hi)
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sel.idx.size(); ++i) {
+        const std::uint32_t off = sel.idx[i];
+        sel.idx[n] = off;
+        n += static_cast<std::size_t>(vals[i] >= lo && vals[i] <= hi);
+    }
+    sel.idx.resize(n);
+}
+
+void
+filterCharPrefix(std::span<const std::uint8_t> chars,
+                 std::uint32_t width, SelectionVector &sel,
+                 std::string_view prefix, bool negate)
+{
+    // A prefix longer than the column can never match (substr
+    // semantics of the scalar path).
+    const bool possible = prefix.size() <= width;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sel.idx.size(); ++i) {
+        const bool match =
+            possible &&
+            std::memcmp(chars.data() + i * width, prefix.data(),
+                        prefix.size()) == 0;
+        sel.idx[n] = sel.idx[i];
+        n += static_cast<std::size_t>(match != negate);
+    }
+    sel.idx.resize(n);
+}
+
+} // namespace pushtap::olap

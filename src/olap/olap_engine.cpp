@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -88,24 +90,31 @@ OlapEngine::scannedDeltaRows(const txn::TableRuntime &tbl) const
 }
 
 ScanCost
-OlapEngine::columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
-                           pim::OpType op) const
+OlapEngine::scanCostForWidth(const txn::TableRuntime &tbl,
+                             std::uint32_t width,
+                             pim::OpType op) const
 {
-    const auto &pl = tbl.layout().keyPlacement(c);
-    const std::uint32_t w = tbl.layout().parts()[pl.part].rowWidth;
-
     ScanCost cost;
     const std::uint64_t rows =
         scannedDataRows(tbl) + scannedDeltaRows(tbl);
-    cost.totalBytes = rows * w;
+    cost.totalBytes = rows * width;
     cost.activeUnits =
         cfg_.blockCirculant
             ? cfg_.geom.totalPimUnits()
             : cfg_.geom.totalPimUnits() / db_.config().devices;
     cost.bytesPerUnit =
         (cost.totalBytes + cost.activeUnits - 1) / cost.activeUnits;
-    cost.schedule = twoPhase_.schedule(op, cost.bytesPerUnit, w);
+    cost.schedule = twoPhase_.schedule(op, cost.bytesPerUnit, width);
     return cost;
+}
+
+ScanCost
+OlapEngine::columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
+                           pim::OpType op) const
+{
+    const auto &pl = tbl.layout().keyPlacement(c);
+    return scanCostForWidth(
+        tbl, tbl.layout().parts()[pl.part].rowWidth, op);
 }
 
 TimeNs
@@ -198,12 +207,55 @@ OlapEngine::priceColumnRead(const txn::TableRuntime &tbl,
 }
 
 void
-OlapEngine::priceQuery(const QueryPlan &plan, QueryReport &rep) const
+OlapEngine::priceFusedScan(const txn::TableRuntime &tbl,
+                           const std::vector<ColumnId> &columns,
+                           QueryReport &rep) const
+{
+    if (columns.empty())
+        return;
+    // The fused pass streams every column's slot bytes in one serial
+    // scan: the bytes are unchanged, but the per-scan offload fixed
+    // costs and phase serialization are paid once instead of once
+    // per operator input.
+    std::uint32_t width = 0;
+    for (const ColumnId c : columns) {
+        const auto &pl = tbl.layout().keyPlacement(c);
+        width += tbl.layout().parts()[pl.part].rowWidth;
+    }
+    const auto cost =
+        scanCostForWidth(tbl, width, pim::OpType::Aggregation);
+    rep.pimNs += cost.schedule.total();
+    rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+}
+
+void
+OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
+                       QueryReport &rep) const
 {
     const auto &probe_tbl = db_.table(plan.probe.table);
     const std::uint64_t probe_rows =
         scannedDataRows(probe_tbl) +
         probe_tbl.versions().deltaUsed();
+
+    if (fuse_probe_scans && plan.joins.empty()) {
+        // Modelled fusion: every PIM-scannable probe column of the
+        // fused pass in one serial scan; Char predicates and
+        // fragmented columns keep the CPU gather path.
+        for (const auto &p : plan.probe.charPredicates)
+            priceCpuGather(probe_tbl, p.column, rep);
+        std::vector<ColumnId> fusable;
+        for (const auto &name : fusedProbeColumns(plan)) {
+            const ColumnId c = probe_tbl.schema().columnId(name);
+            if (probe_tbl.schema().column(c).type ==
+                    format::ColType::Int &&
+                probe_tbl.layout().singlePlacement(c) != nullptr)
+                fusable.push_back(c);
+            else
+                priceCpuGather(probe_tbl, name, rep);
+        }
+        priceFusedScan(probe_tbl, fusable, rep);
+        return;
+    }
 
     // Predicate filters: one serial PIM scan per pushed-down Int
     // predicate column, the CPU gather path for Char predicates.
@@ -284,8 +336,10 @@ OlapEngine::runQuery(const QueryPlan &plan, QueryResult *result)
     // executePlan validates the plan before any pricing walk.
     auto exec = executePlan(db_, plan);
     rep.rowsVisible = exec.rowsVisible;
+    rep.fusedScanColumns = exec.fusedScanColumns;
 
-    priceQuery(plan, rep);
+    priceQuery(plan,
+               cfg_.fuseScans && exec.fusedScanColumns > 0, rep);
     priceMerge(plan, exec.rowsVisible, rep);
 
     if (result)

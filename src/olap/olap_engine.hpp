@@ -43,6 +43,15 @@ struct OlapConfig
     pim::OffloadOverheads overheads;
     /** Block-circulant placement on (affects PIM parallelism). */
     bool blockCirculant = true;
+    /**
+     * Model intra-query operator fusion: when the batch executor
+     * reports a fused predicate+group+aggregate pass (no join
+     * intervened), charge one serial PIM scan streaming every fused
+     * column's slot bytes together instead of one scan per operator
+     * input. Off by default — section 6.2's pricing charges one
+     * serial scan per input and all golden decompositions assume it.
+     */
+    bool fuseScans = false;
     /** Fixed per-defragmentation overhead (threads + activation). */
     TimeNs defragFixedNs = 50'000.0;
     /** Fixed per-snapshot overhead (thread wakeup). */
@@ -119,7 +128,7 @@ class OlapEngine
                    std::int64_t q_lo, std::int64_t q_hi,
                    std::int64_t *revenue = nullptr);
 
-    /** Q9: item x orderline hash join (plan wrapper). */
+    /** Q9: item/stock/orders x orderline joins (plan wrapper). */
     QueryReport q9(std::vector<Q9Row> *rows = nullptr);
 
     /** Price one scan of @p column of table @p t as operator @p op. */
@@ -147,9 +156,23 @@ class OlapEngine
      * Accumulate the plan's operator timing contributions into
      * @p rep: PIM scan schedules for predicates / group keys /
      * aggregates, hash + partition + probe work per join, and the
-     * CPU gather path for char-predicate (normal) columns.
+     * CPU gather path for char-predicate (normal) columns. When
+     * @p fuse_probe_scans is set (executor fused the probe pass and
+     * cfg_.fuseScans opted in), the probe's PIM-scannable columns
+     * are priced as one fused serial scan instead.
      */
-    void priceQuery(const QueryPlan &plan, QueryReport &rep) const;
+    void priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
+                    QueryReport &rep) const;
+
+    /** One serial scan streaming all @p columns' slot bytes. */
+    void priceFusedScan(const txn::TableRuntime &tbl,
+                        const std::vector<ColumnId> &columns,
+                        QueryReport &rep) const;
+
+    /** Scan-cost core shared by per-column and fused pricing. */
+    ScanCost scanCostForWidth(const txn::TableRuntime &tbl,
+                              std::uint32_t width,
+                              pim::OpType op) const;
 
     /** CPU-side merge charges that depend on the visible-row count. */
     void priceMerge(const QueryPlan &plan, std::uint64_t visible,

@@ -1,16 +1,21 @@
 #include "olap/operators.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/log.hpp"
+#include "olap/batch.hpp"
 
 namespace pushtap::olap {
 
@@ -35,12 +40,11 @@ ColumnScanner::intAt(Region reg, RowId r) const
     return format::decodeValue(*column_, buf_);
 }
 
-std::string_view
-ColumnScanner::charsAt(Region reg, RowId r) const
+void
+ColumnScanner::charsAt(Region reg, RowId r,
+                       std::span<std::uint8_t> out) const
 {
-    store_->readColumnBytes(reg, col_, r, buf_);
-    return {reinterpret_cast<const char *>(buf_.data()),
-            buf_.size()};
+    store_->readColumnBytes(reg, col_, r, out);
 }
 
 RowFilter::RowFilter(const txn::TableRuntime &tbl,
@@ -49,9 +53,12 @@ RowFilter::RowFilter(const txn::TableRuntime &tbl,
     for (const auto &p : input.intPredicates)
         intPreds_.push_back(
             {ColumnScanner(tbl, p.column), p.lo, p.hi});
-    for (const auto &p : input.charPredicates)
-        charPreds_.push_back(
-            {ColumnScanner(tbl, p.column), p.prefix, p.negate});
+    for (const auto &p : input.charPredicates) {
+        CharPred pred{ColumnScanner(tbl, p.column), p.prefix,
+                      p.negate, {}};
+        pred.buf.resize(pred.scan.column().width);
+        charPreds_.push_back(std::move(pred));
+    }
 }
 
 bool
@@ -63,9 +70,11 @@ RowFilter::pass(Region reg, RowId r) const
             return false;
     }
     for (const auto &p : charPreds_) {
-        const auto chars = p.scan.charsAt(reg, r);
+        p.scan.charsAt(reg, r, p.buf);
         const bool match =
-            chars.substr(0, p.prefix.size()) == p.prefix;
+            p.prefix.size() <= p.buf.size() &&
+            std::memcmp(p.buf.data(), p.prefix.data(),
+                        p.prefix.size()) == 0;
         if (match == p.negate)
             return false;
     }
@@ -73,6 +82,71 @@ RowFilter::pass(Region reg, RowId r) const
 }
 
 namespace {
+
+/** Grouped-aggregation accumulator (exact integer arithmetic). */
+struct Accum
+{
+    std::vector<std::int64_t> aggs;
+    std::uint64_t count = 0;
+};
+
+/** Fold one value into an accumulator slot per the aggregate spec. */
+inline void
+accumulateValue(Accum &acc, std::size_t slot, AggKind kind,
+                std::int64_t v)
+{
+    switch (kind) {
+      case AggKind::Sum:
+        acc.aggs[slot] += v;
+        break;
+      case AggKind::Min:
+        acc.aggs[slot] =
+            acc.count == 0 ? v : std::min(acc.aggs[slot], v);
+        break;
+      case AggKind::Max:
+        acc.aggs[slot] =
+            acc.count == 0 ? v : std::max(acc.aggs[slot], v);
+        break;
+    }
+}
+
+/** Shared tail of both executors: plan.orderBy then plan.limit. */
+void
+sortAndLimit(PlanExecution &out, const QueryPlan &plan)
+{
+    if (!plan.orderBy.empty()) {
+        std::stable_sort(
+            out.result.rows.begin(), out.result.rows.end(),
+            [&plan](const ResultRow &a, const ResultRow &b) {
+                for (const auto &sk : plan.orderBy) {
+                    std::int64_t av = 0, bv = 0;
+                    switch (sk.target) {
+                      case SortKey::Target::GroupKey:
+                        av = a.keys[sk.index];
+                        bv = b.keys[sk.index];
+                        break;
+                      case SortKey::Target::Aggregate:
+                        av = a.aggs[sk.index];
+                        bv = b.aggs[sk.index];
+                        break;
+                      case SortKey::Target::Count:
+                        av = static_cast<std::int64_t>(a.count);
+                        bv = static_cast<std::int64_t>(b.count);
+                        break;
+                    }
+                    if (av != bv)
+                        return sk.descending ? av > bv : av < bv;
+                }
+                return false;
+            });
+    }
+    if (plan.limit != 0 && out.result.rows.size() > plan.limit)
+        out.result.rows.resize(plan.limit);
+}
+
+// ==================================================================
+// Scalar reference executor (the original row-at-a-time pipeline).
+// ==================================================================
 
 /** Exact hash-key encoding: 8 little-endian bytes per value. */
 void
@@ -130,19 +204,9 @@ makeRefReader(const txn::Database &db, const QueryPlan &plan,
     return rd;
 }
 
-/** Grouped-aggregation accumulator (exact integer arithmetic). */
-struct Accum
-{
-    std::vector<std::int64_t> aggs;
-    std::uint64_t count = 0;
-};
-
-} // namespace
-
 PlanExecution
-executePlan(const txn::Database &db, const QueryPlan &plan)
+executeScalarImpl(const txn::Database &db, const QueryPlan &plan)
 {
-    validatePlan(plan);
     const auto &probe_tbl = db.table(plan.probe.table);
 
     // Build phase: hash each (filtered) build table.
@@ -198,9 +262,6 @@ executePlan(const txn::Database &db, const QueryPlan &plan)
         agg_refs.push_back(makeRefReader(db, plan, agg.value));
 
     // Probe phase: filter, join, accumulate into ordered groups.
-    // The per-row scratch buffers live outside the scan loop: inner
-    // joins reset their `current` slot after descending and semi /
-    // anti joins never set one, so reuse is safe.
     std::map<std::vector<std::int64_t>, Accum> groups;
     std::uint64_t visible = 0;
     std::vector<const std::vector<std::int64_t> *> current(
@@ -219,24 +280,9 @@ executePlan(const txn::Database &db, const QueryPlan &plan)
             auto &acc = groups[group_key];
             if (acc.count == 0)
                 acc.aggs.assign(agg_refs.size(), 0);
-            for (std::size_t i = 0; i < agg_refs.size(); ++i) {
-                const auto v = agg_refs[i].value(reg, r, current);
-                switch (plan.aggregates[i].kind) {
-                  case AggKind::Sum:
-                    acc.aggs[i] += v;
-                    break;
-                  case AggKind::Min:
-                    acc.aggs[i] =
-                        acc.count == 0 ? v
-                                       : std::min(acc.aggs[i], v);
-                    break;
-                  case AggKind::Max:
-                    acc.aggs[i] =
-                        acc.count == 0 ? v
-                                       : std::max(acc.aggs[i], v);
-                    break;
-                }
-            }
+            for (std::size_t i = 0; i < agg_refs.size(); ++i)
+                accumulateValue(acc, i, plan.aggregates[i].kind,
+                                agg_refs[i].value(reg, r, current));
             ++acc.count;
         };
 
@@ -290,36 +336,704 @@ executePlan(const txn::Database &db, const QueryPlan &plan)
     for (auto &[key, acc] : groups)
         out.result.rows.push_back(
             ResultRow{key, std::move(acc.aggs), acc.count});
-
-    if (!plan.orderBy.empty()) {
-        std::stable_sort(
-            out.result.rows.begin(), out.result.rows.end(),
-            [&plan](const ResultRow &a, const ResultRow &b) {
-                for (const auto &sk : plan.orderBy) {
-                    std::int64_t av = 0, bv = 0;
-                    switch (sk.target) {
-                      case SortKey::Target::GroupKey:
-                        av = a.keys[sk.index];
-                        bv = b.keys[sk.index];
-                        break;
-                      case SortKey::Target::Aggregate:
-                        av = a.aggs[sk.index];
-                        bv = b.aggs[sk.index];
-                        break;
-                      case SortKey::Target::Count:
-                        av = static_cast<std::int64_t>(a.count);
-                        bv = static_cast<std::int64_t>(b.count);
-                        break;
-                    }
-                    if (av != bv)
-                        return sk.descending ? av > bv : av < bv;
-                }
-                return false;
-            });
-    }
-    if (plan.limit != 0 && out.result.rows.size() > plan.limit)
-        out.result.rows.resize(plan.limit);
+    sortAndLimit(out, plan);
     return out;
+}
+
+// ==================================================================
+// Morsel-driven batch executor.
+// ==================================================================
+
+/**
+ * Inline composite key: join and group keys hashed as whole int
+ * tuples (no per-row byte-string building). Capacity bounds the
+ * batch engine; wider plans fall back to the scalar executor.
+ */
+struct InlineKey
+{
+    static constexpr std::size_t kMaxKeys = 8;
+
+    std::array<std::int64_t, kMaxKeys> v{};
+    std::uint32_t n = 0;
+
+    bool
+    operator==(const InlineKey &o) const
+    {
+        if (n != o.n)
+            return false;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (v[i] != o.v[i])
+                return false;
+        return true;
+    }
+
+    /** Lexicographic over the used slots (== std::map<vector> order
+     *  of the scalar executor when every key has the same arity). */
+    bool
+    operator<(const InlineKey &o) const
+    {
+        for (std::uint32_t i = 0; i < n && i < o.n; ++i)
+            if (v[i] != o.v[i])
+                return v[i] < o.v[i];
+        return n < o.n;
+    }
+};
+
+struct InlineKeyHash
+{
+    std::size_t
+    operator()(const InlineKey &k) const
+    {
+        // SplitMix64-style mixing per component, FNV-style fold.
+        std::uint64_t h = 0x9e3779b97f4a7c15ull + k.n;
+        for (std::uint32_t i = 0; i < k.n; ++i) {
+            std::uint64_t x = static_cast<std::uint64_t>(k.v[i]);
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ull;
+            x ^= x >> 27;
+            x *= 0x94d049bb133111ebull;
+            x ^= x >> 31;
+            h = (h ^ x) * 0x100000001b3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Pushed-down predicates of one table input as fused selection-
+ *  vector kernels: each apply() is one pass over the morsel. */
+class BatchPredicates
+{
+  public:
+    BatchPredicates(const storage::TableStore &store,
+                    const TableInput &input)
+    {
+        for (const auto &p : input.intPredicates)
+            ints_.push_back(
+                {BatchColumnReader(store, p.column), p.lo, p.hi});
+        for (const auto &p : input.charPredicates)
+            chars_.push_back({BatchColumnReader(store, p.column),
+                              p.prefix, p.negate});
+    }
+
+    void
+    apply(const Morsel &m, SelectionVector &sel)
+    {
+        for (const auto &p : ints_) {
+            if (sel.empty())
+                return;
+            p.rd.gatherInts(m, sel.span(), scratch_);
+            filterIntRange(scratch_.ints, sel, p.lo, p.hi);
+        }
+        for (const auto &p : chars_) {
+            if (sel.empty())
+                return;
+            p.rd.gatherChars(m, sel.span(), scratch_);
+            filterCharPrefix(scratch_.chars, p.rd.column().width,
+                             sel, p.prefix, p.negate);
+        }
+    }
+
+  private:
+    struct IntPred
+    {
+        BatchColumnReader rd;
+        std::int64_t lo, hi;
+    };
+    struct CharPred
+    {
+        BatchColumnReader rd;
+        std::string prefix;
+        bool negate;
+    };
+    std::vector<IntPred> ints_;
+    std::vector<CharPred> chars_;
+    ColumnBatch scratch_;
+};
+
+/** One join's built hash table over inline keys: payload buckets
+ *  for inner joins, a bare key set for semi/anti existence. */
+struct BatchBuildSide
+{
+    std::unordered_map<InlineKey,
+                       std::vector<std::vector<std::int64_t>>,
+                       InlineKeyHash>
+        buckets;
+    std::unordered_set<InlineKey, InlineKeyHash> exists;
+};
+
+/** ColRef resolved for the batch probe: an index into the morsel's
+ *  gathered probe columns, or a payload slot of an earlier join. */
+struct BatchRef
+{
+    int side = ColRef::kProbe;
+    std::size_t idx = 0;
+};
+
+/**
+ * Dense aggregation for fused plans with one Int group key whose
+ * value domain stays small (Q1's ol_number, Q9-style warehouse ids):
+ * accumulators are flat arrays indexed by (key - lo), updated
+ * column-at-a-time with no per-row hashing. Falls back (spills to
+ * the hash map) when the observed domain exceeds kMaxDomain.
+ */
+class DenseGroupAggregator
+{
+  public:
+    static constexpr std::int64_t kMaxDomain = 4096;
+
+    explicit DenseGroupAggregator(const std::vector<AggSpec> &specs)
+    {
+        for (const auto &a : specs)
+            kinds_.push_back(a.kind);
+        aggs_.resize(kinds_.size());
+    }
+
+    /**
+     * Fold one morsel's group keys and aggregate columns (all
+     * parallel to the surviving selection) into the dense arrays.
+     * Returns false — leaving this morsel unconsumed — when the key
+     * domain would exceed kMaxDomain.
+     */
+    bool
+    accumulate(std::span<const std::int64_t> gvals,
+               const std::vector<const std::vector<std::int64_t> *>
+                   &avals)
+    {
+        if (gvals.empty())
+            return true;
+        std::int64_t mlo = gvals[0], mhi = gvals[0];
+        for (const auto v : gvals) {
+            mlo = std::min(mlo, v);
+            mhi = std::max(mhi, v);
+        }
+        if (!ensureRange(mlo, mhi))
+            return false;
+        const std::int64_t lo = lo_;
+        for (std::size_t a = 0; a < kinds_.size(); ++a) {
+            auto *slots = aggs_[a].data();
+            const auto &vals = *avals[a];
+            switch (kinds_[a]) {
+              case AggKind::Sum:
+                for (std::size_t i = 0; i < gvals.size(); ++i)
+                    slots[gvals[i] - lo] += vals[i];
+                break;
+              case AggKind::Min:
+                for (std::size_t i = 0; i < gvals.size(); ++i) {
+                    auto &s = slots[gvals[i] - lo];
+                    s = std::min(s, vals[i]);
+                }
+                break;
+              case AggKind::Max:
+                for (std::size_t i = 0; i < gvals.size(); ++i) {
+                    auto &s = slots[gvals[i] - lo];
+                    s = std::max(s, vals[i]);
+                }
+                break;
+            }
+        }
+        auto *counts = count_.data();
+        for (const auto v : gvals)
+            ++counts[v - lo];
+        return true;
+    }
+
+    /** Emit the non-empty groups, ascending by key. */
+    void
+    materialize(std::vector<ResultRow> &rows) const
+    {
+        for (std::size_t i = 0; i < count_.size(); ++i) {
+            if (count_[i] == 0)
+                continue;
+            ResultRow row;
+            row.keys = {lo_ + static_cast<std::int64_t>(i)};
+            row.aggs.reserve(kinds_.size());
+            for (std::size_t a = 0; a < kinds_.size(); ++a)
+                row.aggs.push_back(aggs_[a][i]);
+            row.count = count_[i];
+            rows.push_back(std::move(row));
+        }
+    }
+
+    /** Spill the non-empty groups into the generic hash map. */
+    template <typename Map>
+    void
+    spill(Map &groups) const
+    {
+        for (std::size_t i = 0; i < count_.size(); ++i) {
+            if (count_[i] == 0)
+                continue;
+            InlineKey key;
+            key.n = 1;
+            key.v[0] = lo_ + static_cast<std::int64_t>(i);
+            auto &acc = groups[key];
+            acc.count = count_[i];
+            acc.aggs.reserve(kinds_.size());
+            for (std::size_t a = 0; a < kinds_.size(); ++a)
+                acc.aggs.push_back(aggs_[a][i]);
+        }
+    }
+
+  private:
+    /** Grow (and re-base) the arrays to cover [lo, hi]. */
+    bool
+    ensureRange(std::int64_t lo, std::int64_t hi)
+    {
+        if (count_.empty()) {
+            if (hi - lo + 1 > kMaxDomain)
+                return false;
+            lo_ = lo;
+            resizeTo(static_cast<std::size_t>(hi - lo + 1), 0);
+            return true;
+        }
+        const std::int64_t new_lo = std::min(lo, lo_);
+        const std::int64_t new_hi = std::max(
+            hi, lo_ + static_cast<std::int64_t>(count_.size()) - 1);
+        if (new_hi - new_lo + 1 > kMaxDomain)
+            return false;
+        if (new_lo == lo_ &&
+            new_hi < lo_ + static_cast<std::int64_t>(count_.size()))
+            return true;
+        const auto front =
+            static_cast<std::size_t>(lo_ - new_lo);
+        resizeTo(static_cast<std::size_t>(new_hi - new_lo + 1),
+                 front);
+        lo_ = new_lo;
+        return true;
+    }
+
+    /** Min slots idle at +inf, Max at -inf: updates need no count
+     *  check, and only count>0 slots are ever read back. */
+    std::int64_t
+    idleValue(AggKind kind) const
+    {
+        switch (kind) {
+          case AggKind::Min:
+            return std::numeric_limits<std::int64_t>::max();
+          case AggKind::Max:
+            return std::numeric_limits<std::int64_t>::min();
+          case AggKind::Sum:
+            break;
+        }
+        return 0;
+    }
+
+    void
+    resizeTo(std::size_t n, std::size_t front)
+    {
+        std::vector<std::uint64_t> counts(n, 0);
+        std::copy(count_.begin(), count_.end(),
+                  counts.begin() + static_cast<std::ptrdiff_t>(front));
+        count_ = std::move(counts);
+        for (std::size_t a = 0; a < aggs_.size(); ++a) {
+            std::vector<std::int64_t> slots(n,
+                                            idleValue(kinds_[a]));
+            std::copy(aggs_[a].begin(), aggs_[a].end(),
+                      slots.begin() +
+                          static_cast<std::ptrdiff_t>(front));
+            aggs_[a] = std::move(slots);
+        }
+    }
+
+    std::int64_t lo_ = 0;
+    std::vector<AggKind> kinds_;
+    std::vector<std::uint64_t> count_;
+    std::vector<std::vector<std::int64_t>> aggs_; ///< [agg][group].
+};
+
+bool
+fitsBatchEngine(const QueryPlan &plan)
+{
+    if (plan.groupBy.size() > InlineKey::kMaxKeys)
+        return false;
+    for (const auto &join : plan.joins)
+        if (join.keys.size() > InlineKey::kMaxKeys)
+            return false;
+    return true;
+}
+
+PlanExecution
+executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
+{
+    const auto &probe_store = db.table(plan.probe.table).store();
+
+    // Build phase: hash each (filtered) build table, morsel by
+    // morsel — keys and payloads decoded once per morsel.
+    std::vector<BatchBuildSide> builds(plan.joins.size());
+    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+        const auto &join = plan.joins[k];
+        const auto &store = db.table(join.build.table).store();
+        BatchPredicates preds(store, join.build);
+        std::vector<BatchColumnReader> key_rd;
+        for (const auto &[build_col, ref] : join.keys) {
+            (void)ref;
+            key_rd.emplace_back(store, build_col);
+        }
+        std::vector<BatchColumnReader> pay_rd;
+        for (const auto &col : join.payload)
+            pay_rd.emplace_back(store, col);
+
+        const bool inner = join.kind == JoinKind::Inner;
+        SelectionVector sel;
+        std::vector<ColumnBatch> keys(key_rd.size());
+        std::vector<ColumnBatch> pays(pay_rd.size());
+        forEachMorsel(store, [&](const Morsel &m) {
+            visibleRows(store, m, sel);
+            preds.apply(m, sel);
+            if (sel.empty())
+                return;
+            for (std::size_t c = 0; c < key_rd.size(); ++c)
+                key_rd[c].gatherInts(m, sel.span(), keys[c]);
+            for (std::size_t c = 0; c < pay_rd.size(); ++c)
+                pay_rd[c].gatherInts(m, sel.span(), pays[c]);
+            for (std::size_t i = 0; i < sel.size(); ++i) {
+                InlineKey hk;
+                hk.n = static_cast<std::uint32_t>(key_rd.size());
+                for (std::size_t c = 0; c < key_rd.size(); ++c)
+                    hk.v[c] = keys[c].ints[i];
+                if (inner) {
+                    std::vector<std::int64_t> tuple(pay_rd.size());
+                    for (std::size_t c = 0; c < pay_rd.size(); ++c)
+                        tuple[c] = pays[c].ints[i];
+                    builds[k].buckets[hk].push_back(
+                        std::move(tuple));
+                } else {
+                    builds[k].exists.insert(hk);
+                }
+            }
+        });
+    }
+
+    // Probe-side references: every referenced probe column is
+    // gathered exactly once per morsel, shared across join keys,
+    // group keys and aggregates.
+    std::vector<BatchColumnReader> probe_rd;
+    std::unordered_map<std::string, std::size_t> probe_slot;
+    auto probeColumn = [&](const std::string &col) {
+        const auto [it, fresh] =
+            probe_slot.try_emplace(col, probe_rd.size());
+        if (fresh)
+            probe_rd.emplace_back(probe_store, col);
+        return it->second;
+    };
+    auto makeRef = [&](const ColRef &ref) {
+        if (ref.side == ColRef::kProbe)
+            return BatchRef{ColRef::kProbe,
+                            probeColumn(ref.column)};
+        const auto &payload =
+            plan.joins[static_cast<std::size_t>(ref.side)].payload;
+        return BatchRef{
+            ref.side,
+            static_cast<std::size_t>(
+                std::find(payload.begin(), payload.end(),
+                          ref.column) -
+                payload.begin())};
+    };
+    std::vector<std::vector<BatchRef>> join_key_refs(
+        plan.joins.size());
+    for (std::size_t k = 0; k < plan.joins.size(); ++k)
+        for (const auto &[build_col, ref] : plan.joins[k].keys) {
+            (void)build_col;
+            join_key_refs[k].push_back(makeRef(ref));
+        }
+    std::vector<BatchRef> group_refs;
+    for (const auto &key : plan.groupBy)
+        group_refs.push_back(makeRef(key));
+    std::vector<BatchRef> agg_refs;
+    for (const auto &agg : plan.aggregates)
+        agg_refs.push_back(makeRef(agg.value));
+    std::vector<ColumnBatch> probe_cols(probe_rd.size());
+
+    // Join classification. Semi/anti joins keyed purely on probe
+    // columns are *selection kernels*: each probes the morsel's keys
+    // in bulk and compacts the selection like any other predicate,
+    // so a plan whose joins are all of that shape still runs its
+    // aggregation fused. Inner joins and payload-keyed joins go
+    // through the recursive descend.
+    std::vector<char> probe_keyed(plan.joins.size(), 1);
+    for (std::size_t k = 0; k < plan.joins.size(); ++k)
+        for (const auto &ref : join_key_refs[k])
+            if (ref.side != ColRef::kProbe)
+                probe_keyed[k] = 0;
+    std::vector<std::size_t> filter_joins, descend_joins;
+    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+        if (plan.joins[k].kind != JoinKind::Inner && probe_keyed[k])
+            filter_joins.push_back(k);
+        else
+            descend_joins.push_back(k);
+    }
+    // Descend joins keyed purely on probe columns hash in bulk.
+    std::vector<std::vector<InlineKey>> bulk_keys(plan.joins.size());
+
+    // Columns still needed after the filter-join stage (descend join
+    // keys, group keys, aggregate inputs): gathered over the final
+    // selection only.
+    std::vector<char> late(probe_rd.size(), 0);
+    auto markLate = [&](const BatchRef &r) {
+        if (r.side == ColRef::kProbe)
+            late[r.idx] = 1;
+    };
+    for (const auto k : descend_joins)
+        for (const auto &ref : join_key_refs[k])
+            markLate(ref);
+    for (const auto &ref : group_refs)
+        markLate(ref);
+    for (const auto &ref : agg_refs)
+        markLate(ref);
+    std::vector<std::size_t> late_cols;
+    for (std::size_t c = 0; c < probe_rd.size(); ++c)
+        if (late[c])
+            late_cols.push_back(c);
+
+    BatchPredicates probe_preds(probe_store, plan.probe);
+    std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
+    Accum fused_total; // Fused ungrouped accumulator.
+    const bool no_descend = descend_joins.empty();
+    const bool fused_ungrouped = no_descend && group_refs.empty();
+    if (fused_ungrouped)
+        fused_total.aggs.assign(agg_refs.size(), 0);
+
+    // Fused single-key grouping goes through the dense aggregator
+    // (flat arrays, no per-row hashing) until its key domain spills.
+    const bool fused_grouped = no_descend && group_refs.size() == 1;
+    DenseGroupAggregator dense(plan.aggregates);
+    bool dense_active = fused_grouped;
+    std::vector<const std::vector<std::int64_t> *> agg_ptrs;
+    if (fused_grouped)
+        for (const auto &ref : agg_refs)
+            agg_ptrs.push_back(&probe_cols[ref.idx].ints);
+
+    std::uint64_t visible = 0;
+    SelectionVector sel;
+    std::vector<const std::vector<std::int64_t> *> current(
+        plan.joins.size(), nullptr);
+    InlineKey fk; // Filter-join probe key, reused across rows.
+    forEachMorsel(probe_store, [&](const Morsel &m) {
+        visibleRows(probe_store, m, sel);
+        visible += sel.size();
+        probe_preds.apply(m, sel);
+
+        // Filter joins: bulk-probe the built existence tables and
+        // compact the selection in place.
+        for (const auto k : filter_joins) {
+            if (sel.empty())
+                break;
+            const auto &refs = join_key_refs[k];
+            for (const auto &ref : refs)
+                probe_rd[ref.idx].gatherInts(m, sel.span(),
+                                             probe_cols[ref.idx]);
+            const auto &exists = builds[k].exists;
+            const bool anti =
+                plan.joins[k].kind == JoinKind::Anti;
+            fk.n = static_cast<std::uint32_t>(refs.size());
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < sel.size(); ++i) {
+                for (std::size_t c = 0; c < refs.size(); ++c)
+                    fk.v[c] = probe_cols[refs[c].idx].ints[i];
+                const bool found = exists.contains(fk);
+                sel.idx[n] = sel.idx[i];
+                n += static_cast<std::size_t>(found != anti);
+            }
+            sel.idx.resize(n);
+        }
+        if (sel.empty())
+            return;
+        for (const auto c : late_cols)
+            probe_rd[c].gatherInts(m, sel.span(), probe_cols[c]);
+
+        auto value = [&](const BatchRef &r, std::size_t i) {
+            if (r.side == ColRef::kProbe)
+                return probe_cols[r.idx].ints[i];
+            return (*current[static_cast<std::size_t>(r.side)])
+                [r.idx];
+        };
+
+        if (fused_ungrouped) {
+            // Fused filter+aggregate: column-at-a-time accumulator
+            // updates over the surviving selection.
+            for (std::size_t a = 0; a < agg_refs.size(); ++a) {
+                const auto &vals = probe_cols[agg_refs[a].idx].ints;
+                auto &acc = fused_total.aggs[a];
+                switch (plan.aggregates[a].kind) {
+                  case AggKind::Sum:
+                    for (const auto v : vals)
+                        acc += v;
+                    break;
+                  case AggKind::Min: {
+                    std::size_t i = 0;
+                    if (fused_total.count == 0)
+                        acc = vals[i++];
+                    for (; i < vals.size(); ++i)
+                        acc = std::min(acc, vals[i]);
+                    break;
+                  }
+                  case AggKind::Max: {
+                    std::size_t i = 0;
+                    if (fused_total.count == 0)
+                        acc = vals[i++];
+                    for (; i < vals.size(); ++i)
+                        acc = std::max(acc, vals[i]);
+                    break;
+                  }
+                }
+            }
+            fused_total.count += sel.size();
+            return;
+        }
+
+        if (dense_active) {
+            // Fused grouped pass, dense flavor: one flat-array
+            // update per aggregate column, no per-row hashing.
+            if (dense.accumulate(
+                    probe_cols[group_refs[0].idx].ints, agg_ptrs))
+                return;
+            // Key domain outgrew the dense arrays: spill to the
+            // hash map and continue generically (this morsel
+            // included, below).
+            dense_active = false;
+            dense.spill(groups);
+        }
+
+        // Bulk-hash the pure-probe descend-join keys for the morsel.
+        for (const auto k : descend_joins) {
+            if (!probe_keyed[k])
+                continue;
+            auto &keys = bulk_keys[k];
+            keys.resize(sel.size());
+            const auto &refs = join_key_refs[k];
+            for (std::size_t i = 0; i < sel.size(); ++i) {
+                keys[i].n = static_cast<std::uint32_t>(refs.size());
+                for (std::size_t c = 0; c < refs.size(); ++c)
+                    keys[i].v[c] = probe_cols[refs[c].idx].ints[i];
+            }
+        }
+
+        auto accumulate = [&](std::size_t i) {
+            InlineKey gk;
+            gk.n = static_cast<std::uint32_t>(group_refs.size());
+            for (std::size_t g = 0; g < group_refs.size(); ++g)
+                gk.v[g] = value(group_refs[g], i);
+            auto &acc = groups[gk];
+            if (acc.count == 0)
+                acc.aggs.assign(agg_refs.size(), 0);
+            for (std::size_t a = 0; a < agg_refs.size(); ++a)
+                accumulateValue(acc, a, plan.aggregates[a].kind,
+                                value(agg_refs[a], i));
+            ++acc.count;
+        };
+
+        auto descend = [&](auto &&self, std::size_t d,
+                           std::size_t i) -> void {
+            if (d == descend_joins.size()) {
+                accumulate(i);
+                return;
+            }
+            const std::size_t k = descend_joins[d];
+            InlineKey hk;
+            const InlineKey *key = &hk;
+            if (probe_keyed[k]) {
+                key = &bulk_keys[k][i];
+            } else {
+                hk.n = static_cast<std::uint32_t>(
+                    join_key_refs[k].size());
+                for (std::size_t c = 0;
+                     c < join_key_refs[k].size(); ++c)
+                    hk.v[c] = value(join_key_refs[k][c], i);
+            }
+            switch (plan.joins[k].kind) {
+              case JoinKind::Semi:
+                if (builds[k].exists.contains(*key))
+                    self(self, d + 1, i);
+                break;
+              case JoinKind::Anti:
+                if (!builds[k].exists.contains(*key))
+                    self(self, d + 1, i);
+                break;
+              case JoinKind::Inner: {
+                const auto it = builds[k].buckets.find(*key);
+                if (it == builds[k].buckets.end() ||
+                    it->second.empty())
+                    break;
+                for (const auto &tuple : it->second) {
+                    current[k] = &tuple;
+                    self(self, d + 1, i);
+                }
+                current[k] = nullptr;
+                break;
+              }
+            }
+        };
+        for (std::size_t i = 0; i < sel.size(); ++i)
+            descend(descend, 0, i);
+    });
+
+    PlanExecution out;
+    out.rowsVisible = visible;
+    if (plan.joins.empty()) {
+        // The whole probe pass ran fused (predicates + grouping +
+        // aggregation in one morsel loop): report how many probe Int
+        // columns that single serial pass streamed.
+        out.fusedScanColumns = static_cast<std::uint32_t>(
+            fusedProbeColumns(plan).size());
+    }
+
+    if (fused_ungrouped) {
+        out.result.rows.push_back(ResultRow{
+            {}, std::move(fused_total.aggs), fused_total.count});
+        sortAndLimit(out, plan);
+        return out;
+    }
+
+    if (fused_grouped && dense_active) {
+        // Dense slots are already in ascending key order.
+        dense.materialize(out.result.rows);
+        sortAndLimit(out, plan);
+        return out;
+    }
+
+    // An ungrouped query always yields exactly one row (zero sums
+    // and count when nothing matched).
+    if (plan.groupBy.empty() && groups.empty())
+        groups[InlineKey{}] =
+            Accum{std::vector<std::int64_t>(plan.aggregates.size(),
+                                            0),
+                  0};
+
+    // Materialize in ascending group-key order (the scalar
+    // executor's std::map iteration order), then sort/limit.
+    std::vector<std::pair<InlineKey, Accum>> ordered;
+    ordered.reserve(groups.size());
+    for (auto &[key, acc] : groups)
+        ordered.emplace_back(key, std::move(acc));
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    out.result.rows.reserve(ordered.size());
+    for (auto &[key, acc] : ordered)
+        out.result.rows.push_back(ResultRow{
+            std::vector<std::int64_t>(key.v.begin(),
+                                      key.v.begin() + key.n),
+            std::move(acc.aggs), acc.count});
+    sortAndLimit(out, plan);
+    return out;
+}
+
+} // namespace
+
+PlanExecution
+executePlan(const txn::Database &db, const QueryPlan &plan)
+{
+    validatePlan(plan);
+    if (!fitsBatchEngine(plan))
+        return executeScalarImpl(db, plan);
+    return executeBatchImpl(db, plan);
+}
+
+PlanExecution
+executePlanScalar(const txn::Database &db, const QueryPlan &plan)
+{
+    validatePlan(plan);
+    return executeScalarImpl(db, plan);
 }
 
 } // namespace pushtap::olap

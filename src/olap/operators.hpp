@@ -7,6 +7,18 @@
  * probe), a grouped aggregate and a sort/limit, composed by
  * executePlan() according to a logical QueryPlan.
  *
+ * executePlan() is morsel-driven and batch-at-a-time: it walks each
+ * table in ~2048-row morsels through the kernel layer of
+ * olap/batch.hpp (selection vectors from word-level bitmap
+ * extraction, one typed column decode per morsel with a zero-copy
+ * stride path for unfragmented columns, predicate kernels that
+ * compact the selection in place, bulk-hashed join probes, and a
+ * filter+aggregate pass fused into one loop when no join
+ * intervenes). executePlanScalar() keeps the original row-at-a-time
+ * pipeline as an independently-mechanised reference: both must
+ * produce byte-identical results, and the fig9b bench reports their
+ * host wall-clock side by side.
+ *
  * The operators compute exact results over the MVCC snapshot — every
  * aggregate is verifiable against a reference scan through the
  * version chains — while the timing contribution of each operator is
@@ -16,8 +28,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -43,9 +55,10 @@ forEachVisibleRow(const storage::TableStore &store, Fn &&fn)
 }
 
 /**
- * Typed scan of one column of one table: the PIM units' localized
- * single read for unfragmented (key) columns, the CPU fragment-gather
- * path otherwise.
+ * Row-at-a-time typed scan of one column of one table: the PIM
+ * units' localized single read for unfragmented (key) columns, the
+ * CPU fragment-gather path otherwise. Used by the scalar reference
+ * executor; the batch engine reads through olap/batch.hpp instead.
  */
 class ColumnScanner
 {
@@ -53,21 +66,24 @@ class ColumnScanner
     ColumnScanner(const txn::TableRuntime &tbl,
                   const std::string &column);
 
+    const format::Column &column() const { return *column_; }
+
     std::int64_t intAt(storage::Region reg, RowId r) const;
 
     /**
-     * Raw column bytes. The view aliases this scanner's scratch
-     * buffer: it is invalidated by the next charsAt — or intAt on a
-     * fragmented column — on the same scanner.
+     * Copy the raw column bytes of one row into @p out (at least the
+     * column's width). The caller owns the buffer, so no view of
+     * scanner-internal scratch ever escapes.
      */
-    std::string_view charsAt(storage::Region reg, RowId r) const;
+    void charsAt(storage::Region reg, RowId r,
+                 std::span<std::uint8_t> out) const;
 
   private:
     const storage::TableStore *store_;
     const format::Column *column_;
     ColumnId col_;
     bool single_; ///< One fragment: the fast columnValue path.
-    mutable std::vector<std::uint8_t> buf_;
+    mutable std::vector<std::uint8_t> buf_; ///< intAt decode scratch.
 };
 
 /** Predicate filter over one table's pushed-down predicates. */
@@ -89,6 +105,7 @@ class RowFilter
         ColumnScanner scan;
         std::string prefix;
         bool negate;
+        mutable std::vector<std::uint8_t> buf; ///< Per-pred bytes.
     };
     std::vector<IntPred> intPreds_;
     std::vector<CharPred> charPreds_;
@@ -112,13 +129,34 @@ struct PlanExecution
     QueryResult result;
     /** Snapshot-visible rows of the probe table (filtered or not). */
     std::uint64_t rowsVisible = 0;
+    /**
+     * Number of distinct probe Int columns the batch engine streamed
+     * in a single fused filter+group+aggregate pass (0 when a join
+     * intervened or the scalar executor ran). OlapConfig::fuseScans
+     * prices these as one serial scan instead of one per operator
+     * input.
+     */
+    std::uint32_t fusedScanColumns = 0;
 };
 
 /**
- * Execute @p plan exactly over the current snapshot bitmaps of @p db.
- * The plan is validated first (fatal on malformed plans).
+ * Execute @p plan exactly over the current snapshot bitmaps of @p db
+ * with the morsel-driven batch engine. The plan is validated first
+ * (fatal on malformed plans). Plans whose join or group keys exceed
+ * the batch engine's inline-key capacity (8 columns) fall back to
+ * the scalar executor — same results, row-at-a-time speed.
  */
 PlanExecution executePlan(const txn::Database &db,
                           const QueryPlan &plan);
+
+/**
+ * Row-at-a-time reference executor (the pre-batching pipeline):
+ * per-row typed scans, string-encoded hash keys, ordered-map
+ * grouping. Kept as an independently-mechanised oracle for the
+ * batch engine and as the baseline the fig9b bench measures host
+ * wall-clock speedup against.
+ */
+PlanExecution executePlanScalar(const txn::Database &db,
+                                const QueryPlan &plan);
 
 } // namespace pushtap::olap

@@ -50,6 +50,19 @@ touchedColumns(const QueryPlan &plan)
     return touched;
 }
 
+std::set<std::string>
+fusedProbeColumns(const QueryPlan &plan)
+{
+    std::set<std::string> cols;
+    for (const auto &p : plan.probe.intPredicates)
+        cols.insert(p.column);
+    for (const auto &key : plan.groupBy)
+        cols.insert(key.column);
+    for (const auto &agg : plan.aggregates)
+        cols.insert(agg.value.column);
+    return cols;
+}
+
 namespace {
 
 const format::TableSchema &
@@ -203,17 +216,41 @@ q6(std::int64_t d_lo, std::int64_t d_hi, std::int64_t q_lo,
 }
 
 QueryPlan
-q9()
+q9(std::int64_t entry_lo, std::int64_t entry_hi)
 {
     QueryPlan p;
     p.name = "Q9";
     p.probe.table = ChTable::OrderLine;
+
+    // Tests rely on the item semi join staying join 0.
     JoinSpec items;
     items.build.table = ChTable::Item;
     items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
     items.kind = JoinKind::Semi;
     items.keys = {{"i_id", {ColRef::kProbe, "ol_i_id"}}};
-    p.joins = {std::move(items)};
+
+    // The supplying warehouse must stock the item (one STOCK row per
+    // (warehouse, item) pair).
+    JoinSpec stock;
+    stock.build.table = ChTable::Stock;
+    stock.kind = JoinKind::Semi;
+    stock.keys = {{"s_i_id", {ColRef::kProbe, "ol_i_id"}},
+                  {"s_w_id", {ColRef::kProbe, "ol_supply_w_id"}}};
+
+    // The owning order, restricted to the entry-date window (the
+    // full CH Q9 buckets profit by order year). Joined on the full
+    // composite order key: o_id alone is not unique across
+    // districts (see Q12), which would make the window vacuous.
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {{"o_entry_d", entry_lo, entry_hi}};
+    orders.kind = JoinKind::Semi;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}},
+                   {"o_d_id", {ColRef::kProbe, "ol_d_id"}},
+                   {"o_w_id", {ColRef::kProbe, "ol_w_id"}}};
+
+    p.joins = {std::move(items), std::move(stock),
+               std::move(orders)};
     p.groupBy = {{ColRef::kProbe, "ol_supply_w_id"}};
     p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
     return p;

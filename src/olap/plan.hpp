@@ -151,6 +151,15 @@ std::set<std::pair<workload::ChTable, std::string>>
 touchedColumns(const QueryPlan &plan);
 
 /**
+ * The distinct probe columns a fused probe pass streams for a
+ * join-free plan: pushed-down Int predicate columns, group keys and
+ * aggregate inputs. Shared by the batch executor's
+ * fusedScanColumns report and the OlapConfig::fuseScans pricing
+ * walk so the two cannot drift.
+ */
+std::set<std::string> fusedProbeColumns(const QueryPlan &plan);
+
+/**
  * Structural validation against the CH schemas: referenced columns
  * exist with the right ColType, join-key/group/aggregate references
  * resolve to the probe table or an earlier Inner join's payload.
@@ -169,12 +178,18 @@ QueryPlan q6(std::int64_t d_lo = workload::kDateBase,
              std::int64_t q_lo = 1, std::int64_t q_hi = 10);
 
 /**
- * Q9 (simplified): ITEM x ORDERLINE hash join on the "ORIGINAL"
- * items, profit per supply warehouse. The STOCK and ORDERS legs of
- * the full CH Q9 are elided (the catalog footprint keeps them, so
- * this plan touches a strict subset of its footprint).
+ * Q9: product profit per supply warehouse over the full CH join
+ * graph — ORDERLINE semi-joined against the "ORIGINAL" ITEMs, the
+ * STOCK row of the supplying warehouse, and the owning ORDERS row
+ * within the entry-date window. The default wide-open window keeps
+ * the engine's original ITEM x ORDERLINE aggregate values (every
+ * order line has a stock and an orders match), while the plan now
+ * touches exactly its catalog footprint.
  */
-QueryPlan q9();
+QueryPlan q9(std::int64_t entry_lo =
+                 std::numeric_limits<std::int64_t>::min(),
+             std::int64_t entry_hi =
+                 std::numeric_limits<std::int64_t>::max());
 
 /** Q3: shipping priority — customer x neworder x orders x orderline. */
 QueryPlan q3(std::int64_t entry_after = workload::kDateBase,

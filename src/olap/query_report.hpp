@@ -26,6 +26,13 @@ struct QueryReport
     TimeNs consistencyNs = 0.0; ///< Snapshot (+ defrag) or rebuild.
     TimeNs cpuBlockedNs = 0.0;  ///< Bank-lock time seen by OLTP.
     std::uint64_t rowsVisible = 0;
+    /**
+     * Distinct probe Int columns the batch executor streamed in one
+     * fused filter+group+aggregate pass (0 when a join intervened).
+     * Purely informational unless OlapConfig::fuseScans also prices
+     * the pass as a single serial scan.
+     */
+    std::uint32_t fusedScanColumns = 0;
 
     TimeNs
     totalNs() const

@@ -92,6 +92,18 @@ class TableStore
                          std::span<std::uint8_t> out) const;
 
     /**
+     * The contiguous device-local bytes of one part on one device
+     * (rows * rowWidth). Combined with TableLayout::strideAccess this
+     * is the zero-copy path batch decode streams unfragmented columns
+     * from, without round-tripping through a row scratch buffer.
+     */
+    std::span<const std::uint8_t>
+    partBytes(Region reg, std::uint32_t part, std::uint32_t dev) const
+    {
+        return regionStore(reg).parts[part][dev];
+    }
+
+    /**
      * Copy the full row @p from (delta) over row @p to (data) the way
      * the PIM Defragment operation does: device-local, slot-aligned
      * copies. Requires both rows to have the same rotation. Returns

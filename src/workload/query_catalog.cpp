@@ -113,15 +113,20 @@ buildCatalog()
           {T::OrderLine, "ol_i_id"},
           {T::OrderLine, "ol_supply_w_id"},
           {T::OrderLine, "ol_amount"}}},
-        // Q9: product type profit (item x stock x orderline x orders).
+        // Q9: product type profit (item x stock x orderline x
+        // orders, the orders leg on the full composite order key).
         {9,
          {{T::Item, "i_id"},
           {T::Item, "i_data"},
           {T::Stock, "s_i_id"},
           {T::Stock, "s_w_id"},
           {T::Orders, "o_id"},
+          {T::Orders, "o_d_id"},
+          {T::Orders, "o_w_id"},
           {T::Orders, "o_entry_d"},
           {T::OrderLine, "ol_o_id"},
+          {T::OrderLine, "ol_d_id"},
+          {T::OrderLine, "ol_w_id"},
           {T::OrderLine, "ol_i_id"},
           {T::OrderLine, "ol_supply_w_id"},
           {T::OrderLine, "ol_amount"}}},
@@ -262,10 +267,7 @@ chExecutablePlans()
         v.push_back({3, true, p::q3()});
         v.push_back({4, true, p::q4()});
         v.push_back({6, true, p::q6()});
-        // Q9 keeps the engine's original ITEM x ORDERLINE semantics;
-        // the full CH Q9 footprint (STOCK / ORDERS legs) stays in
-        // the catalog for the key-column model.
-        v.push_back({9, false, p::q9()});
+        v.push_back({9, true, p::q9()});
         v.push_back({12, true, p::q12()});
         v.push_back({14, true, p::q14()});
         v.push_back({19, true, p::q19()});

@@ -46,10 +46,9 @@ struct ExecutableQuery
     int queryNo; ///< 1-based TPC-H query number.
     /**
      * True when the plan's touched (table, column) set equals the
-     * query's footprint entry exactly. False marks a documented
-     * simplification (Q9 elides its STOCK/ORDERS legs to preserve
-     * the engine's original semantics) whose touched set must then
-     * be a strict subset of the footprint.
+     * query's footprint entry exactly — currently every executable
+     * plan. False would mark a documented simplification whose
+     * touched set must then be a strict subset of the footprint.
      */
     bool coversFootprint;
     olap::QueryPlan plan; ///< Default-parameter plan.

@@ -8,6 +8,11 @@
  * see ghost bits past size()).
  */
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "common/bitmap.hpp"
 
 namespace pushtap {
@@ -113,6 +118,50 @@ TEST(BitmapEdges, ZeroSizedBitmapIsWellBehaved)
     EXPECT_EQ(b.storageBytes(), 0u);
     EXPECT_EQ(b.findNext(0), 0u);
     EXPECT_TRUE(b == Bitmap());
+    std::vector<std::uint32_t> out;
+    b.collectSetBits(0, 5, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(BitmapEdges, CollectSetBitsMatchesFindNextWalk)
+{
+    Bitmap b(517); // Deliberately not word-aligned.
+    for (std::size_t i = 0; i < b.size(); i += 3)
+        b.set(i);
+    b.clear(0);
+    b.set(516);
+
+    // Every (from, to) window, including word-boundary-straddling
+    // and empty ones, must agree with the bit-by-bit walk.
+    for (const auto &[from, to] :
+         {std::pair<std::size_t, std::size_t>{0, 517},
+          {0, 64},
+          {63, 65},
+          {64, 128},
+          {120, 121},
+          {100, 100},
+          {200, 130},
+          {512, 517},
+          {516, 600}}) {
+        std::vector<std::uint32_t> got;
+        b.collectSetBits(from, to, got);
+        std::vector<std::uint32_t> want;
+        const std::size_t end = std::min(to, b.size());
+        for (std::size_t i = b.findNext(from); i < end;
+             i = b.findNext(i + 1))
+            want.push_back(static_cast<std::uint32_t>(i - from));
+        EXPECT_EQ(got, want) << "[" << from << ", " << to << ")";
+    }
+}
+
+TEST(BitmapEdges, CollectSetBitsAppendsWithoutClearing)
+{
+    Bitmap b(128);
+    b.set(2);
+    b.set(70);
+    std::vector<std::uint32_t> out{99};
+    b.collectSetBits(0, 128, out);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{99, 2, 70}));
 }
 
 } // namespace

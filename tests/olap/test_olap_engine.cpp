@@ -346,12 +346,16 @@ TEST_F(OlapEngineTest, Q1TimingMatchesBespokeDecomposition)
 
 TEST_F(OlapEngineTest, Q9TimingMatchesBespokeDecomposition)
 {
+    // Q9 now carries its full CH join graph (ITEM, STOCK and ORDERS
+    // legs); the decomposition mirrors priceQuery leg by leg.
     for (int i = 0; i < 20; ++i)
         oltp.executeMixed();
     engine.prepareSnapshot(db.now());
     const auto rep = engine.q9(nullptr);
 
     auto &items = db.table(ChTable::Item);
+    auto &stock = db.table(ChTable::Stock);
+    auto &orders = db.table(ChTable::Orders);
     auto &lines = db.table(ChTable::OrderLine);
     const auto cfg = engine.config();
     const dram::BatchTimingModel tm(cfg.geom, cfg.timing);
@@ -368,28 +372,51 @@ TEST_F(OlapEngineTest, Q9TimingMatchesBespokeDecomposition)
         static_cast<Bytes>(idata.fetchedBytes *
                            static_cast<double>(
                                items.usedDataRows())));
-    // Bucket partition: 4 B per value each way.
-    const std::uint64_t n_items = items.usedDataRows();
     const std::uint64_t n_lines =
         lines.usedDataRows() + lines.versions().deltaUsed();
-    cpu += 2.0 * tm.cpuPeakBandwidth().transferTime(
-                     (n_items + n_lines) * 4);
+    // Bucket partition per join: 4 B per value each way.
+    for (const auto *build : {&items, &stock, &orders})
+        cpu += 2.0 * tm.cpuPeakBandwidth().transferTime(
+                         (build->usedDataRows() + n_lines) * 4);
 
-    // Hash both join columns, probe, then group + aggregate.
     TimeNs pim = 0.0;
-    pim += engine.columnScanCost(items,
-                                 items.schema().columnId("i_id"),
-                                 pim::OpType::Hash)
+    auto hash = [&](txn::TableRuntime &tbl, const char *col) {
+        pim += engine.columnScanCost(tbl,
+                                     tbl.schema().columnId(col),
+                                     pim::OpType::Hash)
+                   .schedule.total();
+    };
+    auto probeCompute = [&](txn::TableRuntime &build) {
+        pim += pim::CostModel(cfg.pimConfig)
+                   .computeTime(pim::OpType::Join,
+                                (build.usedDataRows() + n_lines) /
+                                        cfg.geom.totalPimUnits() +
+                                    1);
+    };
+    // ITEM leg.
+    hash(items, "i_id");
+    hash(lines, "ol_i_id");
+    probeCompute(items);
+    // STOCK leg (composite (s_i_id, s_w_id) key).
+    hash(stock, "s_i_id");
+    hash(lines, "ol_i_id");
+    hash(stock, "s_w_id");
+    hash(lines, "ol_supply_w_id");
+    probeCompute(stock);
+    // ORDERS leg: o_entry_d window filter, then the composite
+    // (o_id, o_d_id, o_w_id) order key.
+    pim += engine.columnScanCost(
+                     orders, orders.schema().columnId("o_entry_d"),
+                     pim::OpType::Filter)
                .schedule.total();
-    pim += engine.columnScanCost(lines,
-                                 lines.schema().columnId("ol_i_id"),
-                                 pim::OpType::Hash)
-               .schedule.total();
-    pim += pim::CostModel(cfg.pimConfig)
-               .computeTime(pim::OpType::Join,
-                            (n_items + n_lines) /
-                                    cfg.geom.totalPimUnits() +
-                                1);
+    hash(orders, "o_id");
+    hash(lines, "ol_o_id");
+    hash(orders, "o_d_id");
+    hash(lines, "ol_d_id");
+    hash(orders, "o_w_id");
+    hash(lines, "ol_w_id");
+    probeCompute(orders);
+    // Group + aggregate.
     pim += engine.columnScanCost(
                      lines,
                      lines.schema().columnId("ol_supply_w_id"),

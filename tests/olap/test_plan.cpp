@@ -67,8 +67,8 @@ TEST(Plan, ValidateRejectsWrongPredicateType)
 TEST(Plan, ValidateRejectsForwardSideReference)
 {
     auto p = plans::q9();
-    // Group key referencing join 2, but only one join exists.
-    p.groupBy.push_back({2, "i_price"});
+    // Group key referencing join 3, but only three joins exist.
+    p.groupBy.push_back({3, "i_price"});
     EXPECT_THROW(validatePlan(p), pushtap::FatalError);
 }
 
