@@ -21,6 +21,12 @@
  * real speedup of the batch execution layer is visible next to the
  * modelled time, and regressions in either show up in the artifact.
  *
+ * A final scaling section sweeps the parallel sharded executor over
+ * workers x shards configurations and records per-configuration
+ * host wall-clock, so the thread-scaling trajectory of the shard
+ * fan-out is archived alongside the executor baselines (speedups
+ * depend on the runner's core count, which is recorded too).
+ *
  * Results are also written to BENCH_fig9b.json (machine-readable;
  * CI archives it on every run so the perf trajectory across PRs can
  * be recorded).
@@ -35,6 +41,7 @@
 #include "olap/operators.hpp"
 
 #include "common/table_printer.hpp"
+#include "common/worker_pool.hpp"
 #include "htap/analytic_olap.hpp"
 #include "htap/pushtap_db.hpp"
 #include "workload/query_catalog.hpp"
@@ -61,7 +68,7 @@ struct Measured
 /** One row of the JSON report. */
 struct JsonRow
 {
-    std::string section; ///< "sweep" or "suite"
+    std::string section; ///< "sweep", "suite" or "scaling"
     std::uint64_t paperTxns = 0;
     std::string system;
     std::string query;
@@ -69,6 +76,8 @@ struct JsonRow
     std::uint64_t rows = 0;
     double hostBatchNs = 0.0;  ///< Wall-clock, batch executor.
     double hostScalarNs = 0.0; ///< Wall-clock, scalar executor.
+    std::uint32_t workers = 1; ///< Executor worker threads.
+    std::uint32_t shards = 1;  ///< Probe-table shards.
 };
 
 /** Best-of-N host wall-clock of fn(), in nanoseconds. */
@@ -129,9 +138,13 @@ writeJson(const std::vector<JsonRow> &rows, const char *path)
         std::fprintf(stderr, "cannot write %s\n", path);
         return;
     }
-    std::fprintf(f, "{\n  \"figure\": \"fig9b\",\n"
-                    "  \"scale\": %g,\n  \"rows\": [\n",
-                 kScale);
+    // hardware_threads bounds the scaling-section speedups, so the
+    // archived artifact stays interpretable across runner shapes.
+    std::fprintf(f,
+                 "{\n  \"figure\": \"fig9b\",\n"
+                 "  \"scale\": %g,\n"
+                 "  \"hardware_threads\": %u,\n  \"rows\": [\n",
+                 kScale, WorkerPool::hardwareWorkers());
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto &r = rows[i];
         std::fprintf(
@@ -141,13 +154,14 @@ writeJson(const std::vector<JsonRow> &rows, const char *path)
             "\"pim_ns\": %.1f, \"cpu_ns\": %.1f, "
             "\"consistency_ns\": %.1f, \"total_ns\": %.1f, "
             "\"result_rows\": %llu, "
-            "\"host_batch_ns\": %.0f, \"host_scalar_ns\": %.0f}%s\n",
+            "\"host_batch_ns\": %.0f, \"host_scalar_ns\": %.0f, "
+            "\"workers\": %u, \"shards\": %u}%s\n",
             r.section.c_str(),
             static_cast<unsigned long long>(r.paperTxns),
             r.system.c_str(), r.query.c_str(), r.t.pim, r.t.cpu,
             r.t.consistency, r.t.total(),
             static_cast<unsigned long long>(r.rows),
-            r.hostBatchNs, r.hostScalarNs,
+            r.hostBatchNs, r.hostScalarNs, r.workers, r.shards,
             i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -280,6 +294,55 @@ main()
     std::printf("\n(host columns: wall-clock of the morsel-driven "
                 "batch executor vs the row-at-a-time reference "
                 "pipeline, best of 5; checksum %zu)\n", sink);
+
+    // Thread/shard scaling of the parallel executor: per-config
+    // host wall-clock over the same populated suite database.
+    // (workers=1, shards=1) is exactly the single-threaded batch
+    // executor the suite section measured.
+    const std::uint32_t hw = WorkerPool::hardwareWorkers();
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> configs = {
+        {1, 1}, {1, 4}, {2, 4}, {4, 4}};
+    if (hw != 1 && hw != 2 && hw != 4)
+        configs.emplace_back(hw, hw);
+    std::printf("\nParallel executor scaling sweep "
+                "(%u hardware threads on this host)\n\n",
+                hw);
+    TablePrinter zp({"query", "workers", "shards", "host (us)",
+                     "speedup vs 1x1"});
+    for (const auto &q : workload::chExecutablePlans()) {
+        double base = 0.0;
+        for (const auto &[workers, shards] : configs) {
+            WorkerPool pool(workers);
+            olap::ExecOptions opts;
+            opts.workers = workers;
+            opts.shards = shards;
+            opts.pool = workers > 1 ? &pool : nullptr;
+            const double host = wallNs([&] {
+                sink += olap::executePlan(suite_db.database(),
+                                          q.plan, opts)
+                            .result.rows.size();
+            });
+            if (workers == 1 && shards == 1)
+                base = host;
+            zp.addRow({q.plan.name, std::to_string(workers),
+                       std::to_string(shards),
+                       TablePrinter::num(host / us, 1),
+                       TablePrinter::num(base / host, 2) + "x"});
+            JsonRow row;
+            row.section = "scaling";
+            row.paperTxns = 1'000'000;
+            row.system = "PUSHtap";
+            row.query = q.plan.name;
+            row.hostBatchNs = host;
+            row.workers = workers;
+            row.shards = shards;
+            json.push_back(row);
+        }
+    }
+    zp.print();
+    std::printf("\n(scaling speedups are bounded by this host's %u "
+                "hardware threads; checksum %zu)\n",
+                hw, sink);
 
     writeJson(json, "BENCH_fig9b.json");
     return 0;

@@ -102,6 +102,31 @@ main(int argc, char **argv)
                     rep.cpuNs / 1e6, rep.consistencyNs / 1e6);
     }
 
+    // Same suite on a shard-partitioned parallel instance: four
+    // bank-stripe shards drained by the hardware's worker threads.
+    // Answers are byte-identical; the modelled decomposition gains
+    // the per-shard scan split and the CPU-side merge charge.
+    auto par_opts = opts;
+    par_opts.olap.shards = 4;
+    par_opts.olap.workers = 0; // hardware concurrency
+    htap::PushtapDB par(par_opts);
+    par.mixed(static_cast<std::uint64_t>(rounds) * 100);
+    std::printf("\nsame suite, shards=4 x hardware workers "
+                "(answers must not change):\n");
+    std::printf("query | result rows | shard KiB (s0/s1/s2/s3) | "
+                "merge us\n");
+    for (const auto &q : workload::chExecutablePlans()) {
+        olap::QueryResult res;
+        const auto rep = par.runQuery(q.plan, &res);
+        std::printf("%5s | %11zu | %6.1f/%6.1f/%6.1f/%6.1f | %6.3f\n",
+                    rep.name.c_str(), res.rows.size(),
+                    static_cast<double>(rep.shardBytes[0]) / 1024.0,
+                    static_cast<double>(rep.shardBytes[1]) / 1024.0,
+                    static_cast<double>(rep.shardBytes[2]) / 1024.0,
+                    static_cast<double>(rep.shardBytes[3]) / 1024.0,
+                    rep.mergeNs / 1e3);
+    }
+
     std::printf("\nOLTP totals: %llu txns, avg %.0f ns; defrag "
                 "pauses %.2f ms total\n",
                 static_cast<unsigned long long>(

@@ -1,0 +1,105 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace pushtap {
+
+std::uint32_t
+WorkerPool::hardwareWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(std::uint32_t workers, std::uint64_t seed)
+    : workers_(workers == 0 ? hardwareWorkers() : workers)
+{
+    Rng root(seed);
+    rngs_.reserve(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w)
+        rngs_.push_back(root.split());
+    threads_.reserve(workers_ - 1);
+    for (std::uint32_t w = 1; w < workers_; ++w)
+        threads_.emplace_back([this, w] { threadMain(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::runTasks(std::uint32_t worker, const Task &fn,
+                     std::size_t tasks)
+{
+    for (;;) {
+        const std::size_t t =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks)
+            return;
+        fn(worker, t);
+    }
+}
+
+void
+WorkerPool::threadMain(std::uint32_t worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const Task *fn = nullptr;
+        std::size_t tasks = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            fn = fn_;
+            tasks = tasks_;
+        }
+        runTasks(worker, *fn, tasks);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++finished_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t tasks, const Task &fn)
+{
+    if (tasks == 0)
+        return;
+    if (workers_ == 1 || tasks == 1) {
+        for (std::size_t t = 0; t < tasks; ++t)
+            fn(0, t);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn_ = &fn;
+        tasks_ = tasks;
+        finished_ = 0;
+        next_.store(0, std::memory_order_relaxed);
+        ++generation_;
+    }
+    workCv_.notify_all();
+    runTasks(0, fn, tasks);
+    {
+        // parallelFor must not return while a thread still runs a
+        // task: the caller may free captured state right after.
+        std::unique_lock<std::mutex> lk(mu_);
+        doneCv_.wait(lk, [&] { return finished_ == workers_ - 1; });
+        fn_ = nullptr;
+    }
+}
+
+} // namespace pushtap

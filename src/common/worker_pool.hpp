@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * A small fixed-size worker pool for host-side parallel execution.
+ *
+ * The pool owns `workers - 1` threads; the caller of parallelFor()
+ * participates as worker 0, so a one-worker pool spawns no threads
+ * and runs everything inline (bit-identical to a plain loop, which
+ * keeps single-threaded configurations trivially deterministic).
+ * Tasks are claimed from a shared atomic counter, so long and short
+ * tasks balance dynamically across workers.
+ *
+ * Each worker also owns an independent Rng stream split off the pool
+ * seed (Rng::split), so randomized per-worker work stays reproducible
+ * for a fixed (seed, worker) pair regardless of scheduling order.
+ *
+ * Task functions must not throw (engine errors go through fatal(),
+ * which throws before any job is dispatched, or panic()); rng(w) may
+ * only be touched by worker w while a job is running.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pushtap {
+
+class WorkerPool
+{
+  public:
+    using Task = std::function<void(std::uint32_t worker,
+                                    std::size_t task)>;
+
+    /** @param workers  Worker count; 0 means hardwareWorkers(). */
+    explicit WorkerPool(std::uint32_t workers = 0,
+                        std::uint64_t seed = 0x5048u);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Hardware concurrency, at least 1. */
+    static std::uint32_t hardwareWorkers();
+
+    std::uint32_t workers() const { return workers_; }
+
+    /** Worker @p w's private random stream. */
+    Rng &rng(std::uint32_t w) { return rngs_[w]; }
+
+    /**
+     * Run fn(worker, task) for every task in [0, tasks), handing
+     * tasks out in claim order from a shared counter. Blocks until
+     * every task has finished. Reentrant calls (from inside a task)
+     * are not supported.
+     */
+    void parallelFor(std::size_t tasks, const Task &fn);
+
+  private:
+    void threadMain(std::uint32_t worker);
+
+    /** Claim-and-run loop shared by the caller and the threads. */
+    void runTasks(std::uint32_t worker, const Task &fn,
+                  std::size_t tasks);
+
+    std::uint32_t workers_;
+    std::vector<Rng> rngs_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable workCv_; ///< New job / shutdown.
+    std::condition_variable doneCv_; ///< Threads finished a job.
+    const Task *fn_ = nullptr;       ///< Guarded by mu_.
+    std::size_t tasks_ = 0;          ///< Guarded by mu_.
+    std::uint64_t generation_ = 0;   ///< Job id, guarded by mu_.
+    std::size_t finished_ = 0;       ///< Guarded by mu_.
+    bool stop_ = false;              ///< Guarded by mu_.
+    std::atomic<std::size_t> next_{0}; ///< Task claim counter.
+};
+
+} // namespace pushtap

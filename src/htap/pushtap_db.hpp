@@ -22,6 +22,20 @@
  *   olap::QueryResult q12;
  *   db.runQuery(12, &q12);                    // catalog plan
  * @endcode
+ *
+ * Parallel sharded execution: opts.olap.shards partitions every
+ * table into block-aligned bank-stripe shards and opts.olap.workers
+ * (0 = hardware) fans the per-shard pipelines out over a worker
+ * pool. Results are byte-identical to the single-threaded defaults
+ * for any combination; only host wall-clock and the modelled
+ * per-shard decomposition (QueryReport::shardBytes / mergeNs)
+ * change.
+ * @code
+ *   htap::PushtapOptions opts;
+ *   opts.olap.shards = 4;                     // bank-stripe shards
+ *   opts.olap.workers = 0;                    // hardware threads
+ *   htap::PushtapDB par(opts);
+ * @endcode
  */
 
 #include <algorithm>

@@ -36,8 +36,10 @@
 
 namespace pushtap::olap {
 
-/** Rows per morsel: large enough to amortize per-batch setup, small
- *  enough that a handful of decoded columns stay cache-resident. */
+/** Default rows per morsel: large enough to amortize per-batch
+ *  setup, small enough that a handful of decoded columns stay
+ *  cache-resident. Tunable (power of two) via ExecOptions::morselRows
+ *  and OlapConfig::morselRows. */
 inline constexpr std::uint32_t kMorselRows = 2048;
 
 /** One morsel: rows [base, base + count) of one region. */
@@ -143,24 +145,36 @@ void filterCharPrefix(std::span<const std::uint8_t> chars,
                       std::string_view prefix, bool negate);
 
 /**
+ * Apply fn(Morsel) to every morsel of rows [begin, end) of region
+ * @p reg, ascending. Morsel bases are relative to @p begin, so a
+ * shard's walk is independent of the other shards' extents.
+ */
+template <typename Fn>
+void
+forEachMorselInRange(storage::Region reg, RowId begin, RowId end,
+                     std::uint32_t morsel_rows, Fn &&fn)
+{
+    for (RowId b = begin; b < end; b += morsel_rows)
+        fn(Morsel{reg, b,
+                  static_cast<std::uint32_t>(
+                      std::min<RowId>(morsel_rows, end - b))});
+}
+
+/**
  * Apply fn(Morsel) to every morsel of both regions: the data region
  * first, then the delta region, ascending — the same row order the
  * scalar forEachVisibleRow walk produces.
  */
 template <typename Fn>
 void
-forEachMorsel(const storage::TableStore &store, Fn &&fn)
+forEachMorsel(const storage::TableStore &store, Fn &&fn,
+              std::uint32_t morsel_rows = kMorselRows)
 {
-    const std::size_t nd = store.dataVisible().size();
-    for (std::size_t b = 0; b < nd; b += kMorselRows)
-        fn(Morsel{storage::Region::Data, b,
-                  static_cast<std::uint32_t>(
-                      std::min<std::size_t>(kMorselRows, nd - b))});
-    const std::size_t nx = store.deltaVisible().size();
-    for (std::size_t b = 0; b < nx; b += kMorselRows)
-        fn(Morsel{storage::Region::Delta, b,
-                  static_cast<std::uint32_t>(
-                      std::min<std::size_t>(kMorselRows, nx - b))});
+    forEachMorselInRange(storage::Region::Data, 0,
+                         store.dataVisible().size(), morsel_rows, fn);
+    forEachMorselInRange(storage::Region::Delta, 0,
+                         store.deltaVisible().size(), morsel_rows,
+                         fn);
 }
 
 } // namespace pushtap::olap

@@ -55,6 +55,20 @@ OlapEngine::OlapEngine(txn::Database &db, const OlapConfig &cfg)
           timing_.pimAggregateBandwidth(cfg.pimConfig.streamBandwidth),
           db.config().devices)
 {
+    if (cfg_.morselRows == 0 ||
+        (cfg_.morselRows & (cfg_.morselRows - 1)) != 0)
+        fatal("OlapConfig: morselRows must be a power of two "
+              "(got {})",
+              cfg_.morselRows);
+    if (cfg_.shards == 0)
+        fatal("OlapConfig: shards must be >= 1");
+    const std::uint32_t workers =
+        cfg_.workers == 0 ? WorkerPool::hardwareWorkers()
+                          : cfg_.workers;
+    // Threads only ever drain shards, so a single-shard engine
+    // keeps no pool (and spawns no idle threads).
+    if (workers > 1 && cfg_.shards > 1)
+        pool_ = std::make_unique<WorkerPool>(workers);
 }
 
 TimeNs
@@ -90,13 +104,10 @@ OlapEngine::scannedDeltaRows(const txn::TableRuntime &tbl) const
 }
 
 ScanCost
-OlapEngine::scanCostForWidth(const txn::TableRuntime &tbl,
-                             std::uint32_t width,
-                             pim::OpType op) const
+OlapEngine::scanCostForRows(std::uint64_t rows, std::uint32_t width,
+                            pim::OpType op) const
 {
     ScanCost cost;
-    const std::uint64_t rows =
-        scannedDataRows(tbl) + scannedDeltaRows(tbl);
     cost.totalBytes = rows * width;
     cost.activeUnits =
         cfg_.blockCirculant
@@ -106,6 +117,47 @@ OlapEngine::scanCostForWidth(const txn::TableRuntime &tbl,
         (cost.totalBytes + cost.activeUnits - 1) / cost.activeUnits;
     cost.schedule = twoPhase_.schedule(op, cost.bytesPerUnit, width);
     return cost;
+}
+
+ScanCost
+OlapEngine::scanCostForWidth(const txn::TableRuntime &tbl,
+                             std::uint32_t width,
+                             pim::OpType op) const
+{
+    return scanCostForRows(scannedDataRows(tbl) +
+                               scannedDeltaRows(tbl),
+                           width, op);
+}
+
+void
+OlapEngine::priceShardedScan(const txn::TableRuntime &tbl,
+                             std::uint32_t width, pim::OpType op,
+                             QueryReport &rep) const
+{
+    // One ScanCost schedule per shard, composed additively: each
+    // shard's bank stripes stream that shard's rows as an
+    // independent serial scan, and the schedules consolidate
+    // end-to-end (the per-scan offload fixed costs are paid per
+    // shard — the modelled price of partitioning). The shard row
+    // split comes from the same ShardMap the executor scans by.
+    const auto smap = tbl.shardMap(cfg_.shards);
+    const std::uint64_t data = scannedDataRows(tbl);
+    const std::uint64_t delta = scannedDeltaRows(tbl);
+    if (rep.shardBytes.size() < smap.shards())
+        rep.shardBytes.resize(smap.shards(), 0);
+    for (std::uint32_t s = 0; s < smap.shards(); ++s) {
+        const std::uint64_t rows =
+            smap.dataRowsIn(s, data) + smap.deltaRowsIn(s, delta);
+        // Empty shards dispatch no scan (but shards=1 always prices
+        // its single schedule, keeping the golden decompositions
+        // bit-for-bit even on empty tables).
+        if (rows == 0 && smap.shards() > 1)
+            continue;
+        const auto cost = scanCostForRows(rows, width, op);
+        rep.pimNs += cost.schedule.total();
+        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+        rep.shardBytes[s] += cost.totalBytes;
+    }
 }
 
 ScanCost
@@ -198,9 +250,9 @@ OlapEngine::priceColumnRead(const txn::TableRuntime &tbl,
     const auto &col = tbl.schema().column(c);
     if (col.type == format::ColType::Int &&
         tbl.layout().singlePlacement(c) != nullptr) {
-        const auto cost = columnScanCost(tbl, c, op);
-        rep.pimNs += cost.schedule.total();
-        rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+        const auto &pl = tbl.layout().keyPlacement(c);
+        priceShardedScan(tbl, tbl.layout().parts()[pl.part].rowWidth,
+                         op, rep);
         return;
     }
     priceCpuGather(tbl, column, rep);
@@ -222,10 +274,7 @@ OlapEngine::priceFusedScan(const txn::TableRuntime &tbl,
         const auto &pl = tbl.layout().keyPlacement(c);
         width += tbl.layout().parts()[pl.part].rowWidth;
     }
-    const auto cost =
-        scanCostForWidth(tbl, width, pim::OpType::Aggregation);
-    rep.pimNs += cost.schedule.total();
-    rep.cpuBlockedNs += cost.schedule.cpuBlockedTime;
+    priceShardedScan(tbl, width, pim::OpType::Aggregation, rep);
 }
 
 void
@@ -326,21 +375,50 @@ OlapEngine::priceMerge(const QueryPlan &plan, std::uint64_t visible,
                          8 * naggs);
 }
 
+void
+OlapEngine::priceShardMerge(const QueryPlan &plan,
+                            QueryReport &rep) const
+{
+    if (cfg_.shards <= 1)
+        return;
+    // Each shard ships one partial accumulator set — group slots x
+    // (aggregates + count), 8 B each — and the CPU folds them in
+    // shard order. This is the consolidation step the shard
+    // partitioning buys its parallelism with.
+    const auto naggs =
+        std::max<std::size_t>(1, plan.aggregates.size());
+    const std::uint64_t slots =
+        plan.groupBy.empty() ? 1 : plan.groupSlots;
+    rep.mergeNs = busTime(static_cast<Bytes>(cfg_.shards) * slots *
+                          8 * (naggs + 1));
+    rep.cpuNs += rep.mergeNs;
+}
+
 QueryReport
 OlapEngine::runQuery(const QueryPlan &plan, QueryResult *result)
 {
     QueryReport rep;
     rep.name = plan.name;
     rep.consistencyNs = takeConsistency();
+    rep.shardBytes.assign(cfg_.shards, 0);
 
-    // executePlan validates the plan before any pricing walk.
-    auto exec = executePlan(db_, plan);
+    // executePlan validates the plan before any pricing walk. The
+    // engine's shard/worker/morsel configuration drives the
+    // functional execution; results are byte-identical to the
+    // single-threaded defaults by construction.
+    ExecOptions exec_opts;
+    exec_opts.shards = cfg_.shards;
+    exec_opts.workers = cfg_.workers;
+    exec_opts.morselRows = cfg_.morselRows;
+    exec_opts.pool = pool_.get();
+    auto exec = executePlan(db_, plan, exec_opts);
     rep.rowsVisible = exec.rowsVisible;
     rep.fusedScanColumns = exec.fusedScanColumns;
 
     priceQuery(plan,
                cfg_.fuseScans && exec.fusedScanColumns > 0, rep);
     priceMerge(plan, exec.rowsVisible, rep);
+    priceShardMerge(plan, rep);
 
     if (result)
         *result = std::move(exec.result);

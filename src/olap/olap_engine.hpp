@@ -18,10 +18,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/worker_pool.hpp"
 #include "dram/timing_model.hpp"
 #include "memctrl/offload_costs.hpp"
 #include "mvcc/defragmenter.hpp"
@@ -52,6 +54,27 @@ struct OlapConfig
      * serial scan per input and all golden decompositions assume it.
      */
     bool fuseScans = false;
+    /**
+     * Shard count: each table's data+delta row space splits into
+     * this many contiguous block-aligned ranges (independent bank
+     * stripes; txn::TableRuntime::shardMap). The executor fans
+     * per-shard pipelines out over the worker pool, and the pricing
+     * walk composes one ScanCost schedule per shard additively plus
+     * a CPU-side merge charge. shards=1 (default) reproduces the
+     * unsharded pricing bit-for-bit.
+     */
+    std::uint32_t shards = 1;
+    /**
+     * Host worker threads draining shards (0 = hardware
+     * concurrency). Purely host-side: results and pricing are
+     * independent of the worker count.
+     */
+    std::uint32_t workers = 1;
+    /**
+     * Rows per morsel of the batch executor. Must be a power of two
+     * (validated at engine construction); default 2048.
+     */
+    std::uint32_t morselRows = kMorselRows;
     /** Fixed per-defragmentation overhead (threads + activation). */
     TimeNs defragFixedNs = 50'000.0;
     /** Fixed per-snapshot overhead (thread wakeup). */
@@ -174,9 +197,32 @@ class OlapEngine
                               std::uint32_t width,
                               pim::OpType op) const;
 
+    /** Scan cost of streaming @p rows rows of @p width bytes. */
+    ScanCost scanCostForRows(std::uint64_t rows, std::uint32_t width,
+                             pim::OpType op) const;
+
+    /**
+     * Price one serial scan of @p width bytes per row as one
+     * ScanCost schedule per shard, composed additively: shard s
+     * streams its ShardMap share of the table's scanned rows, and
+     * the per-shard bytes land in rep.shardBytes. With shards=1 this
+     * is exactly the single whole-table schedule.
+     */
+    void priceShardedScan(const txn::TableRuntime &tbl,
+                          std::uint32_t width, pim::OpType op,
+                          QueryReport &rep) const;
+
     /** CPU-side merge charges that depend on the visible-row count. */
     void priceMerge(const QueryPlan &plan, std::uint64_t visible,
                     QueryReport &rep) const;
+
+    /**
+     * CPU-side cross-shard consolidation: each shard ships one
+     * partial accumulator set (group slots x aggregates + count) to
+     * the host merge. Charges nothing at shards=1.
+     */
+    void priceShardMerge(const QueryPlan &plan,
+                         QueryReport &rep) const;
 
     /** PIM scan when unfragmented, CPU gather otherwise. */
     void priceColumnRead(const txn::TableRuntime &tbl,
@@ -197,6 +243,8 @@ class OlapEngine
     OlapConfig cfg_;
     dram::BatchTimingModel timing_;
     pim::TwoPhaseModel twoPhase_;
+    /** Reused across queries; null when the config is one worker. */
+    std::unique_ptr<WorkerPool> pool_;
     std::vector<mvcc::Snapshotter> snapshotters_;
     mvcc::Defragmenter defragmenter_;
     TimeNs pendingConsistency_ = 0.0;

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/worker_pool.hpp"
 #include "olap/batch.hpp"
+#include "storage/shard_map.hpp"
 
 namespace pushtap::olap {
 
@@ -537,23 +539,6 @@ class DenseGroupAggregator
         return true;
     }
 
-    /** Emit the non-empty groups, ascending by key. */
-    void
-    materialize(std::vector<ResultRow> &rows) const
-    {
-        for (std::size_t i = 0; i < count_.size(); ++i) {
-            if (count_[i] == 0)
-                continue;
-            ResultRow row;
-            row.keys = {lo_ + static_cast<std::int64_t>(i)};
-            row.aggs.reserve(kinds_.size());
-            for (std::size_t a = 0; a < kinds_.size(); ++a)
-                row.aggs.push_back(aggs_[a][i]);
-            row.count = count_[i];
-            rows.push_back(std::move(row));
-        }
-    }
-
     /** Spill the non-empty groups into the generic hash map. */
     template <typename Map>
     void
@@ -651,13 +636,32 @@ fitsBatchEngine(const QueryPlan &plan)
     return true;
 }
 
-PlanExecution
-executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
+/** Fold @p from into @p into per the plan's aggregate kinds (the
+ *  cross-worker merge; every step is commutative, and the merge runs
+ *  in worker order anyway, so results are deterministic). */
+void
+combineAccum(const std::vector<AggSpec> &specs, Accum &into,
+             const Accum &from)
 {
-    const auto &probe_store = db.table(plan.probe.table).store();
+    if (from.count == 0)
+        return;
+    if (into.count == 0)
+        into.aggs.assign(specs.size(), 0);
+    for (std::size_t a = 0; a < specs.size(); ++a)
+        accumulateValue(into, a, specs[a].kind, from.aggs[a]);
+    into.count += from.count;
+}
+
+PlanExecution
+executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
+                 const ExecOptions &opts, WorkerPool *pool)
+{
+    const auto &probe_tbl = db.table(plan.probe.table);
+    const auto &probe_store = probe_tbl.store();
 
     // Build phase: hash each (filtered) build table, morsel by
-    // morsel — keys and payloads decoded once per morsel.
+    // morsel — keys and payloads decoded once per morsel. Built once
+    // here, then probed strictly read-only by every worker.
     std::vector<BatchBuildSide> builds(plan.joins.size());
     for (std::size_t k = 0; k < plan.joins.size(); ++k) {
         const auto &join = plan.joins[k];
@@ -676,7 +680,9 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
         SelectionVector sel;
         std::vector<ColumnBatch> keys(key_rd.size());
         std::vector<ColumnBatch> pays(pay_rd.size());
-        forEachMorsel(store, [&](const Morsel &m) {
+        forEachMorsel(
+            store,
+            [&](const Morsel &m) {
             visibleRows(store, m, sel);
             preds.apply(m, sel);
             if (sel.empty())
@@ -700,19 +706,22 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
                     builds[k].exists.insert(hk);
                 }
             }
-        });
+            },
+            opts.morselRows);
     }
 
     // Probe-side references: every referenced probe column is
-    // gathered exactly once per morsel, shared across join keys,
-    // group keys and aggregates.
-    std::vector<BatchColumnReader> probe_rd;
+    // gathered exactly once per morsel (per worker), shared across
+    // join keys, group keys and aggregates. Only the slot -> column
+    // assignment is shared; each worker owns its readers and
+    // batches.
+    std::vector<std::string> probe_cols;
     std::unordered_map<std::string, std::size_t> probe_slot;
     auto probeColumn = [&](const std::string &col) {
         const auto [it, fresh] =
-            probe_slot.try_emplace(col, probe_rd.size());
+            probe_slot.try_emplace(col, probe_cols.size());
         if (fresh)
-            probe_rd.emplace_back(probe_store, col);
+            probe_cols.push_back(col);
         return it->second;
     };
     auto makeRef = [&](const ColRef &ref) {
@@ -741,14 +750,13 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
     std::vector<BatchRef> agg_refs;
     for (const auto &agg : plan.aggregates)
         agg_refs.push_back(makeRef(agg.value));
-    std::vector<ColumnBatch> probe_cols(probe_rd.size());
 
     // Join classification. Semi/anti joins keyed purely on probe
     // columns are *selection kernels*: each probes the morsel's keys
     // in bulk and compacts the selection like any other predicate,
     // so a plan whose joins are all of that shape still runs its
     // aggregation fused. Inner joins and payload-keyed joins go
-    // through the recursive descend.
+    // through the batched match expansion.
     std::vector<char> probe_keyed(plan.joins.size(), 1);
     for (std::size_t k = 0; k < plan.joins.size(); ++k)
         for (const auto &ref : join_key_refs[k])
@@ -761,13 +769,11 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
         else
             descend_joins.push_back(k);
     }
-    // Descend joins keyed purely on probe columns hash in bulk.
-    std::vector<std::vector<InlineKey>> bulk_keys(plan.joins.size());
 
     // Columns still needed after the filter-join stage (descend join
     // keys, group keys, aggregate inputs): gathered over the final
     // selection only.
-    std::vector<char> late(probe_rd.size(), 0);
+    std::vector<char> late(probe_cols.size(), 0);
     auto markLate = [&](const BatchRef &r) {
         if (r.side == ColRef::kProbe)
             late[r.idx] = 1;
@@ -780,79 +786,127 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
     for (const auto &ref : agg_refs)
         markLate(ref);
     std::vector<std::size_t> late_cols;
-    for (std::size_t c = 0; c < probe_rd.size(); ++c)
+    for (std::size_t c = 0; c < probe_cols.size(); ++c)
         if (late[c])
             late_cols.push_back(c);
 
-    BatchPredicates probe_preds(probe_store, plan.probe);
-    std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
-    Accum fused_total; // Fused ungrouped accumulator.
     const bool no_descend = descend_joins.empty();
     const bool fused_ungrouped = no_descend && group_refs.empty();
-    if (fused_ungrouped)
-        fused_total.aggs.assign(agg_refs.size(), 0);
+    // Single-key grouping goes through the dense aggregator (flat
+    // arrays, no per-row hashing) until its key domain spills — in
+    // the fused pass and after a join expansion alike.
+    const bool dense_grouped = group_refs.size() == 1;
 
-    // Fused single-key grouping goes through the dense aggregator
-    // (flat arrays, no per-row hashing) until its key domain spills.
-    const bool fused_grouped = no_descend && group_refs.size() == 1;
-    DenseGroupAggregator dense(plan.aggregates);
-    bool dense_active = fused_grouped;
-    std::vector<const std::vector<std::int64_t> *> agg_ptrs;
-    if (fused_grouped)
-        for (const auto &ref : agg_refs)
-            agg_ptrs.push_back(&probe_cols[ref.idx].ints);
+    /**
+     * Everything one worker touches while draining shards: its own
+     * readers, batches, selection, accumulators and join-expansion
+     * scratch. Workers never share mutable state; the build tables
+     * and the plan context above are read-only during the fan-out.
+     */
+    struct WorkerState
+    {
+        WorkerState(const storage::TableStore &store,
+                    const QueryPlan &plan,
+                    const std::vector<std::string> &cols,
+                    bool fused_ungrouped, bool dense_grouped)
+            : preds(store, plan.probe), dense(plan.aggregates),
+              denseActive(dense_grouped)
+        {
+            rd.reserve(cols.size());
+            for (const auto &name : cols)
+                rd.emplace_back(store, name);
+            batches.resize(cols.size());
+            bulkKeys.resize(plan.joins.size());
+            etup.resize(plan.joins.size());
+            etupNext.resize(plan.joins.size());
+            gvals.resize(plan.groupBy.size());
+            avals.resize(plan.aggregates.size());
+            aggPtrs.resize(plan.aggregates.size(), nullptr);
+            if (fused_ungrouped)
+                fusedTotal.aggs.assign(plan.aggregates.size(), 0);
+        }
 
-    std::uint64_t visible = 0;
-    SelectionVector sel;
-    std::vector<const std::vector<std::int64_t> *> current(
-        plan.joins.size(), nullptr);
-    InlineKey fk; // Filter-join probe key, reused across rows.
-    forEachMorsel(probe_store, [&](const Morsel &m) {
-        visibleRows(probe_store, m, sel);
-        visible += sel.size();
-        probe_preds.apply(m, sel);
+        BatchPredicates preds;
+        std::vector<BatchColumnReader> rd; ///< By probe slot.
+        std::vector<ColumnBatch> batches;  ///< By probe slot.
+        SelectionVector sel;
+        std::vector<std::vector<InlineKey>> bulkKeys;
+        // Join match expansion: entry e is (selection index erow[e],
+        // payload tuple etup[k][e] per expanded inner join k).
+        std::vector<std::uint32_t> erow, erowNext;
+        std::vector<std::vector<const std::vector<std::int64_t> *>>
+            etup, etupNext;
+        std::vector<std::size_t> activeTup; ///< Expanded inner joins.
+        // Group-key / aggregate columns over the expanded entries.
+        std::vector<std::vector<std::int64_t>> gvals, avals;
+        std::vector<const std::vector<std::int64_t> *> aggPtrs;
+        std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
+        Accum fusedTotal;
+        DenseGroupAggregator dense;
+        bool denseActive;
+        std::uint64_t visible = 0;
+        InlineKey fk; ///< Filter-join probe key, reused across rows.
+    };
+
+    /** Hash-map accumulation of entries [0, n) via value(slot, e). */
+    auto hashAccumulate = [&](WorkerState &st, std::size_t n,
+                              auto &&group_val, auto &&agg_val) {
+        for (std::size_t e = 0; e < n; ++e) {
+            InlineKey gk;
+            gk.n = static_cast<std::uint32_t>(group_refs.size());
+            for (std::size_t g = 0; g < group_refs.size(); ++g)
+                gk.v[g] = group_val(g, e);
+            auto &acc = st.groups[gk];
+            if (acc.count == 0)
+                acc.aggs.assign(agg_refs.size(), 0);
+            for (std::size_t a = 0; a < agg_refs.size(); ++a)
+                accumulateValue(acc, a, plan.aggregates[a].kind,
+                                agg_val(a, e));
+            ++acc.count;
+        }
+    };
+
+    auto processMorsel = [&](WorkerState &st, const Morsel &m) {
+        visibleRows(probe_store, m, st.sel);
+        st.visible += st.sel.size();
+        st.preds.apply(m, st.sel);
 
         // Filter joins: bulk-probe the built existence tables and
         // compact the selection in place.
         for (const auto k : filter_joins) {
-            if (sel.empty())
+            if (st.sel.empty())
                 break;
             const auto &refs = join_key_refs[k];
             for (const auto &ref : refs)
-                probe_rd[ref.idx].gatherInts(m, sel.span(),
-                                             probe_cols[ref.idx]);
+                st.rd[ref.idx].gatherInts(m, st.sel.span(),
+                                          st.batches[ref.idx]);
             const auto &exists = builds[k].exists;
             const bool anti =
                 plan.joins[k].kind == JoinKind::Anti;
-            fk.n = static_cast<std::uint32_t>(refs.size());
+            st.fk.n = static_cast<std::uint32_t>(refs.size());
             std::size_t n = 0;
-            for (std::size_t i = 0; i < sel.size(); ++i) {
+            for (std::size_t i = 0; i < st.sel.size(); ++i) {
                 for (std::size_t c = 0; c < refs.size(); ++c)
-                    fk.v[c] = probe_cols[refs[c].idx].ints[i];
-                const bool found = exists.contains(fk);
-                sel.idx[n] = sel.idx[i];
+                    st.fk.v[c] =
+                        st.batches[refs[c].idx].ints[i];
+                const bool found = exists.contains(st.fk);
+                st.sel.idx[n] = st.sel.idx[i];
                 n += static_cast<std::size_t>(found != anti);
             }
-            sel.idx.resize(n);
+            st.sel.idx.resize(n);
         }
-        if (sel.empty())
+        if (st.sel.empty())
             return;
         for (const auto c : late_cols)
-            probe_rd[c].gatherInts(m, sel.span(), probe_cols[c]);
-
-        auto value = [&](const BatchRef &r, std::size_t i) {
-            if (r.side == ColRef::kProbe)
-                return probe_cols[r.idx].ints[i];
-            return (*current[static_cast<std::size_t>(r.side)])
-                [r.idx];
-        };
+            st.rd[c].gatherInts(m, st.sel.span(), st.batches[c]);
 
         if (fused_ungrouped) {
             // Fused filter+aggregate: column-at-a-time accumulator
             // updates over the surviving selection.
             for (std::size_t a = 0; a < agg_refs.size(); ++a) {
-                const auto &vals = probe_cols[agg_refs[a].idx].ints;
-                auto &acc = fused_total.aggs[a];
+                const auto &vals =
+                    st.batches[agg_refs[a].idx].ints;
+                auto &acc = st.fusedTotal.aggs[a];
                 switch (plan.aggregates[a].kind) {
                   case AggKind::Sum:
                     for (const auto v : vals)
@@ -860,7 +914,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
                     break;
                   case AggKind::Min: {
                     std::size_t i = 0;
-                    if (fused_total.count == 0)
+                    if (st.fusedTotal.count == 0)
                         acc = vals[i++];
                     for (; i < vals.size(); ++i)
                         acc = std::min(acc, vals[i]);
@@ -868,7 +922,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
                   }
                   case AggKind::Max: {
                     std::size_t i = 0;
-                    if (fused_total.count == 0)
+                    if (st.fusedTotal.count == 0)
                         acc = vals[i++];
                     for (; i < vals.size(); ++i)
                         acc = std::max(acc, vals[i]);
@@ -876,98 +930,214 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
                   }
                 }
             }
-            fused_total.count += sel.size();
+            st.fusedTotal.count += st.sel.size();
             return;
         }
 
-        if (dense_active) {
-            // Fused grouped pass, dense flavor: one flat-array
-            // update per aggregate column, no per-row hashing.
-            if (dense.accumulate(
-                    probe_cols[group_refs[0].idx].ints, agg_ptrs))
-                return;
-            // Key domain outgrew the dense arrays: spill to the
-            // hash map and continue generically (this morsel
-            // included, below).
-            dense_active = false;
-            dense.spill(groups);
+        if (no_descend) {
+            // Fused grouped pass: every reference is probe-side.
+            if (st.denseActive) {
+                for (std::size_t a = 0; a < agg_refs.size(); ++a)
+                    st.aggPtrs[a] =
+                        &st.batches[agg_refs[a].idx].ints;
+                if (st.dense.accumulate(
+                        st.batches[group_refs[0].idx].ints,
+                        st.aggPtrs))
+                    return;
+                // Key domain outgrew the dense arrays: spill to
+                // the hash map and continue generically (this
+                // morsel included, below).
+                st.denseActive = false;
+                st.dense.spill(st.groups);
+            }
+            hashAccumulate(
+                st, st.sel.size(),
+                [&](std::size_t g, std::size_t e) {
+                    return st.batches[group_refs[g].idx].ints[e];
+                },
+                [&](std::size_t a, std::size_t e) {
+                    return st.batches[agg_refs[a].idx].ints[e];
+                });
+            return;
         }
 
         // Bulk-hash the pure-probe descend-join keys for the morsel.
         for (const auto k : descend_joins) {
             if (!probe_keyed[k])
                 continue;
-            auto &keys = bulk_keys[k];
-            keys.resize(sel.size());
+            auto &keys = st.bulkKeys[k];
+            keys.resize(st.sel.size());
             const auto &refs = join_key_refs[k];
-            for (std::size_t i = 0; i < sel.size(); ++i) {
+            for (std::size_t i = 0; i < st.sel.size(); ++i) {
                 keys[i].n = static_cast<std::uint32_t>(refs.size());
                 for (std::size_t c = 0; c < refs.size(); ++c)
-                    keys[i].v[c] = probe_cols[refs[c].idx].ints[i];
+                    keys[i].v[c] =
+                        st.batches[refs[c].idx].ints[i];
             }
         }
 
-        auto accumulate = [&](std::size_t i) {
-            InlineKey gk;
-            gk.n = static_cast<std::uint32_t>(group_refs.size());
-            for (std::size_t g = 0; g < group_refs.size(); ++g)
-                gk.v[g] = value(group_refs[g], i);
-            auto &acc = groups[gk];
-            if (acc.count == 0)
-                acc.aggs.assign(agg_refs.size(), 0);
-            for (std::size_t a = 0; a < agg_refs.size(); ++a)
-                accumulateValue(acc, a, plan.aggregates[a].kind,
-                                value(agg_refs[a], i));
-            ++acc.count;
-        };
+        // Batched match expansion: entries start as the surviving
+        // selection; each join either compacts them (semi/anti) or
+        // expands every entry into its matching payload tuples
+        // (inner), in (row, tuple) order — exactly the order the
+        // recursive row-at-a-time descend used to visit.
+        auto &erow = st.erow;
+        erow.resize(st.sel.size());
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(st.sel.size()); ++i)
+            erow[i] = i;
+        st.activeTup.clear();
 
-        auto descend = [&](auto &&self, std::size_t d,
-                           std::size_t i) -> void {
-            if (d == descend_joins.size()) {
-                accumulate(i);
-                return;
-            }
-            const std::size_t k = descend_joins[d];
-            InlineKey hk;
-            const InlineKey *key = &hk;
-            if (probe_keyed[k]) {
-                key = &bulk_keys[k][i];
-            } else {
-                hk.n = static_cast<std::uint32_t>(
-                    join_key_refs[k].size());
-                for (std::size_t c = 0;
-                     c < join_key_refs[k].size(); ++c)
-                    hk.v[c] = value(join_key_refs[k][c], i);
-            }
-            switch (plan.joins[k].kind) {
-              case JoinKind::Semi:
-                if (builds[k].exists.contains(*key))
-                    self(self, d + 1, i);
-                break;
-              case JoinKind::Anti:
-                if (!builds[k].exists.contains(*key))
-                    self(self, d + 1, i);
-                break;
-              case JoinKind::Inner: {
-                const auto it = builds[k].buckets.find(*key);
-                if (it == builds[k].buckets.end() ||
-                    it->second.empty())
-                    break;
-                for (const auto &tuple : it->second) {
-                    current[k] = &tuple;
-                    self(self, d + 1, i);
+        for (const auto k : descend_joins) {
+            const auto &refs = join_key_refs[k];
+            auto keyAt = [&](std::size_t e) {
+                if (probe_keyed[k])
+                    return st.bulkKeys[k][erow[e]];
+                InlineKey hk;
+                hk.n = static_cast<std::uint32_t>(refs.size());
+                for (std::size_t c = 0; c < refs.size(); ++c) {
+                    const auto &r = refs[c];
+                    hk.v[c] =
+                        r.side == ColRef::kProbe
+                            ? st.batches[r.idx].ints[erow[e]]
+                            : (*st.etup[static_cast<std::size_t>(
+                                  r.side)][e])[r.idx];
                 }
-                current[k] = nullptr;
-                break;
-              }
+                return hk;
+            };
+            if (plan.joins[k].kind != JoinKind::Inner) {
+                const bool anti =
+                    plan.joins[k].kind == JoinKind::Anti;
+                const auto &exists = builds[k].exists;
+                std::size_t n = 0;
+                for (std::size_t e = 0; e < erow.size(); ++e) {
+                    if (exists.contains(keyAt(e)) == anti)
+                        continue;
+                    erow[n] = erow[e];
+                    for (const auto l : st.activeTup)
+                        st.etup[l][n] = st.etup[l][e];
+                    ++n;
+                }
+                erow.resize(n);
+                for (const auto l : st.activeTup)
+                    st.etup[l].resize(n);
+            } else {
+                st.erowNext.clear();
+                for (const auto l : st.activeTup)
+                    st.etupNext[l].clear();
+                st.etupNext[k].clear();
+                for (std::size_t e = 0; e < erow.size(); ++e) {
+                    const auto it = builds[k].buckets.find(keyAt(e));
+                    if (it == builds[k].buckets.end())
+                        continue;
+                    for (const auto &tuple : it->second) {
+                        st.erowNext.push_back(erow[e]);
+                        for (const auto l : st.activeTup)
+                            st.etupNext[l].push_back(st.etup[l][e]);
+                        st.etupNext[k].push_back(&tuple);
+                    }
+                }
+                std::swap(erow, st.erowNext);
+                for (const auto l : st.activeTup)
+                    std::swap(st.etup[l], st.etupNext[l]);
+                std::swap(st.etup[k], st.etupNext[k]);
+                st.activeTup.push_back(k);
+            }
+            if (erow.empty())
+                return;
+        }
+
+        // Gather the group-key and aggregate columns over the
+        // expanded entries (column-at-a-time), then accumulate.
+        const std::size_t ne = erow.size();
+        auto gatherRef = [&](const BatchRef &r,
+                             std::vector<std::int64_t> &out) {
+            out.resize(ne);
+            if (r.side == ColRef::kProbe) {
+                const auto &src = st.batches[r.idx].ints;
+                for (std::size_t e = 0; e < ne; ++e)
+                    out[e] = src[erow[e]];
+            } else {
+                const auto &tup =
+                    st.etup[static_cast<std::size_t>(r.side)];
+                for (std::size_t e = 0; e < ne; ++e)
+                    out[e] = (*tup[e])[r.idx];
             }
         };
-        for (std::size_t i = 0; i < sel.size(); ++i)
-            descend(descend, 0, i);
-    });
+        for (std::size_t g = 0; g < group_refs.size(); ++g)
+            gatherRef(group_refs[g], st.gvals[g]);
+        for (std::size_t a = 0; a < agg_refs.size(); ++a)
+            gatherRef(agg_refs[a], st.avals[a]);
 
+        if (st.denseActive && dense_grouped) {
+            for (std::size_t a = 0; a < agg_refs.size(); ++a)
+                st.aggPtrs[a] = &st.avals[a];
+            if (st.dense.accumulate(st.gvals[0], st.aggPtrs))
+                return;
+            st.denseActive = false;
+            st.dense.spill(st.groups);
+        }
+        hashAccumulate(
+            st, ne,
+            [&](std::size_t g, std::size_t e) {
+                return st.gvals[g][e];
+            },
+            [&](std::size_t a, std::size_t e) {
+                return st.avals[a][e];
+            });
+    };
+
+    // Shard fan-out: the probe table's block-aligned shard ranges
+    // are the unit of work; each worker drains whole shards through
+    // its private state. Shards are claimed in order, and nothing
+    // below depends on which worker ran which shard. States are
+    // built lazily on a worker's first claimed shard — a pool sized
+    // to the hardware but given fewer shards constructs no more
+    // reader sets than shards actually run.
+    const storage::ShardMap smap = probe_tbl.shardMap(opts.shards);
+    const std::uint32_t nworkers = pool ? pool->workers() : 1;
+    std::vector<std::optional<WorkerState>> states(nworkers);
+    auto stateFor = [&](std::uint32_t w) -> WorkerState & {
+        if (!states[w])
+            states[w].emplace(probe_store, plan, probe_cols,
+                              fused_ungrouped, dense_grouped);
+        return *states[w];
+    };
+
+    auto processShard = [&](WorkerState &st,
+                            const storage::ShardRange &r) {
+        forEachMorselInRange(
+            Region::Data, r.dataBegin, r.dataEnd, opts.morselRows,
+            [&](const Morsel &m) { processMorsel(st, m); });
+        forEachMorselInRange(
+            Region::Delta, r.deltaBegin, r.deltaEnd, opts.morselRows,
+            [&](const Morsel &m) { processMorsel(st, m); });
+    };
+    if (pool && nworkers > 1 && smap.shards() > 1) {
+        pool->parallelFor(smap.shards(),
+                          [&](std::uint32_t w, std::size_t s) {
+                              processShard(
+                                  stateFor(w),
+                                  smap.range(
+                                      static_cast<std::uint32_t>(s)));
+                          });
+    } else {
+        for (std::uint32_t s = 0; s < smap.shards(); ++s)
+            processShard(stateFor(0), smap.range(s));
+    }
+
+    // CPU-side merge: fold the per-worker partial accumulators in
+    // worker order. Every fold is commutative (sum/min/max/count),
+    // and the materialization below orders by group key, so the
+    // result is byte-identical for any workers x shards split.
+    // Workers that never claimed a shard have no state to fold.
+    std::vector<WorkerState *> engaged;
+    for (auto &st : states)
+        if (st)
+            engaged.push_back(&*st);
     PlanExecution out;
-    out.rowsVisible = visible;
+    for (const auto *st : engaged)
+        out.rowsVisible += st->visible;
     if (plan.joins.empty()) {
         // The whole probe pass ran fused (predicates + grouping +
         // aggregation in one morsel loop): report how many probe Int
@@ -977,18 +1147,25 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
     }
 
     if (fused_ungrouped) {
+        Accum total;
+        total.aggs.assign(plan.aggregates.size(), 0);
+        for (const auto *st : engaged)
+            combineAccum(plan.aggregates, total, st->fusedTotal);
         out.result.rows.push_back(ResultRow{
-            {}, std::move(fused_total.aggs), fused_total.count});
+            {}, std::move(total.aggs), total.count});
         sortAndLimit(out, plan);
         return out;
     }
 
-    if (fused_grouped && dense_active) {
-        // Dense slots are already in ascending key order.
-        dense.materialize(out.result.rows);
-        sortAndLimit(out, plan);
-        return out;
-    }
+    // Spill any still-dense per-worker aggregator, then fold the
+    // workers' group maps into the first engaged worker's.
+    for (auto *st : engaged)
+        if (st->denseActive)
+            st->dense.spill(st->groups);
+    auto &groups = engaged.front()->groups;
+    for (std::size_t w = 1; w < engaged.size(); ++w)
+        for (auto &[key, acc] : engaged[w]->groups)
+            combineAccum(plan.aggregates, groups[key], acc);
 
     // An ungrouped query always yields exactly one row (zero sums
     // and count when nothing matched).
@@ -1021,12 +1198,31 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan)
 } // namespace
 
 PlanExecution
-executePlan(const txn::Database &db, const QueryPlan &plan)
+executePlan(const txn::Database &db, const QueryPlan &plan,
+            const ExecOptions &opts)
 {
     validatePlan(plan);
+    if (opts.morselRows == 0 ||
+        (opts.morselRows & (opts.morselRows - 1)) != 0)
+        fatal("executePlan: morselRows must be a power of two "
+              "(got {})",
+              opts.morselRows);
+    if (opts.shards == 0)
+        fatal("executePlan: shard count must be >= 1");
     if (!fitsBatchEngine(plan))
         return executeScalarImpl(db, plan);
-    return executeBatchImpl(db, plan);
+    WorkerPool *pool = opts.pool;
+    std::optional<WorkerPool> local;
+    // A single shard can never dispatch to a pool, so don't spawn a
+    // transient one for it.
+    if (!pool && opts.shards > 1) {
+        const std::uint32_t w = opts.workers == 0
+                                    ? WorkerPool::hardwareWorkers()
+                                    : opts.workers;
+        if (w > 1)
+            pool = &local.emplace(w);
+    }
+    return executeBatchImpl(db, plan, opts, pool);
 }
 
 PlanExecution

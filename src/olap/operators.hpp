@@ -7,17 +7,24 @@
  * probe), a grouped aggregate and a sort/limit, composed by
  * executePlan() according to a logical QueryPlan.
  *
- * executePlan() is morsel-driven and batch-at-a-time: it walks each
- * table in ~2048-row morsels through the kernel layer of
- * olap/batch.hpp (selection vectors from word-level bitmap
- * extraction, one typed column decode per morsel with a zero-copy
- * stride path for unfragmented columns, predicate kernels that
- * compact the selection in place, bulk-hashed join probes, and a
- * filter+aggregate pass fused into one loop when no join
- * intervenes). executePlanScalar() keeps the original row-at-a-time
- * pipeline as an independently-mechanised reference: both must
- * produce byte-identical results, and the fig9b bench reports their
- * host wall-clock side by side.
+ * executePlan() is morsel-driven, batch-at-a-time and shard
+ * parallel: the probe table splits into contiguous block-aligned
+ * shards (txn::TableRuntime::shardMap) fanned out over a worker
+ * pool, and each worker walks its shards in morsels through the
+ * kernel layer of olap/batch.hpp (selection vectors from word-level
+ * bitmap extraction, one typed column decode per morsel with a
+ * zero-copy stride path for unfragmented columns, predicate kernels
+ * that compact the selection in place, bulk-hashed join probes with
+ * batched inner-join match expansion into per-morsel index/payload
+ * vectors, and a filter+aggregate pass fused into one loop when no
+ * join intervenes). Join hash tables are built once and probed
+ * read-only; per-worker partial accumulators are consolidated by a
+ * deterministic ordered merge, so results are byte-identical to the
+ * single-threaded run for every workers x shards configuration.
+ * executePlanScalar() keeps the original row-at-a-time pipeline as
+ * an independently-mechanised reference: both must produce
+ * byte-identical results, and the fig9b bench reports their host
+ * wall-clock side by side.
  *
  * The operators compute exact results over the MVCC snapshot — every
  * aggregate is verifiable against a reference scan through the
@@ -33,9 +40,14 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "olap/batch.hpp"
 #include "olap/plan.hpp"
 #include "storage/table_store.hpp"
 #include "txn/database.hpp"
+
+namespace pushtap {
+class WorkerPool;
+}
 
 namespace pushtap::olap {
 
@@ -140,14 +152,40 @@ struct PlanExecution
 };
 
 /**
+ * Host-side execution options of the batch engine: how the probe
+ * table is partitioned into shards (contiguous block-aligned row
+ * ranges modelling independent bank stripes, see
+ * txn::TableRuntime::shardMap) and how many worker threads the
+ * shards fan out over. Results are byte-identical to the defaults
+ * for every shards x workers combination: per-worker partial
+ * accumulators are consolidated by a deterministic ordered merge.
+ */
+struct ExecOptions
+{
+    /** Probe-table shard count (>= 1; fatal on 0). */
+    std::uint32_t shards = 1;
+    /** Worker threads (0 = hardware concurrency). */
+    std::uint32_t workers = 1;
+    /** Rows per morsel; must be a power of two (fatal otherwise). */
+    std::uint32_t morselRows = kMorselRows;
+    /**
+     * External pool to run on (overrides `workers`); nullptr spawns
+     * a transient pool when workers resolves to more than one.
+     */
+    WorkerPool *pool = nullptr;
+};
+
+/**
  * Execute @p plan exactly over the current snapshot bitmaps of @p db
- * with the morsel-driven batch engine. The plan is validated first
- * (fatal on malformed plans). Plans whose join or group keys exceed
- * the batch engine's inline-key capacity (8 columns) fall back to
- * the scalar executor — same results, row-at-a-time speed.
+ * with the morsel-driven batch engine, fanning per-shard pipelines
+ * out over @p opts' worker pool. The plan is validated first (fatal
+ * on malformed plans). Plans whose join or group keys exceed the
+ * batch engine's inline-key capacity (8 columns) fall back to the
+ * scalar executor — same results, row-at-a-time speed.
  */
 PlanExecution executePlan(const txn::Database &db,
-                          const QueryPlan &plan);
+                          const QueryPlan &plan,
+                          const ExecOptions &opts = {});
 
 /**
  * Row-at-a-time reference executor (the pre-batching pipeline):

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -33,6 +34,21 @@ struct QueryReport
      * the pass as a single serial scan.
      */
     std::uint32_t fusedScanColumns = 0;
+    /**
+     * PIM bytes streamed per shard (one entry per configured shard;
+     * filled by the single-instance engine's per-shard pricing, left
+     * empty by the analytic baselines). The entries of a
+     * shards-partitioned run always sum to the shards=1 total: the
+     * per-shard ScanCost schedules compose additively.
+     */
+    std::vector<Bytes> shardBytes;
+    /**
+     * CPU-side cross-shard consolidation charge (one partial
+     * accumulator set shipped per shard), already included in cpuNs.
+     * Zero when shards=1, so single-shard decompositions are
+     * unchanged.
+     */
+    TimeNs mergeNs = 0.0;
 
     TimeNs
     totalNs() const

@@ -1,0 +1,82 @@
+#include "storage/shard_map.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace pushtap::storage {
+
+namespace {
+
+/** Per-shard chunk: ceil(rows / shards), rounded up to align. */
+std::uint64_t
+chunkRows(std::uint64_t rows, std::uint32_t shards,
+          std::uint64_t align)
+{
+    const std::uint64_t even = (rows + shards - 1) / shards;
+    return ((even + align - 1) / align) * align;
+}
+
+} // namespace
+
+ShardMap::ShardMap(std::uint64_t data_rows, std::uint64_t delta_rows,
+                   std::uint32_t shards, std::uint64_t align)
+    : dataRows_(data_rows), deltaRows_(delta_rows)
+{
+    if (shards == 0)
+        fatal("ShardMap: shard count must be >= 1");
+    align = std::max<std::uint64_t>(align, 1);
+    const std::uint64_t dchunk = chunkRows(data_rows, shards, align);
+    const std::uint64_t xchunk = chunkRows(delta_rows, shards, align);
+    ranges_.resize(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        auto &r = ranges_[s];
+        r.dataBegin = std::min<std::uint64_t>(s * dchunk, data_rows);
+        r.dataEnd =
+            std::min<std::uint64_t>(r.dataBegin + dchunk, data_rows);
+        r.deltaBegin =
+            std::min<std::uint64_t>(s * xchunk, delta_rows);
+        r.deltaEnd = std::min<std::uint64_t>(r.deltaBegin + xchunk,
+                                             delta_rows);
+    }
+}
+
+template <RowId ShardRange::*Begin, RowId ShardRange::*End>
+std::uint64_t
+ShardMap::share(std::uint32_t s, std::uint64_t region_rows,
+                std::uint64_t scanned) const
+{
+    // Proportional-to-length attribution with the remainder on the
+    // last shard: shares always sum to `scanned` exactly, and one
+    // shard gets `scanned` itself, bit-for-bit. (Products stay well
+    // inside 64 bits for any realistic table population.)
+    auto len = [&](std::uint32_t t) {
+        return ranges_[t].*End - ranges_[t].*Begin;
+    };
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(ranges_.size()) - 1;
+    if (region_rows == 0)
+        return s == last ? scanned : 0;
+    if (s != last)
+        return scanned * len(s) / region_rows;
+    std::uint64_t rows = scanned;
+    for (std::uint32_t t = 0; t < last; ++t)
+        rows -= scanned * len(t) / region_rows;
+    return rows;
+}
+
+std::uint64_t
+ShardMap::dataRowsIn(std::uint32_t s, std::uint64_t scanned) const
+{
+    return share<&ShardRange::dataBegin, &ShardRange::dataEnd>(
+        s, dataRows_, scanned);
+}
+
+std::uint64_t
+ShardMap::deltaRowsIn(std::uint32_t s, std::uint64_t scanned) const
+{
+    return share<&ShardRange::deltaBegin, &ShardRange::deltaEnd>(
+        s, deltaRows_, scanned);
+}
+
+} // namespace pushtap::storage

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+
+namespace pushtap {
+namespace {
+
+TEST(WorkerPool, HardwareWorkersIsAtLeastOne)
+{
+    EXPECT_GE(WorkerPool::hardwareWorkers(), 1u);
+}
+
+TEST(WorkerPool, ZeroWorkersResolvesToHardware)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.workers(), WorkerPool::hardwareWorkers());
+}
+
+TEST(WorkerPool, EveryTaskRunsExactlyOnce)
+{
+    WorkerPool pool(4);
+    constexpr std::size_t kTasks = 1000;
+    // Each task index is claimed exactly once, so per-slot writes
+    // cannot race; the counter cross-checks the total.
+    std::vector<int> hits(kTasks, 0);
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(kTasks, [&](std::uint32_t, std::size_t t) {
+        ++hits[t];
+        total.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t)
+        EXPECT_EQ(hits[t], 1) << "task " << t;
+}
+
+TEST(WorkerPool, WorkerIdsStayInRange)
+{
+    WorkerPool pool(3);
+    std::atomic<std::uint32_t> max_worker{0};
+    pool.parallelFor(64, [&](std::uint32_t w, std::size_t) {
+        std::uint32_t cur = max_worker.load();
+        while (w > cur && !max_worker.compare_exchange_weak(cur, w)) {
+        }
+    });
+    EXPECT_LT(max_worker.load(), 3u);
+}
+
+TEST(WorkerPool, SingleWorkerRunsInlineInOrder)
+{
+    WorkerPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(16, [&](std::uint32_t w, std::size_t t) {
+        EXPECT_EQ(w, 0u);
+        order.push_back(t); // Safe: no threads with one worker.
+    });
+    std::vector<std::size_t> expect(16);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(WorkerPool, ZeroTasksIsANoop)
+{
+    WorkerPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::uint32_t, std::size_t) {
+        ran = true;
+    });
+    EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, ReusableAcrossJobs)
+{
+    WorkerPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(100, [&](std::uint32_t, std::size_t t) {
+            sum.fetch_add(t, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 99u * 100u / 2u) << round;
+    }
+}
+
+TEST(WorkerPool, PerWorkerAccumulatorsNeedNoSynchronization)
+{
+    // The executor pattern: worker w only touches slot w, then the
+    // caller merges after parallelFor returns.
+    WorkerPool pool(4);
+    constexpr std::size_t kTasks = 257;
+    std::vector<std::uint64_t> partial(pool.workers(), 0);
+    pool.parallelFor(kTasks, [&](std::uint32_t w, std::size_t t) {
+        partial[w] += t + 1;
+    });
+    const auto total = std::accumulate(partial.begin(),
+                                       partial.end(), 0ull);
+    EXPECT_EQ(total, kTasks * (kTasks + 1) / 2);
+}
+
+TEST(WorkerPool, RngStreamsAreDeterministicAndDistinct)
+{
+    WorkerPool a(3, 123), b(3, 123), c(3, 321);
+    for (std::uint32_t w = 0; w < 3; ++w) {
+        EXPECT_EQ(a.rng(w)(), b.rng(w)());
+        EXPECT_EQ(a.rng(w)(), b.rng(w)());
+    }
+    // Different seeds and different workers give different streams.
+    EXPECT_NE(WorkerPool(3, 123).rng(0)(), c.rng(0)());
+    WorkerPool d(2, 7);
+    EXPECT_NE(d.rng(0)(), d.rng(1)());
+}
+
+} // namespace
+} // namespace pushtap

@@ -5,6 +5,7 @@
 #include "htap/analytic_olap.hpp"
 #include "htap/pushtap_db.hpp"
 #include "memctrl/controller.hpp"
+#include "workload/query_catalog.hpp"
 
 namespace pushtap {
 namespace {
@@ -130,6 +131,38 @@ TEST_F(EndToEnd, ControllerHonoursTwoPhaseContract)
         2.0 * cfg.handoverPerRankNs * geom.ranksPerChannel;
     EXPECT_GE(ticksToNs(read_done), expect);
     EXPECT_LT(ticksToNs(read_done), expect + 2000.0);
+}
+
+TEST_F(EndToEnd, ShardedParallelInstanceAgreesWithSerial)
+{
+    // The full facade at shards=4 x workers=4 must answer every
+    // executable CH query exactly like the single-threaded default
+    // instance, transaction history and defrag passes included.
+    auto par_opts = options();
+    par_opts.olap.shards = 4;
+    par_opts.olap.workers = 4;
+    htap::PushtapDB serial(options());
+    htap::PushtapDB parallel(par_opts);
+    serial.mixed(80);
+    parallel.mixed(80);
+
+    for (const auto &q : workload::chExecutablePlans()) {
+        olap::QueryResult sres, pres;
+        serial.runQuery(q.plan, &sres);
+        const auto prep = parallel.runQuery(q.plan, &pres);
+        ASSERT_EQ(sres.rows.size(), pres.rows.size())
+            << q.plan.name;
+        for (std::size_t i = 0; i < sres.rows.size(); ++i) {
+            EXPECT_EQ(sres.rows[i].keys, pres.rows[i].keys)
+                << q.plan.name;
+            EXPECT_EQ(sres.rows[i].aggs, pres.rows[i].aggs)
+                << q.plan.name;
+            EXPECT_EQ(sres.rows[i].count, pres.rows[i].count)
+                << q.plan.name;
+        }
+        EXPECT_EQ(prep.shardBytes.size(), 4u) << q.plan.name;
+        EXPECT_GT(prep.mergeNs, 0.0) << q.plan.name;
+    }
 }
 
 TEST_F(EndToEnd, RowStoreAndUnifiedAgreeOnAnswers)

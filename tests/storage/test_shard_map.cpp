@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include <cstdint>
+
+#include "storage/shard_map.hpp"
+#include "txn/database.hpp"
+
+namespace pushtap::storage {
+namespace {
+
+TEST(ShardMap, SingleShardCoversBothRegions)
+{
+    const ShardMap map(1000, 300, 1, 64);
+    ASSERT_EQ(map.shards(), 1u);
+    EXPECT_EQ(map.range(0).dataBegin, 0u);
+    EXPECT_EQ(map.range(0).dataEnd, 1000u);
+    EXPECT_EQ(map.range(0).deltaBegin, 0u);
+    EXPECT_EQ(map.range(0).deltaEnd, 300u);
+}
+
+TEST(ShardMap, RangesPartitionTheRowSpace)
+{
+    for (const std::uint32_t shards : {2u, 3u, 4u, 7u}) {
+        for (const std::uint64_t align : {1ull, 64ull, 1024ull}) {
+            const ShardMap map(10'000, 3'333, shards, align);
+            RowId data_next = 0, delta_next = 0;
+            for (std::uint32_t s = 0; s < map.shards(); ++s) {
+                const auto &r = map.range(s);
+                EXPECT_EQ(r.dataBegin, data_next);
+                EXPECT_LE(r.dataBegin, r.dataEnd);
+                EXPECT_EQ(r.deltaBegin, delta_next);
+                EXPECT_LE(r.deltaBegin, r.deltaEnd);
+                data_next = r.dataEnd;
+                delta_next = r.deltaEnd;
+            }
+            EXPECT_EQ(data_next, 10'000u);
+            EXPECT_EQ(delta_next, 3'333u);
+        }
+    }
+}
+
+TEST(ShardMap, BoundariesAlignToBlocks)
+{
+    const ShardMap map(10'000, 2'000, 4, 1024);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        const auto &r = map.range(s);
+        // Interior boundaries are block multiples; only the region
+        // end may clamp mid-block.
+        if (r.dataEnd != 10'000) {
+            EXPECT_EQ(r.dataEnd % 1024, 0u) << s;
+        }
+        if (r.deltaEnd != 2'000) {
+            EXPECT_EQ(r.deltaEnd % 1024, 0u) << s;
+        }
+    }
+}
+
+TEST(ShardMap, MoreShardsThanBlocksLeavesEmptyTails)
+{
+    const ShardMap map(100, 0, 8, 64);
+    std::uint64_t covered = 0;
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        const auto &r = map.range(s);
+        covered += r.dataEnd - r.dataBegin;
+        EXPECT_EQ(r.deltaBegin, r.deltaEnd);
+    }
+    EXPECT_EQ(covered, 100u);
+    // Tail shards are empty but still valid ranges.
+    EXPECT_EQ(map.range(7).dataBegin, map.range(7).dataEnd);
+}
+
+TEST(ShardMap, ScannedRowsSplitSumsExactly)
+{
+    const ShardMap map(10'000, 4'000, 4, 256);
+    for (const std::uint64_t scanned : {0ull, 1ull, 255ull, 4'096ull,
+                                        9'999ull, 10'000ull}) {
+        std::uint64_t sum = 0;
+        for (std::uint32_t s = 0; s < 4; ++s)
+            sum += map.dataRowsIn(s, scanned);
+        EXPECT_EQ(sum, scanned);
+    }
+}
+
+TEST(ShardMap, ScannedRowsSplitIsProportionalToShardLength)
+{
+    const ShardMap map(1'000, 0, 4, 1);
+    // Equal 250-row shards split 800 scanned rows evenly.
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(map.dataRowsIn(s, 800), 200u) << s;
+}
+
+TEST(ShardMap, ScannedBeyondCapacitySumsExactly)
+{
+    // The pricing walks round delta rows up to whole blocks per
+    // rotation class, which can exceed the provisioned capacity;
+    // the split must still sum to the scanned count exactly.
+    const ShardMap map(1'000, 500, 4, 64);
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = 0; s < 4; ++s)
+        sum += map.deltaRowsIn(s, 700);
+    EXPECT_EQ(sum, 700u);
+}
+
+TEST(ShardMap, EmptyRegionAttributesAllScannedToTheLastShard)
+{
+    const ShardMap map(100, 0, 3, 1);
+    EXPECT_EQ(map.deltaRowsIn(0, 42), 0u);
+    EXPECT_EQ(map.deltaRowsIn(1, 42), 0u);
+    EXPECT_EQ(map.deltaRowsIn(2, 42), 42u);
+}
+
+TEST(ShardMap, ZeroShardsIsFatal)
+{
+    EXPECT_THROW(ShardMap(100, 100, 0), FatalError);
+}
+
+TEST(TableRuntimeShardMap, AlignsToCirculantBlocksOverUsedRows)
+{
+    txn::DatabaseConfig cfg;
+    cfg.scale = 0.0002;
+    cfg.blockRows = 64;
+    const txn::Database db(cfg);
+    const auto &tbl = db.table(workload::ChTable::OrderLine);
+    const auto map = tbl.shardMap(4);
+    ASSERT_EQ(map.shards(), 4u);
+    RowId covered = 0, delta_covered = 0;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        const auto &r = map.range(s);
+        if (r.dataEnd != tbl.usedDataRows()) {
+            EXPECT_EQ(r.dataEnd % 64, 0u) << s;
+        }
+        covered += r.dataEnd - r.dataBegin;
+        delta_covered += r.deltaEnd - r.deltaBegin;
+    }
+    // Data shards cover the used prefix (where every visible row
+    // lives); delta shards cover the whole sparse slot space.
+    EXPECT_EQ(covered, tbl.usedDataRows());
+    EXPECT_EQ(delta_covered, tbl.store().deltaVisible().size());
+}
+
+} // namespace
+} // namespace pushtap::storage
