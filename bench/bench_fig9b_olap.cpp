@@ -25,7 +25,11 @@
  * workers x shards configurations and records per-configuration
  * host wall-clock, so the thread-scaling trajectory of the shard
  * fan-out is archived alongside the executor baselines (speedups
- * depend on the runner's core count, which is recorded too).
+ * depend on the runner's core count, which is recorded too). A
+ * morselRows axis rides the same grid for the paper's Q1/Q6/Q9
+ * (each JSON row carries its morsel_rows), and a closing section
+ * sweeps morsel sizes per InstanceFormat and records the suggested
+ * per-format default (ROADMAP morsel-sweep item).
  *
  * Results are also written to BENCH_fig9b.json (machine-readable;
  * CI archives it on every run so the perf trajectory across PRs can
@@ -68,7 +72,8 @@ struct Measured
 /** One row of the JSON report. */
 struct JsonRow
 {
-    std::string section; ///< "sweep", "suite" or "scaling"
+    /** "sweep", "suite", "scaling" or "morsel_default". */
+    std::string section;
     std::uint64_t paperTxns = 0;
     std::string system;
     std::string query;
@@ -78,6 +83,7 @@ struct JsonRow
     double hostScalarNs = 0.0; ///< Wall-clock, scalar executor.
     std::uint32_t workers = 1; ///< Executor worker threads.
     std::uint32_t shards = 1;  ///< Probe-table shards.
+    std::uint32_t morselRows = olap::kMorselRows;
 };
 
 /** Best-of-N host wall-clock of fn(), in nanoseconds. */
@@ -155,14 +161,15 @@ writeJson(const std::vector<JsonRow> &rows, const char *path)
             "\"consistency_ns\": %.1f, \"total_ns\": %.1f, "
             "\"result_rows\": %llu, "
             "\"host_batch_ns\": %.0f, \"host_scalar_ns\": %.0f, "
-            "\"workers\": %u, \"shards\": %u}%s\n",
+            "\"workers\": %u, \"shards\": %u, "
+            "\"morsel_rows\": %u}%s\n",
             r.section.c_str(),
             static_cast<unsigned long long>(r.paperTxns),
             r.system.c_str(), r.query.c_str(), r.t.pim, r.t.cpu,
             r.t.consistency, r.t.total(),
             static_cast<unsigned long long>(r.rows),
             r.hostBatchNs, r.hostScalarNs, r.workers, r.shards,
-            i + 1 < rows.size() ? "," : "");
+            r.morselRows, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -307,42 +314,126 @@ main()
     std::printf("\nParallel executor scaling sweep "
                 "(%u hardware threads on this host)\n\n",
                 hw);
-    TablePrinter zp({"query", "workers", "shards", "host (us)",
-                     "speedup vs 1x1"});
+    // The morselRows axis rides the same workers x shards grid. The
+    // full 22-query suite runs at the default morsel size; the
+    // paper's Q1/Q6/Q9 sweep every (workers, shards, morselRows)
+    // cell so the morsel trajectory is archived without tripling
+    // the whole grid.
+    // Default size first: the (workers=1, shards=1, default) cell is
+    // the speedup baseline and must be measured before any other row
+    // of its query prints a ratio against it.
+    const std::vector<std::uint32_t> morsel_axis = {olap::kMorselRows,
+                                                    512, 8192};
+    TablePrinter zp({"query", "workers", "shards", "morsel",
+                     "host (us)", "speedup vs 1x1"});
     for (const auto &q : workload::chExecutablePlans()) {
+        const bool sweep_morsels =
+            q.queryNo == 1 || q.queryNo == 6 || q.queryNo == 9;
         double base = 0.0;
         for (const auto &[workers, shards] : configs) {
             WorkerPool pool(workers);
-            olap::ExecOptions opts;
-            opts.workers = workers;
-            opts.shards = shards;
-            opts.pool = workers > 1 ? &pool : nullptr;
-            const double host = wallNs([&] {
-                sink += olap::executePlan(suite_db.database(),
-                                          q.plan, opts)
-                            .result.rows.size();
-            });
-            if (workers == 1 && shards == 1)
-                base = host;
-            zp.addRow({q.plan.name, std::to_string(workers),
-                       std::to_string(shards),
-                       TablePrinter::num(host / us, 1),
-                       TablePrinter::num(base / host, 2) + "x"});
-            JsonRow row;
-            row.section = "scaling";
-            row.paperTxns = 1'000'000;
-            row.system = "PUSHtap";
-            row.query = q.plan.name;
-            row.hostBatchNs = host;
-            row.workers = workers;
-            row.shards = shards;
-            json.push_back(row);
+            for (const auto morsel : morsel_axis) {
+                if (morsel != olap::kMorselRows && !sweep_morsels)
+                    continue;
+                olap::ExecOptions opts;
+                opts.workers = workers;
+                opts.shards = shards;
+                opts.morselRows = morsel;
+                opts.pool = workers > 1 ? &pool : nullptr;
+                const double host = wallNs([&] {
+                    sink += olap::executePlan(suite_db.database(),
+                                              q.plan, opts)
+                                .result.rows.size();
+                });
+                if (workers == 1 && shards == 1 &&
+                    morsel == olap::kMorselRows)
+                    base = host;
+                zp.addRow({q.plan.name, std::to_string(workers),
+                           std::to_string(shards),
+                           std::to_string(morsel),
+                           TablePrinter::num(host / us, 1),
+                           TablePrinter::num(base / host, 2) +
+                               "x"});
+                JsonRow row;
+                row.section = "scaling";
+                row.paperTxns = 1'000'000;
+                row.system = "PUSHtap";
+                row.query = q.plan.name;
+                row.hostBatchNs = host;
+                row.workers = workers;
+                row.shards = shards;
+                row.morselRows = morsel;
+                json.push_back(row);
+            }
         }
     }
     zp.print();
     std::printf("\n(scaling speedups are bounded by this host's %u "
                 "hardware threads; checksum %zu)\n",
                 hw, sink);
+
+    // Per-format morselRows suggestion: each InstanceFormat lays the
+    // unified store out differently, so the sweet spot between
+    // per-batch setup amortization and decoded-column cache
+    // residency can shift. Q1 + Q6 (the scan-bound class the morsel
+    // size dominates) time the sweep; the argmin is the suggested
+    // default for that format.
+    std::printf("\nPer-format morselRows sweep (Q1 + Q6 host "
+                "wall-clock)\n\n");
+    TablePrinter mp({"format", "morsel", "Q1+Q6 host (us)",
+                     "suggested"});
+    const std::pair<txn::InstanceFormat, const char *> formats[] = {
+        {txn::InstanceFormat::Unified, "Unified"},
+        {txn::InstanceFormat::RowStore, "RowStore"},
+        {txn::InstanceFormat::ColumnStore, "ColumnStore"}};
+    for (const auto &[format, fname] : formats) {
+        auto fopts = pushtapOptions(false);
+        fopts.format = format;
+        htap::PushtapDB fdb(fopts);
+        fdb.mixed(500);
+        double best_host = std::numeric_limits<double>::infinity();
+        std::uint32_t best_morsel = olap::kMorselRows;
+        std::vector<std::pair<std::uint32_t, double>> sweep;
+        for (const auto morsel : morsel_axis) {
+            olap::ExecOptions opts;
+            opts.morselRows = morsel;
+            const double host = wallNs([&] {
+                sink += olap::executePlan(fdb.database(),
+                                          olap::plans::q1(), opts)
+                            .result.rows.size();
+                sink += olap::executePlan(fdb.database(),
+                                          olap::plans::q6(), opts)
+                            .result.rows.size();
+            });
+            sweep.emplace_back(morsel, host);
+            if (host < best_host) {
+                best_host = host;
+                best_morsel = morsel;
+            }
+        }
+        for (const auto &[morsel, host] : sweep) {
+            mp.addRow({fname, std::to_string(morsel),
+                       TablePrinter::num(host / us, 1),
+                       morsel == best_morsel ? "<-- suggested"
+                                             : ""});
+            JsonRow row;
+            row.section = "morsel_default";
+            row.paperTxns = 1'000'000;
+            row.system = fname;
+            row.query = "Q1+Q6";
+            row.hostBatchNs = host;
+            row.morselRows = morsel;
+            row.rows = morsel == best_morsel ? 1 : 0;
+            json.push_back(row);
+        }
+        std::printf("suggested OlapConfig::morselRows for %s: %u\n",
+                    fname, best_morsel);
+    }
+    mp.print();
+    std::printf("\n(rows with result_rows=1 in the morsel_default "
+                "section mark the per-format suggestion; "
+                "checksum %zu)\n",
+                sink);
 
     writeJson(json, "BENCH_fig9b.json");
     return 0;

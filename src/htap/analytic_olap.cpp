@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "workload/ch_schema.hpp"
 
@@ -114,12 +117,42 @@ AnalyticOlapModel::runQuery(BaselineKind kind,
         rep.pimNs += idealColumnScan(rows_of(t), width_of(t, col))
                          .total();
     };
+    // Expression predicates charge one ideal scan per distinct
+    // referenced column (the column-store instance scans Char LIKE
+    // targets in PIM too, unlike the single-instance CPU gather).
+    auto scan_exprs = [&](workload::ChTable table,
+                          const std::vector<olap::ExprPtr> &exprs) {
+        std::set<std::string> int_cols, char_cols;
+        olap::collectExprColumns(exprs, int_cols, char_cols);
+        for (const auto &name : int_cols)
+            scan(table, name);
+        for (const auto &name : char_cols)
+            scan(table, name);
+    };
     auto scan_input = [&](const olap::TableInput &in) {
         for (const auto &p : in.intPredicates)
             scan(in.table, p.column);
         for (const auto &p : in.charPredicates)
             scan(in.table, p.column);
+        scan_exprs(in.table, in.exprPredicates);
     };
+
+    // Scalar-subquery pre-passes: source filters, group keys,
+    // aggregate inputs, and the probe-side key lookup columns.
+    for (const auto &sub : plan.subqueries) {
+        scan_input(sub.source);
+        for (const auto &col : sub.groupBy)
+            scan(sub.source.table, col);
+        std::vector<olap::ExprPtr> inputs;
+        for (const auto &agg : sub.aggs)
+            inputs.push_back(agg.value);
+        scan_exprs(sub.source.table, inputs);
+        std::set<std::string> key_cols;
+        for (const auto &key : sub.keys)
+            key_cols.insert(key.column);
+        for (const auto &name : key_cols)
+            scan(plan.probe.table, name);
+    }
 
     scan_input(plan.probe);
     const std::uint64_t probe_rows = rows_of(plan.probe.table);
@@ -139,8 +172,22 @@ AnalyticOlapModel::runQuery(BaselineKind kind,
     }
     for (const auto &key : plan.groupBy)
         scan(olap::tableOf(plan, key), key.column);
-    for (const auto &agg : plan.aggregates)
-        scan(olap::tableOf(plan, agg.value), agg.value.column);
+    for (const auto &agg : plan.aggregates) {
+        if (agg.expr) {
+            std::set<std::pair<workload::ChTable, std::string>>
+                cols;
+            olap::forEachColumnRef(
+                *agg.expr,
+                [&cols, &plan](const olap::ColRef &ref, bool) {
+                    cols.emplace(olap::tableOf(plan, ref),
+                                 ref.column);
+                });
+            for (const auto &[table, name] : cols)
+                scan(table, name);
+        } else {
+            scan(olap::tableOf(plan, agg.value), agg.value.column);
+        }
+    }
 
     // CPU merge: joined plans already paid the bucket partition; a
     // grouped scan ships one 2 B group index per row; an ungrouped

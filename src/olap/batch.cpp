@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <vector>
 
+#include "common/log.hpp"
 #include "format/row_codec.hpp"
 
 namespace pushtap::olap {
@@ -128,6 +130,154 @@ filterIntRange(std::span<const std::int64_t> vals,
         const std::uint32_t off = sel.idx[i];
         sel.idx[n] = off;
         n += static_cast<std::size_t>(vals[i] >= lo && vals[i] <= hi);
+    }
+    sel.idx.resize(n);
+}
+
+namespace {
+
+/**
+ * Recursive column-at-a-time evaluation. Column leaves copy the
+ * provider span (the provider may reuse its scratch across calls
+ * for different columns); everything else computes in place over
+ * freshly sized vectors — morsel-bounded, so the transient
+ * allocations stay small and cache-friendly.
+ */
+void
+evalRec(const Expr &e, BatchExprContext &ctx,
+        std::vector<std::int64_t> &out)
+{
+    const std::size_t n = ctx.entries();
+    switch (e.op) {
+      case ExprOp::IntLit:
+        out.assign(n, e.lit);
+        return;
+      case ExprOp::Column: {
+        const auto vals = ctx.ints(e.col);
+        out.assign(vals.begin(), vals.end());
+        return;
+      }
+      case ExprOp::Like: {
+        std::uint32_t w = 0;
+        const auto payload = ctx.chars(e.col, w);
+        out.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = likeMatch(payload.subspan(i * w, w), e.pattern)
+                         ? 1
+                         : 0;
+        return;
+      }
+      case ExprOp::SubqueryRef: {
+        const auto vals = ctx.subqueryValues(e);
+        out.assign(vals.begin(), vals.end());
+        return;
+      }
+      case ExprOp::Not: {
+        evalRec(*e.kids[0], ctx, out);
+        for (auto &v : out)
+            v = v == 0 ? 1 : 0;
+        return;
+      }
+      case ExprOp::CaseWhen: {
+        std::vector<std::int64_t> cond, then_v, else_v;
+        evalRec(*e.kids[0], ctx, cond);
+        evalRec(*e.kids[1], ctx, then_v);
+        evalRec(*e.kids[2], ctx, else_v);
+        out.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = cond[i] != 0 ? then_v[i] : else_v[i];
+        return;
+      }
+      default: {
+        std::vector<std::int64_t> rhs;
+        evalRec(*e.kids[0], ctx, out);
+        evalRec(*e.kids[1], ctx, rhs);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = exprApply(e.op, out[i], rhs[i]);
+        return;
+      }
+    }
+}
+
+} // namespace
+
+void
+evalExprBatch(const Expr &e, BatchExprContext &ctx,
+              std::vector<std::int64_t> &out)
+{
+    evalRec(e, ctx, out);
+}
+
+void
+filterExprBatch(const Expr &e, BatchExprContext &ctx,
+                SelectionVector &sel)
+{
+    // Fused compare+select: a comparison against a literal compacts
+    // the selection straight off the gathered column.
+    const bool cmp_root =
+        e.op == ExprOp::Eq || e.op == ExprOp::Ne ||
+        e.op == ExprOp::Lt || e.op == ExprOp::Le ||
+        e.op == ExprOp::Gt || e.op == ExprOp::Ge;
+    if (cmp_root) {
+        const Expr *lhs = e.kids[0].get();
+        const Expr *rhs = e.kids[1].get();
+        if (lhs->op == ExprOp::Column &&
+            rhs->op == ExprOp::IntLit) {
+            const auto vals = ctx.ints(lhs->col);
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < sel.idx.size(); ++i) {
+                sel.idx[n] = sel.idx[i];
+                n += static_cast<std::size_t>(
+                    exprApply(e.op, vals[i], rhs->lit) != 0);
+            }
+            sel.idx.resize(n);
+            return;
+        }
+        if (lhs->op == ExprOp::IntLit &&
+            rhs->op == ExprOp::Column) {
+            const auto vals = ctx.ints(rhs->col);
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < sel.idx.size(); ++i) {
+                sel.idx[n] = sel.idx[i];
+                n += static_cast<std::size_t>(
+                    exprApply(e.op, lhs->lit, vals[i]) != 0);
+            }
+            sel.idx.resize(n);
+            return;
+        }
+    }
+    // Fused (negated) LIKE: match straight off the char payload.
+    const bool not_like =
+        e.op == ExprOp::Not && e.kids[0]->op == ExprOp::Like;
+    if (e.op == ExprOp::Like || not_like) {
+        const Expr &like = not_like ? *e.kids[0] : e;
+        std::uint32_t w = 0;
+        const auto payload = ctx.chars(like.col, w);
+        filterCharLike(payload, w, sel, like.pattern, not_like);
+        return;
+    }
+
+    std::vector<std::int64_t> keep;
+    evalRec(e, ctx, keep);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sel.idx.size(); ++i) {
+        sel.idx[n] = sel.idx[i];
+        n += static_cast<std::size_t>(keep[i] != 0);
+    }
+    sel.idx.resize(n);
+}
+
+void
+filterCharLike(std::span<const std::uint8_t> chars,
+               std::uint32_t width, SelectionVector &sel,
+               std::string_view pattern, bool negate)
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sel.idx.size(); ++i) {
+        const bool match =
+            likeMatch(chars.subspan(i * width, width), pattern);
+        sel.idx[n] = sel.idx[i];
+        n += static_cast<std::size_t>(match != negate);
     }
     sel.idx.resize(n);
 }

@@ -22,16 +22,19 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "format/layout.hpp"
+#include "olap/expr.hpp"
 #include "storage/table_store.hpp"
 
 namespace pushtap::olap {
@@ -119,6 +122,150 @@ class BatchColumnReader
     std::optional<format::StrideAccess> access_;
     mutable std::vector<std::uint8_t> buf_; ///< Fragment scratch.
 };
+
+/**
+ * Inline composite key: join, group and subquery keys hashed as
+ * whole int tuples (no per-row byte-string building). Capacity
+ * bounds the batch engine; wider plans fall back to the scalar
+ * executor.
+ */
+struct InlineKey
+{
+    static constexpr std::size_t kMaxKeys = 8;
+
+    std::array<std::int64_t, kMaxKeys> v{};
+    std::uint32_t n = 0;
+
+    bool
+    operator==(const InlineKey &o) const
+    {
+        if (n != o.n)
+            return false;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (v[i] != o.v[i])
+                return false;
+        return true;
+    }
+
+    /** Lexicographic over the used slots (== std::map<vector> order
+     *  of the scalar executor when every key has the same arity). */
+    bool
+    operator<(const InlineKey &o) const
+    {
+        for (std::uint32_t i = 0; i < n && i < o.n; ++i)
+            if (v[i] != o.v[i])
+                return v[i] < o.v[i];
+        return n < o.n;
+    }
+};
+
+struct InlineKeyHash
+{
+    std::size_t
+    operator()(const InlineKey &k) const
+    {
+        // SplitMix64-style mixing per component, FNV-style fold.
+        std::uint64_t h = 0x9e3779b97f4a7c15ull + k.n;
+        for (std::uint32_t i = 0; i < k.n; ++i) {
+            std::uint64_t x = static_cast<std::uint64_t>(k.v[i]);
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ull;
+            x ^= x >> 27;
+            x *= 0x94d049bb133111ebull;
+            x ^= x >> 31;
+            h = (h ^ x) * 0x100000001b3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/**
+ * One materialized scalar subquery (SubquerySpec): per-group-key
+ * aggregate values, probed read-only by every worker during the
+ * main pipeline. A key with no group evaluates to 0 in every slot
+ * (the IR's missing-group semantics).
+ */
+struct SubqueryResult
+{
+    std::unordered_map<InlineKey, std::vector<std::int64_t>,
+                       InlineKeyHash>
+        groups;
+    std::size_t slots = 0; ///< Aggregate count per group.
+
+    std::int64_t
+    value(const InlineKey &key, std::size_t slot) const
+    {
+        const auto it = groups.find(key);
+        return it == groups.end() ? 0 : it->second[slot];
+    }
+};
+
+/**
+ * Leaf resolution for one batch expression evaluation: maps column
+ * references to value vectors parallel to the current entry set
+ * (a morsel's surviving selection, or the expanded post-join
+ * entries) and subquery references to their materialized tables.
+ * Implementations own the gather scratch; spans stay valid until
+ * the next provider call for the same column.
+ */
+class BatchExprContext
+{
+  public:
+    virtual ~BatchExprContext() = default;
+
+    /** Entries in the current batch. */
+    virtual std::size_t entries() const = 0;
+
+    /** Int column values of @p ref, one per entry. */
+    virtual std::span<const std::int64_t> ints(const ColRef &ref) = 0;
+
+    /**
+     * Raw Char column payload of @p ref: width bytes per entry,
+     * written to @p width. Contexts without char access (post-join
+     * aggregate evaluation) fatal — validatePlan keeps LIKE out of
+     * those expressions.
+     */
+    virtual std::span<const std::uint8_t>
+    chars(const ColRef &ref, std::uint32_t &width) = 0;
+
+    /**
+     * Per-entry values of SubqueryRef node @p ref: the context
+     * resolves the plan's SubquerySpec keys against its own columns
+     * and probes the materialized lookup (fatal in contexts without
+     * subquery access — validatePlan keeps SubqueryRef inside probe
+     * filters).
+     */
+    virtual std::span<const std::int64_t>
+    subqueryValues(const Expr &ref) = 0;
+};
+
+/**
+ * Evaluate @p e column-at-a-time over the context's entries into
+ * @p out (resized to entries()). Uses the shared IR semantics
+ * (olap/expr.hpp): wrapping arithmetic, guarded division, 0/1
+ * booleans.
+ */
+void evalExprBatch(const Expr &e, BatchExprContext &ctx,
+                   std::vector<std::int64_t> &out);
+
+/**
+ * Predicate kernel: keep the selection entries where @p e is
+ * nonzero. Comparison roots with one literal side and bare (negated)
+ * LIKE roots run fused — the compare/match compacts the selection
+ * directly off the gathered column without materializing a boolean
+ * vector. @p sel must have exactly ctx.entries() entries.
+ */
+void filterExprBatch(const Expr &e, BatchExprContext &ctx,
+                     SelectionVector &sel);
+
+/**
+ * LIKE predicate kernel over char payloads of @p width bytes per
+ * selected row: keep sel[i] iff likeMatch(payload) != negate.
+ * @p chars is parallel to @p sel.
+ */
+void filterCharLike(std::span<const std::uint8_t> chars,
+                    std::uint32_t width, SelectionVector &sel,
+                    std::string_view pattern, bool negate);
 
 /**
  * Fill @p sel with the snapshot-visible rows of morsel @p m

@@ -278,6 +278,60 @@ OlapEngine::priceFusedScan(const txn::TableRuntime &tbl,
 }
 
 void
+OlapEngine::priceExprColumns(const txn::TableRuntime &tbl,
+                             const std::vector<ExprPtr> &exprs,
+                             pim::OpType op, QueryReport &rep) const
+{
+    // Expression columns charge through the same ScanCost footprints
+    // as the closed predicate forms: one serial scan per distinct
+    // Int column the expression set streams, the CPU gather path for
+    // every distinct Char (LIKE) column. std::set keeps the charge
+    // order deterministic.
+    std::set<std::string> int_cols, char_cols;
+    collectExprColumns(exprs, int_cols, char_cols);
+    for (const auto &name : char_cols)
+        priceCpuGather(tbl, name, rep);
+    for (const auto &name : int_cols)
+        priceColumnRead(tbl, name, op, rep);
+}
+
+void
+OlapEngine::priceSubqueries(const QueryPlan &plan,
+                            bool probe_keys_fused,
+                            QueryReport &rep) const
+{
+    const auto &probe_tbl = db_.table(plan.probe.table);
+    for (const auto &sub : plan.subqueries) {
+        const auto &tbl = db_.table(sub.source.table);
+        // The pre-pass filters the source exactly like any probe.
+        for (const auto &p : sub.source.charPredicates)
+            priceCpuGather(tbl, p.column, rep);
+        for (const auto &p : sub.source.intPredicates)
+            priceColumnRead(tbl, p.column, pim::OpType::Filter,
+                            rep);
+        priceExprColumns(tbl, sub.source.exprPredicates,
+                         pim::OpType::Filter, rep);
+        for (const auto &col : sub.groupBy)
+            priceColumnRead(tbl, col, pim::OpType::Group, rep);
+        std::vector<ExprPtr> inputs;
+        for (const auto &agg : sub.aggs)
+            inputs.push_back(agg.value);
+        priceExprColumns(tbl, inputs, pim::OpType::Aggregation,
+                         rep);
+        // The probe-side lookup streams each key column once —
+        // unless the fused probe pass already streams them.
+        if (!probe_keys_fused) {
+            std::set<std::string> key_cols;
+            for (const auto &key : sub.keys)
+                key_cols.insert(key.column);
+            for (const auto &name : key_cols)
+                priceColumnRead(probe_tbl, name,
+                                pim::OpType::Filter, rep);
+        }
+    }
+}
+
+void
 OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
                        QueryReport &rep) const
 {
@@ -288,10 +342,20 @@ OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
 
     if (fuse_probe_scans && plan.joins.empty()) {
         // Modelled fusion: every PIM-scannable probe column of the
-        // fused pass in one serial scan; Char predicates and
-        // fragmented columns keep the CPU gather path.
+        // fused pass in one serial scan; Char predicates (prefix and
+        // LIKE) and fragmented columns keep the CPU gather path. The
+        // subquery pre-pass stays its own scan set; its probe-side
+        // key columns ride the fused pass.
+        priceSubqueries(plan, /*probe_keys_fused=*/true, rep);
         for (const auto &p : plan.probe.charPredicates)
             priceCpuGather(probe_tbl, p.column, rep);
+        // (The expressions' Int columns are already part of
+        // fusedProbeColumns and ride the fused scan below.)
+        std::set<std::string> expr_int_cols, like_cols;
+        collectExprColumns(plan.probe.exprPredicates, expr_int_cols,
+                           like_cols);
+        for (const auto &name : like_cols)
+            priceCpuGather(probe_tbl, name, rep);
         std::vector<ColumnId> fusable;
         for (const auto &name : fusedProbeColumns(plan)) {
             const ColumnId c = probe_tbl.schema().columnId(name);
@@ -306,14 +370,19 @@ OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
         return;
     }
 
+    priceSubqueries(plan, /*probe_keys_fused=*/false, rep);
+
     // Predicate filters: one serial PIM scan per pushed-down Int
-    // predicate column, the CPU gather path for Char predicates.
+    // predicate column, the CPU gather path for Char predicates and
+    // the expression predicates' column sets.
     auto price_input = [&](const TableInput &in) {
         const auto &tbl = db_.table(in.table);
         for (const auto &p : in.charPredicates)
             priceCpuGather(tbl, p.column, rep);
         for (const auto &p : in.intPredicates)
             priceColumnRead(tbl, p.column, pim::OpType::Filter, rep);
+        priceExprColumns(tbl, in.exprPredicates, pim::OpType::Filter,
+                         rep);
     };
     price_input(plan.probe);
 
@@ -339,14 +408,29 @@ OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
     }
 
     // Grouped aggregation: one Group scan per key, one Aggregation
-    // scan per aggregated column.
+    // scan per aggregated column — every distinct column an
+    // aggregate expression streams charges its own scan.
     for (const auto &key : plan.groupBy)
         priceColumnRead(db_.table(tableOf(plan, key)), key.column,
                         pim::OpType::Group, rep);
-    for (const auto &agg : plan.aggregates)
-        priceColumnRead(db_.table(tableOf(plan, agg.value)),
-                        agg.value.column, pim::OpType::Aggregation,
-                        rep);
+    for (const auto &agg : plan.aggregates) {
+        if (agg.expr) {
+            std::set<std::pair<workload::ChTable, std::string>>
+                cols;
+            forEachColumnRef(
+                *agg.expr,
+                [&cols, &plan](const ColRef &ref, bool) {
+                    cols.emplace(tableOf(plan, ref), ref.column);
+                });
+            for (const auto &[table, name] : cols)
+                priceColumnRead(db_.table(table), name,
+                                pim::OpType::Aggregation, rep);
+        } else {
+            priceColumnRead(db_.table(tableOf(plan, agg.value)),
+                            agg.value.column,
+                            pim::OpType::Aggregation, rep);
+        }
+    }
 }
 
 void

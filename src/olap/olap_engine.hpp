@@ -192,6 +192,26 @@ class OlapEngine
                         const std::vector<ColumnId> &columns,
                         QueryReport &rep) const;
 
+    /**
+     * Charge the distinct columns an expression set streams over
+     * @p tbl: one serial scan (as @p op) per Int column, the CPU
+     * gather path per Char (LIKE) column — the same ScanCost
+     * footprints the closed predicate forms charge.
+     */
+    void priceExprColumns(const txn::TableRuntime &tbl,
+                          const std::vector<ExprPtr> &exprs,
+                          pim::OpType op, QueryReport &rep) const;
+
+    /**
+     * Charge each scalar-subquery pre-pass: source filters, group
+     * and aggregate-input scans, plus the probe-side key lookup
+     * columns (skipped when @p probe_keys_fused — the fused probe
+     * pass already streams them).
+     */
+    void priceSubqueries(const QueryPlan &plan,
+                         bool probe_keys_fused,
+                         QueryReport &rep) const;
+
     /** Scan-cost core shared by per-column and fused pricing. */
     ScanCost scanCostForWidth(const txn::TableRuntime &tbl,
                               std::uint32_t width,

@@ -92,6 +92,16 @@ struct Accum
     std::uint64_t count = 0;
 };
 
+/** Two's-complement wrapping sum: expression aggregates can reach
+ *  any int64, so Sum folds share the IR's defined wrap semantics
+ *  (identical in every executor, no UB at the extremes). */
+inline std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
 /** Fold one value into an accumulator slot per the aggregate spec. */
 inline void
 accumulateValue(Accum &acc, std::size_t slot, AggKind kind,
@@ -99,7 +109,7 @@ accumulateValue(Accum &acc, std::size_t slot, AggKind kind,
 {
     switch (kind) {
       case AggKind::Sum:
-        acc.aggs[slot] += v;
+        acc.aggs[slot] = wrapAdd(acc.aggs[slot], v);
         break;
       case AggKind::Min:
         acc.aggs[slot] =
@@ -206,17 +216,241 @@ makeRefReader(const txn::Database &db, const QueryPlan &plan,
     return rd;
 }
 
+/**
+ * Row-at-a-time expression interpreter: the expression tree compiled
+ * against per-leaf typed scanners. Input-local trees resolve columns
+ * on one table; full-plan trees (aggregate expressions) resolve
+ * through RefReaders against the probe and inner-join payloads.
+ * Evaluation follows the shared IR semantics (olap/expr.hpp).
+ */
+class ScalarExpr
+{
+  public:
+    /** Input-local scope: columns of @p tbl; @p plan + @p subs set
+     *  only for the probe input (subquery lookups). */
+    ScalarExpr(const txn::TableRuntime &tbl, const ExprPtr &e,
+               const QueryPlan *plan,
+               const std::vector<SubqueryResult> *subs)
+    {
+        root_ = compileLocal(tbl, *foldConstants(e), plan, subs);
+    }
+
+    /** Full-plan scope (aggregate expressions). */
+    ScalarExpr(const txn::Database &db, const QueryPlan &plan,
+               const ExprPtr &e)
+    {
+        root_ = compileFull(db, plan, *foldConstants(e));
+    }
+
+    std::int64_t
+    eval(Region reg, RowId r,
+         const std::vector<const std::vector<std::int64_t> *>
+             &current) const
+    {
+        return evalNode(root_, reg, r, current);
+    }
+
+  private:
+    struct Node
+    {
+        ExprOp op = ExprOp::IntLit;
+        std::int64_t lit = 0;
+        std::optional<ColumnScanner> scan; ///< Input-local / Like.
+        std::optional<RefReader> ref;      ///< Full-plan column.
+        std::string pattern;
+        mutable std::vector<std::uint8_t> charBuf;
+        const SubqueryResult *sub = nullptr;
+        std::size_t aggIndex = 0;
+        std::vector<ColumnScanner> keyScans;
+        std::vector<Node> kids;
+    };
+
+    static Node
+    compileLocal(const txn::TableRuntime &tbl, const Expr &e,
+                 const QueryPlan *plan,
+                 const std::vector<SubqueryResult> *subs)
+    {
+        Node n;
+        n.op = e.op;
+        n.lit = e.lit;
+        n.pattern = e.pattern;
+        switch (e.op) {
+          case ExprOp::Column:
+            n.scan.emplace(tbl, e.col.column);
+            break;
+          case ExprOp::Like:
+            n.scan.emplace(tbl, e.col.column);
+            n.charBuf.resize(n.scan->column().width);
+            break;
+          case ExprOp::SubqueryRef: {
+            if (!plan || !subs)
+                fatal("scalar expression: subquery reference "
+                      "outside the probe filter context");
+            n.sub = &(*subs)[e.subquery];
+            n.aggIndex = e.aggIndex;
+            for (const auto &key :
+                 plan->subqueries[e.subquery].keys)
+                n.keyScans.emplace_back(tbl, key.column);
+            break;
+          }
+          default:
+            break;
+        }
+        for (const auto &k : e.kids)
+            n.kids.push_back(compileLocal(tbl, *k, plan, subs));
+        return n;
+    }
+
+    static Node
+    compileFull(const txn::Database &db, const QueryPlan &plan,
+                const Expr &e)
+    {
+        Node n;
+        n.op = e.op;
+        n.lit = e.lit;
+        if (e.op == ExprOp::Column)
+            n.ref = makeRefReader(db, plan, e.col);
+        else if (e.op == ExprOp::Like ||
+                 e.op == ExprOp::SubqueryRef)
+            fatal("scalar expression: {} outside an input filter",
+                  exprOpName(e.op));
+        for (const auto &k : e.kids)
+            n.kids.push_back(compileFull(db, plan, *k));
+        return n;
+    }
+
+    static std::int64_t
+    evalNode(const Node &n, Region reg, RowId r,
+             const std::vector<const std::vector<std::int64_t> *>
+                 &current)
+    {
+        switch (n.op) {
+          case ExprOp::IntLit:
+            return n.lit;
+          case ExprOp::Column:
+            return n.scan ? n.scan->intAt(reg, r)
+                          : n.ref->value(reg, r, current);
+          case ExprOp::Like:
+            n.scan->charsAt(reg, r, n.charBuf);
+            return likeMatch(n.charBuf, n.pattern) ? 1 : 0;
+          case ExprOp::SubqueryRef: {
+            InlineKey key;
+            key.n = static_cast<std::uint32_t>(n.keyScans.size());
+            for (std::size_t c = 0; c < n.keyScans.size(); ++c)
+                key.v[c] = n.keyScans[c].intAt(reg, r);
+            return n.sub->value(key, n.aggIndex);
+          }
+          case ExprOp::CaseWhen:
+            return evalNode(n.kids[0], reg, r, current) != 0
+                       ? evalNode(n.kids[1], reg, r, current)
+                       : evalNode(n.kids[2], reg, r, current);
+          case ExprOp::Not:
+            return evalNode(n.kids[0], reg, r, current) == 0 ? 1
+                                                             : 0;
+          default:
+            return exprApply(
+                n.op, evalNode(n.kids[0], reg, r, current),
+                evalNode(n.kids[1], reg, r, current));
+        }
+    }
+
+    Node root_;
+};
+
+/** RowFilter plus the input's compiled expression predicates. */
+struct ScalarInputFilter
+{
+    ScalarInputFilter(const txn::TableRuntime &tbl,
+                      const TableInput &input,
+                      const QueryPlan *plan = nullptr,
+                      const std::vector<SubqueryResult> *subs =
+                          nullptr)
+        : base(tbl, input)
+    {
+        for (const auto &e : input.exprPredicates)
+            exprs.emplace_back(tbl, e, plan, subs);
+    }
+
+    bool
+    pass(Region reg, RowId r) const
+    {
+        if (!base.pass(reg, r))
+            return false;
+        static const std::vector<const std::vector<std::int64_t> *>
+            kNoJoins;
+        for (const auto &e : exprs)
+            if (e.eval(reg, r, kNoJoins) == 0)
+                return false;
+        return true;
+    }
+
+    RowFilter base;
+    std::vector<ScalarExpr> exprs;
+};
+
+/**
+ * Scalar-subquery pre-pass, row-at-a-time mechanisation (the batch
+ * executor materializes the same tables through the morsel kernels;
+ * both produce identical exact-integer values, so the executors
+ * stay byte-identical).
+ */
+std::vector<SubqueryResult>
+materializeSubqueriesScalar(const txn::Database &db,
+                            const QueryPlan &plan)
+{
+    std::vector<SubqueryResult> out(plan.subqueries.size());
+    static const std::vector<const std::vector<std::int64_t> *>
+        kNoJoins;
+    for (std::size_t s = 0; s < plan.subqueries.size(); ++s) {
+        const auto &spec = plan.subqueries[s];
+        const auto &tbl = db.table(spec.source.table);
+        const ScalarInputFilter filter(tbl, spec.source);
+        std::vector<ColumnScanner> key_scans;
+        for (const auto &col : spec.groupBy)
+            key_scans.emplace_back(tbl, col);
+        std::vector<ScalarExpr> inputs;
+        for (const auto &agg : spec.aggs)
+            inputs.emplace_back(tbl, agg.value, nullptr, nullptr);
+
+        std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
+        forEachVisibleRow(tbl.store(), [&](Region reg, RowId r) {
+            if (!filter.pass(reg, r))
+                return;
+            InlineKey key;
+            key.n = static_cast<std::uint32_t>(key_scans.size());
+            for (std::size_t c = 0; c < key_scans.size(); ++c)
+                key.v[c] = key_scans[c].intAt(reg, r);
+            auto &acc = groups[key];
+            if (acc.count == 0)
+                acc.aggs.assign(spec.aggs.size(), 0);
+            for (std::size_t a = 0; a < spec.aggs.size(); ++a)
+                accumulateValue(acc, a, spec.aggs[a].kind,
+                                inputs[a].eval(reg, r, kNoJoins));
+            ++acc.count;
+        });
+
+        out[s].slots = spec.aggs.size();
+        for (auto &[key, acc] : groups)
+            out[s].groups.emplace(key, std::move(acc.aggs));
+    }
+    return out;
+}
+
 PlanExecution
 executeScalarImpl(const txn::Database &db, const QueryPlan &plan)
 {
     const auto &probe_tbl = db.table(plan.probe.table);
+
+    // Scalar-subquery pre-pass: materialized before anything else,
+    // probed read-only by the probe filter below.
+    const auto subqueries = materializeSubqueriesScalar(db, plan);
 
     // Build phase: hash each (filtered) build table.
     std::vector<BuildSide> builds(plan.joins.size());
     for (std::size_t k = 0; k < plan.joins.size(); ++k) {
         const auto &join = plan.joins[k];
         const auto &tbl = db.table(join.build.table);
-        const RowFilter filter(tbl, join.build);
+        const ScalarInputFilter filter(tbl, join.build);
         std::vector<ColumnScanner> key_scans;
         for (const auto &[build_col, ref] : join.keys) {
             (void)ref;
@@ -248,7 +482,8 @@ executeScalarImpl(const txn::Database &db, const QueryPlan &plan)
     }
 
     // Probe-side readers.
-    const RowFilter probe_filter(probe_tbl, plan.probe);
+    const ScalarInputFilter probe_filter(probe_tbl, plan.probe,
+                                         &plan, &subqueries);
     std::vector<std::vector<RefReader>> join_key_refs(
         plan.joins.size());
     for (std::size_t k = 0; k < plan.joins.size(); ++k)
@@ -259,9 +494,31 @@ executeScalarImpl(const txn::Database &db, const QueryPlan &plan)
     std::vector<RefReader> group_refs;
     for (const auto &key : plan.groupBy)
         group_refs.push_back(makeRefReader(db, plan, key));
-    std::vector<RefReader> agg_refs;
-    for (const auto &agg : plan.aggregates)
-        agg_refs.push_back(makeRefReader(db, plan, agg.value));
+    // Aggregate inputs: a plain column reader, or the compiled
+    // expression interpreter when the aggregate folds an expression.
+    struct ScalarAggInput
+    {
+        std::optional<RefReader> ref;
+        std::optional<ScalarExpr> ev;
+
+        std::int64_t
+        value(Region reg, RowId r,
+              const std::vector<const std::vector<std::int64_t> *>
+                  &current) const
+        {
+            return ref ? ref->value(reg, r, current)
+                       : ev->eval(reg, r, current);
+        }
+    };
+    std::vector<ScalarAggInput> agg_refs;
+    for (const auto &agg : plan.aggregates) {
+        ScalarAggInput in;
+        if (agg.expr)
+            in.ev.emplace(db, plan, agg.expr);
+        else
+            in.ref = makeRefReader(db, plan, agg.value);
+        agg_refs.push_back(std::move(in));
+    }
 
     // Probe phase: filter, join, accumulate into ordered groups.
     std::map<std::vector<std::int64_t>, Accum> groups;
@@ -346,68 +603,143 @@ executeScalarImpl(const txn::Database &db, const QueryPlan &plan)
 // Morsel-driven batch executor.
 // ==================================================================
 
+// InlineKey / InlineKeyHash moved to olap/batch.hpp: the subquery
+// lookup tables (SubqueryResult) key on them, so both executors and
+// the kernel layer share one definition.
+static_assert(InlineKey::kMaxKeys >= kMaxSubqueryGroupKeys,
+              "subquery group keys must fit the inline key");
+
 /**
- * Inline composite key: join and group keys hashed as whole int
- * tuples (no per-row byte-string building). Capacity bounds the
- * batch engine; wider plans fall back to the scalar executor.
+ * Leaf resolution over one morsel's current selection: columns
+ * gather lazily through per-column BatchColumnReaders (cached per
+ * (morsel, selection) epoch, so one expression referencing a column
+ * twice decodes it once), and SubqueryRef nodes resolve their
+ * probe-side key columns the same way before probing the
+ * materialized lookup.
  */
-struct InlineKey
+class MorselExprContext final : public BatchExprContext
 {
-    static constexpr std::size_t kMaxKeys = 8;
-
-    std::array<std::int64_t, kMaxKeys> v{};
-    std::uint32_t n = 0;
-
-    bool
-    operator==(const InlineKey &o) const
+  public:
+    MorselExprContext(const storage::TableStore &store,
+                      const QueryPlan *plan,
+                      const std::vector<SubqueryResult> *subs)
+        : store_(&store), plan_(plan), subs_(subs)
     {
-        if (n != o.n)
-            return false;
-        for (std::uint32_t i = 0; i < n; ++i)
-            if (v[i] != o.v[i])
-                return false;
-        return true;
     }
 
-    /** Lexicographic over the used slots (== std::map<vector> order
-     *  of the scalar executor when every key has the same arity). */
-    bool
-    operator<(const InlineKey &o) const
+    /** Point the context at a (morsel, selection) pair. Must be
+     *  called again after the selection is compacted. */
+    void
+    begin(const Morsel &m, const SelectionVector &sel)
     {
-        for (std::uint32_t i = 0; i < n && i < o.n; ++i)
-            if (v[i] != o.v[i])
-                return v[i] < o.v[i];
-        return n < o.n;
+        morsel_ = &m;
+        sel_ = &sel;
+        ++epoch_;
     }
-};
 
-struct InlineKeyHash
-{
     std::size_t
-    operator()(const InlineKey &k) const
+    entries() const override
     {
-        // SplitMix64-style mixing per component, FNV-style fold.
-        std::uint64_t h = 0x9e3779b97f4a7c15ull + k.n;
-        for (std::uint32_t i = 0; i < k.n; ++i) {
-            std::uint64_t x = static_cast<std::uint64_t>(k.v[i]);
-            x ^= x >> 30;
-            x *= 0xbf58476d1ce4e5b9ull;
-            x ^= x >> 27;
-            x *= 0x94d049bb133111ebull;
-            x ^= x >> 31;
-            h = (h ^ x) * 0x100000001b3ull;
-        }
-        return static_cast<std::size_t>(h);
+        return sel_->size();
     }
+
+    std::span<const std::int64_t>
+    ints(const ColRef &ref) override
+    {
+        auto &slot = columnSlot(ref.column);
+        if (slot.epoch != epoch_) {
+            slot.rd.gatherInts(*morsel_, sel_->span(), slot.batch);
+            slot.epoch = epoch_;
+        }
+        return slot.batch.ints;
+    }
+
+    std::span<const std::uint8_t>
+    chars(const ColRef &ref, std::uint32_t &width) override
+    {
+        auto &slot = columnSlot(ref.column);
+        if (slot.epoch != epoch_) {
+            slot.rd.gatherChars(*morsel_, sel_->span(), slot.batch);
+            slot.epoch = epoch_;
+        }
+        width = slot.rd.column().width;
+        return slot.batch.chars;
+    }
+
+    std::span<const std::int64_t>
+    subqueryValues(const Expr &ref) override
+    {
+        if (!plan_ || !subs_)
+            fatal("batch expression: subquery reference outside the "
+                  "probe filter context");
+        const auto &spec = plan_->subqueries[ref.subquery];
+        const auto &sub = (*subs_)[ref.subquery];
+        // Gather every key column first (each lives in its own
+        // slot, so earlier spans stay valid).
+        keySpans_.clear();
+        for (const auto &key : spec.keys)
+            keySpans_.push_back(ints(key));
+        const std::size_t n = entries();
+        subVals_.resize(n);
+        InlineKey k;
+        k.n = static_cast<std::uint32_t>(keySpans_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t c = 0; c < keySpans_.size(); ++c)
+                k.v[c] = keySpans_[c][i];
+            subVals_[i] = sub.value(k, ref.aggIndex);
+        }
+        return subVals_;
+    }
+
+  private:
+    struct Slot
+    {
+        BatchColumnReader rd;
+        ColumnBatch batch;
+        std::uint64_t epoch = 0;
+    };
+
+    Slot &
+    columnSlot(const std::string &column)
+    {
+        for (auto &s : slots_)
+            if (s.first == column)
+                return s.second;
+        slots_.emplace_back(
+            column, Slot{BatchColumnReader(*store_, column), {}, 0});
+        return slots_.back().second;
+    }
+
+    const storage::TableStore *store_;
+    const QueryPlan *plan_;
+    const std::vector<SubqueryResult> *subs_;
+    const Morsel *morsel_ = nullptr;
+    const SelectionVector *sel_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    std::vector<std::pair<std::string, Slot>> slots_;
+    std::vector<std::span<const std::int64_t>> keySpans_;
+    std::vector<std::int64_t> subVals_;
 };
 
-/** Pushed-down predicates of one table input as fused selection-
- *  vector kernels: each apply() is one pass over the morsel. */
+/**
+ * Pushed-down predicates of one table input as fused selection-
+ * vector kernels: each apply() is one pass over the morsel. The
+ * closed int-range and char-prefix forms run their specialized
+ * kernels first; expression predicates follow as a short-circuit
+ * conjunction whose order adapts to the observed per-conjunct
+ * selectivity (cheapest-rejection-first; re-sorted every
+ * kReorderInterval morsels). Reordering is sound because conjuncts
+ * are side-effect free — the surviving selection is order-invariant.
+ */
 class BatchPredicates
 {
   public:
     BatchPredicates(const storage::TableStore &store,
-                    const TableInput &input)
+                    const TableInput &input,
+                    const QueryPlan *plan = nullptr,
+                    const std::vector<SubqueryResult> *subs =
+                        nullptr)
+        : ctx_(store, plan, subs)
     {
         for (const auto &p : input.intPredicates)
             ints_.push_back(
@@ -415,6 +747,10 @@ class BatchPredicates
         for (const auto &p : input.charPredicates)
             chars_.push_back({BatchColumnReader(store, p.column),
                               p.prefix, p.negate});
+        for (const auto &e : input.exprPredicates) {
+            exprs_.push_back({foldConstants(e), 0, 0});
+            order_.push_back(order_.size());
+        }
     }
 
     void
@@ -433,9 +769,26 @@ class BatchPredicates
             filterCharPrefix(scratch_.chars, p.rd.column().width,
                              sel, p.prefix, p.negate);
         }
+        if (exprs_.empty())
+            return;
+        maybeReorder();
+        ++applies_;
+        for (const auto idx : order_) {
+            if (sel.empty())
+                return;
+            auto &c = exprs_[idx];
+            // Each conjunct re-gathers over the current (compacted)
+            // selection: begin() bumps the context epoch.
+            ctx_.begin(m, sel);
+            c.seen += sel.size();
+            filterExprBatch(*c.expr, ctx_, sel);
+            c.kept += sel.size();
+        }
     }
 
   private:
+    static constexpr std::uint64_t kReorderInterval = 32;
+
     struct IntPred
     {
         BatchColumnReader rd;
@@ -447,9 +800,162 @@ class BatchPredicates
         std::string prefix;
         bool negate;
     };
+    struct ExprConjunct
+    {
+        ExprPtr expr; ///< Constant-folded.
+        std::uint64_t seen, kept;
+
+        double
+        passRate() const
+        {
+            return seen == 0
+                       ? 1.0
+                       : static_cast<double>(kept) /
+                             static_cast<double>(seen);
+        }
+    };
+
+    void
+    maybeReorder()
+    {
+        if (exprs_.size() < 2 ||
+            applies_ % kReorderInterval != 0)
+            return;
+        std::stable_sort(order_.begin(), order_.end(),
+                         [this](std::size_t a, std::size_t b) {
+                             return exprs_[a].passRate() <
+                                    exprs_[b].passRate();
+                         });
+    }
+
     std::vector<IntPred> ints_;
     std::vector<CharPred> chars_;
+    std::vector<ExprConjunct> exprs_;
+    std::vector<std::size_t> order_;
+    std::uint64_t applies_ = 0;
     ColumnBatch scratch_;
+    MorselExprContext ctx_;
+};
+
+/**
+ * Scalar-subquery pre-pass, morsel-driven mechanisation: the source
+ * table streams through the same selection-vector kernels as any
+ * probe, group keys decode once per morsel, and aggregate-input
+ * expressions evaluate column-at-a-time. Exact integer folds, so
+ * the result is identical to materializeSubqueriesScalar.
+ */
+std::vector<SubqueryResult>
+materializeSubqueriesBatch(const txn::Database &db,
+                           const QueryPlan &plan,
+                           std::uint32_t morsel_rows)
+{
+    std::vector<SubqueryResult> out(plan.subqueries.size());
+    for (std::size_t s = 0; s < plan.subqueries.size(); ++s) {
+        const auto &spec = plan.subqueries[s];
+        const auto &store = db.table(spec.source.table).store();
+        BatchPredicates preds(store, spec.source);
+        std::vector<BatchColumnReader> key_rd;
+        for (const auto &col : spec.groupBy)
+            key_rd.emplace_back(store, col);
+        std::vector<ExprPtr> inputs;
+        for (const auto &agg : spec.aggs)
+            inputs.push_back(foldConstants(agg.value));
+
+        MorselExprContext ctx(store, nullptr, nullptr);
+        SelectionVector sel;
+        std::vector<ColumnBatch> keys(key_rd.size());
+        std::vector<std::vector<std::int64_t>> vals(inputs.size());
+        std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
+        forEachMorsel(
+            store,
+            [&](const Morsel &m) {
+            visibleRows(store, m, sel);
+            preds.apply(m, sel);
+            if (sel.empty())
+                return;
+            for (std::size_t c = 0; c < key_rd.size(); ++c)
+                key_rd[c].gatherInts(m, sel.span(), keys[c]);
+            ctx.begin(m, sel);
+            for (std::size_t a = 0; a < inputs.size(); ++a)
+                evalExprBatch(*inputs[a], ctx, vals[a]);
+            InlineKey key;
+            key.n = static_cast<std::uint32_t>(key_rd.size());
+            for (std::size_t i = 0; i < sel.size(); ++i) {
+                for (std::size_t c = 0; c < key_rd.size(); ++c)
+                    key.v[c] = keys[c].ints[i];
+                auto &acc = groups[key];
+                if (acc.count == 0)
+                    acc.aggs.assign(spec.aggs.size(), 0);
+                for (std::size_t a = 0; a < spec.aggs.size(); ++a)
+                    accumulateValue(acc, a, spec.aggs[a].kind,
+                                    vals[a][i]);
+                ++acc.count;
+            }
+            },
+            morsel_rows);
+
+        out[s].slots = spec.aggs.size();
+        for (auto &[key, acc] : groups)
+            out[s].groups.emplace(key, std::move(acc.aggs));
+    }
+    return out;
+}
+
+/**
+ * Leaf resolution over pre-gathered value vectors (the post-join
+ * expanded entries, or the fused pass's probe batches): aggregate
+ * expressions are integer-only and subquery-free by validation, so
+ * only ints() resolves.
+ */
+class RefVecExprContext final : public BatchExprContext
+{
+  public:
+    void
+    reset(std::size_t n)
+    {
+        n_ = n;
+        refs_.clear();
+    }
+
+    void
+    add(const ColRef &ref, std::span<const std::int64_t> vals)
+    {
+        refs_.emplace_back(ref, vals);
+    }
+
+    std::size_t
+    entries() const override
+    {
+        return n_;
+    }
+
+    std::span<const std::int64_t>
+    ints(const ColRef &ref) override
+    {
+        for (const auto &[r, vals] : refs_)
+            if (r == ref)
+                return vals;
+        fatal("batch aggregate expression: unresolved column {}",
+              ref.column);
+    }
+
+    std::span<const std::uint8_t>
+    chars(const ColRef &, std::uint32_t &) override
+    {
+        fatal("batch aggregate expression: LIKE is predicate-only");
+    }
+
+    std::span<const std::int64_t>
+    subqueryValues(const Expr &) override
+    {
+        fatal("batch aggregate expression: subquery references are "
+              "predicate-only");
+    }
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<std::pair<ColRef, std::span<const std::int64_t>>>
+        refs_;
 };
 
 /** One join's built hash table over inline keys: payload buckets
@@ -516,8 +1022,10 @@ class DenseGroupAggregator
             const auto &vals = *avals[a];
             switch (kinds_[a]) {
               case AggKind::Sum:
-                for (std::size_t i = 0; i < gvals.size(); ++i)
-                    slots[gvals[i] - lo] += vals[i];
+                for (std::size_t i = 0; i < gvals.size(); ++i) {
+                    auto &s = slots[gvals[i] - lo];
+                    s = wrapAdd(s, vals[i]);
+                }
                 break;
               case AggKind::Min:
                 for (std::size_t i = 0; i < gvals.size(); ++i) {
@@ -659,6 +1167,12 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     const auto &probe_tbl = db.table(plan.probe.table);
     const auto &probe_store = probe_tbl.store();
 
+    // Scalar-subquery pre-pass: materialized once before the
+    // fan-out, probed strictly read-only by every worker's
+    // predicate chain.
+    const auto subqueries =
+        materializeSubqueriesBatch(db, plan, opts.morselRows);
+
     // Build phase: hash each (filtered) build table, morsel by
     // morsel — keys and payloads decoded once per morsel. Built once
     // here, then probed strictly read-only by every worker.
@@ -747,9 +1261,32 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     std::vector<BatchRef> group_refs;
     for (const auto &key : plan.groupBy)
         group_refs.push_back(makeRef(key));
-    std::vector<BatchRef> agg_refs;
-    for (const auto &agg : plan.aggregates)
-        agg_refs.push_back(makeRef(agg.value));
+    // Aggregate inputs: a plain column slot, or a constant-folded
+    // expression with every referenced column resolved to its slot
+    // (probe) or payload index (earlier inner joins).
+    struct BatchAggInput
+    {
+        ExprPtr expr; ///< Null for the plain-column form.
+        BatchRef ref; ///< Plain column (expr == nullptr).
+        std::vector<std::pair<ColRef, BatchRef>> exprRefs;
+    };
+    std::vector<BatchAggInput> agg_inputs;
+    for (const auto &agg : plan.aggregates) {
+        BatchAggInput in;
+        if (agg.expr) {
+            in.expr = foldConstants(agg.expr);
+            forEachColumnRef(
+                *in.expr, [&in, &makeRef](const ColRef &ref, bool) {
+                    for (const auto &[seen, slot] : in.exprRefs)
+                        if (seen == ref)
+                            return;
+                    in.exprRefs.emplace_back(ref, makeRef(ref));
+                });
+        } else {
+            in.ref = makeRef(agg.value);
+        }
+        agg_inputs.push_back(std::move(in));
+    }
 
     // Join classification. Semi/anti joins keyed purely on probe
     // columns are *selection kernels*: each probes the morsel's keys
@@ -783,8 +1320,13 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             markLate(ref);
     for (const auto &ref : group_refs)
         markLate(ref);
-    for (const auto &ref : agg_refs)
-        markLate(ref);
+    for (const auto &in : agg_inputs) {
+        if (in.expr)
+            for (const auto &[cref, bref] : in.exprRefs)
+                markLate(bref);
+        else
+            markLate(in.ref);
+    }
     std::vector<std::size_t> late_cols;
     for (std::size_t c = 0; c < probe_cols.size(); ++c)
         if (late[c])
@@ -807,10 +1349,11 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     {
         WorkerState(const storage::TableStore &store,
                     const QueryPlan &plan,
+                    const std::vector<SubqueryResult> *subs,
                     const std::vector<std::string> &cols,
                     bool fused_ungrouped, bool dense_grouped)
-            : preds(store, plan.probe), dense(plan.aggregates),
-              denseActive(dense_grouped)
+            : preds(store, plan.probe, &plan, subs),
+              dense(plan.aggregates), denseActive(dense_grouped)
         {
             rd.reserve(cols.size());
             for (const auto &name : cols)
@@ -821,6 +1364,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             etupNext.resize(plan.joins.size());
             gvals.resize(plan.groupBy.size());
             avals.resize(plan.aggregates.size());
+            aggExprVals.resize(plan.aggregates.size());
             aggPtrs.resize(plan.aggregates.size(), nullptr);
             if (fused_ungrouped)
                 fusedTotal.aggs.assign(plan.aggregates.size(), 0);
@@ -839,6 +1383,11 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         std::vector<std::size_t> activeTup; ///< Expanded inner joins.
         // Group-key / aggregate columns over the expanded entries.
         std::vector<std::vector<std::int64_t>> gvals, avals;
+        /** Evaluated aggregate-expression vectors (fused pass). */
+        std::vector<std::vector<std::int64_t>> aggExprVals;
+        /** Per-ref gathers feeding a post-join expression eval. */
+        std::vector<std::vector<std::int64_t>> refScratch;
+        RefVecExprContext exprCtx;
         std::vector<const std::vector<std::int64_t> *> aggPtrs;
         std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
         Accum fusedTotal;
@@ -858,11 +1407,33 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                 gk.v[g] = group_val(g, e);
             auto &acc = st.groups[gk];
             if (acc.count == 0)
-                acc.aggs.assign(agg_refs.size(), 0);
-            for (std::size_t a = 0; a < agg_refs.size(); ++a)
+                acc.aggs.assign(agg_inputs.size(), 0);
+            for (std::size_t a = 0; a < agg_inputs.size(); ++a)
                 accumulateValue(acc, a, plan.aggregates[a].kind,
                                 agg_val(a, e));
             ++acc.count;
+        }
+    };
+
+    /**
+     * Resolve every aggregate input to a value vector parallel to
+     * the fused pass's surviving selection: plain columns alias
+     * their gathered batch; expressions evaluate column-at-a-time
+     * over the probe batches into per-worker scratch.
+     */
+    auto computeFusedAggPtrs = [&](WorkerState &st) {
+        for (std::size_t a = 0; a < agg_inputs.size(); ++a) {
+            const auto &in = agg_inputs[a];
+            if (!in.expr) {
+                st.aggPtrs[a] = &st.batches[in.ref.idx].ints;
+                continue;
+            }
+            st.exprCtx.reset(st.sel.size());
+            for (const auto &[cref, bref] : in.exprRefs)
+                st.exprCtx.add(cref, st.batches[bref.idx].ints);
+            evalExprBatch(*in.expr, st.exprCtx,
+                          st.aggExprVals[a]);
+            st.aggPtrs[a] = &st.aggExprVals[a];
         }
     };
 
@@ -903,14 +1474,14 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         if (fused_ungrouped) {
             // Fused filter+aggregate: column-at-a-time accumulator
             // updates over the surviving selection.
-            for (std::size_t a = 0; a < agg_refs.size(); ++a) {
-                const auto &vals =
-                    st.batches[agg_refs[a].idx].ints;
+            computeFusedAggPtrs(st);
+            for (std::size_t a = 0; a < agg_inputs.size(); ++a) {
+                const auto &vals = *st.aggPtrs[a];
                 auto &acc = st.fusedTotal.aggs[a];
                 switch (plan.aggregates[a].kind) {
                   case AggKind::Sum:
                     for (const auto v : vals)
-                        acc += v;
+                        acc = wrapAdd(acc, v);
                     break;
                   case AggKind::Min: {
                     std::size_t i = 0;
@@ -936,10 +1507,8 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
 
         if (no_descend) {
             // Fused grouped pass: every reference is probe-side.
+            computeFusedAggPtrs(st);
             if (st.denseActive) {
-                for (std::size_t a = 0; a < agg_refs.size(); ++a)
-                    st.aggPtrs[a] =
-                        &st.batches[agg_refs[a].idx].ints;
                 if (st.dense.accumulate(
                         st.batches[group_refs[0].idx].ints,
                         st.aggPtrs))
@@ -956,7 +1525,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                     return st.batches[group_refs[g].idx].ints[e];
                 },
                 [&](std::size_t a, std::size_t e) {
-                    return st.batches[agg_refs[a].idx].ints[e];
+                    return (*st.aggPtrs[a])[e];
                 });
             return;
         }
@@ -1066,11 +1635,27 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         };
         for (std::size_t g = 0; g < group_refs.size(); ++g)
             gatherRef(group_refs[g], st.gvals[g]);
-        for (std::size_t a = 0; a < agg_refs.size(); ++a)
-            gatherRef(agg_refs[a], st.avals[a]);
+        for (std::size_t a = 0; a < agg_inputs.size(); ++a) {
+            const auto &in = agg_inputs[a];
+            if (!in.expr) {
+                gatherRef(in.ref, st.avals[a]);
+                continue;
+            }
+            // Gather every column the expression touches over the
+            // expanded entries, then evaluate column-at-a-time.
+            if (st.refScratch.size() < in.exprRefs.size())
+                st.refScratch.resize(in.exprRefs.size());
+            st.exprCtx.reset(ne);
+            for (std::size_t c = 0; c < in.exprRefs.size(); ++c) {
+                gatherRef(in.exprRefs[c].second, st.refScratch[c]);
+                st.exprCtx.add(in.exprRefs[c].first,
+                               st.refScratch[c]);
+            }
+            evalExprBatch(*in.expr, st.exprCtx, st.avals[a]);
+        }
 
         if (st.denseActive && dense_grouped) {
-            for (std::size_t a = 0; a < agg_refs.size(); ++a)
+            for (std::size_t a = 0; a < agg_inputs.size(); ++a)
                 st.aggPtrs[a] = &st.avals[a];
             if (st.dense.accumulate(st.gvals[0], st.aggPtrs))
                 return;
@@ -1099,8 +1684,9 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     std::vector<std::optional<WorkerState>> states(nworkers);
     auto stateFor = [&](std::uint32_t w) -> WorkerState & {
         if (!states[w])
-            states[w].emplace(probe_store, plan, probe_cols,
-                              fused_ungrouped, dense_grouped);
+            states[w].emplace(probe_store, plan, &subqueries,
+                              probe_cols, fused_ungrouped,
+                              dense_grouped);
         return *states[w];
     };
 

@@ -14,13 +14,16 @@
  * kernel layer of olap/batch.hpp (selection vectors from word-level
  * bitmap extraction, one typed column decode per morsel with a
  * zero-copy stride path for unfragmented columns, predicate kernels
- * that compact the selection in place, bulk-hashed join probes with
- * batched inner-join match expansion into per-morsel index/payload
- * vectors, and a filter+aggregate pass fused into one loop when no
- * join intervenes). Join hash tables are built once and probed
- * read-only; per-worker partial accumulators are consolidated by a
- * deterministic ordered merge, so results are byte-identical to the
- * single-threaded run for every workers x shards configuration.
+ * — closed forms and expression trees with selectivity-adaptive
+ * conjunct ordering — that compact the selection in place,
+ * bulk-hashed join probes with batched inner-join match expansion
+ * into per-morsel index/payload vectors, and a filter+aggregate pass
+ * fused into one loop when no join intervenes). Scalar subqueries
+ * materialize once before the fan-out and are probed read-only, like
+ * the join hash tables; per-worker partial accumulators are
+ * consolidated by a deterministic ordered merge, so results are
+ * byte-identical to the single-threaded run for every workers x
+ * shards configuration.
  * executePlanScalar() keeps the original row-at-a-time pipeline as
  * an independently-mechanised reference: both must produce
  * byte-identical results, and the fig9b bench reports their host

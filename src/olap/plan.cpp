@@ -30,6 +30,13 @@ touchedColumns(const QueryPlan &plan)
             touched.emplace(in.table, p.column);
         for (const auto &p : in.charPredicates)
             touched.emplace(in.table, p.column);
+        // Input-local expressions reference the input's own table.
+        for (const auto &e : in.exprPredicates)
+            if (e)
+                forEachColumnRef(
+                    *e, [&touched, &in](const ColRef &ref, bool) {
+                        touched.emplace(in.table, ref.column);
+                    });
     };
     auto addRef = [&touched, &plan](const ColRef &ref) {
         touched.emplace(tableOf(plan, ref), ref.column);
@@ -43,10 +50,32 @@ touchedColumns(const QueryPlan &plan)
             addRef(ref);
         }
     }
+    for (const auto &sub : plan.subqueries) {
+        addInput(sub.source);
+        for (const auto &col : sub.groupBy)
+            touched.emplace(sub.source.table, col);
+        for (const auto &agg : sub.aggs)
+            if (agg.value)
+                forEachColumnRef(
+                    *agg.value,
+                    [&touched, &sub](const ColRef &ref, bool) {
+                        touched.emplace(sub.source.table,
+                                        ref.column);
+                    });
+        for (const auto &key : sub.keys)
+            touched.emplace(plan.probe.table, key.column);
+    }
     for (const auto &key : plan.groupBy)
         addRef(key);
-    for (const auto &agg : plan.aggregates)
-        addRef(agg.value);
+    for (const auto &agg : plan.aggregates) {
+        if (agg.expr)
+            forEachColumnRef(*agg.expr,
+                             [&addRef](const ColRef &ref, bool) {
+                                 addRef(ref);
+                             });
+        else
+            addRef(agg.value);
+    }
     return touched;
 }
 
@@ -56,10 +85,33 @@ fusedProbeColumns(const QueryPlan &plan)
     std::set<std::string> cols;
     for (const auto &p : plan.probe.intPredicates)
         cols.insert(p.column);
+    // Int columns an expression predicate streams in the fused pass;
+    // Char LIKE targets stay on the CPU gather path like the closed
+    // char-prefix predicates.
+    for (const auto &e : plan.probe.exprPredicates)
+        if (e)
+            forEachColumnRef(*e, [&cols](const ColRef &ref,
+                                         bool is_char) {
+                if (!is_char)
+                    cols.insert(ref.column);
+            });
+    // Subquery lookups read their probe-side key columns in the same
+    // pass.
+    for (const auto &sub : plan.subqueries)
+        for (const auto &key : sub.keys)
+            cols.insert(key.column);
     for (const auto &key : plan.groupBy)
         cols.insert(key.column);
-    for (const auto &agg : plan.aggregates)
-        cols.insert(agg.value.column);
+    for (const auto &agg : plan.aggregates) {
+        if (agg.expr)
+            forEachColumnRef(*agg.expr, [&cols](const ColRef &ref,
+                                                bool is_char) {
+                if (!is_char && ref.side == ColRef::kProbe)
+                    cols.insert(ref.column);
+            });
+        else
+            cols.insert(agg.value.column);
+    }
     return cols;
 }
 
@@ -111,8 +163,96 @@ checkRef(const QueryPlan &plan, const ColRef &ref, std::size_t upto,
               "payload", plan.name, what, ref.column, ref.side);
 }
 
+/**
+ * Expression validation context: input-local expressions resolve
+ * columns against one table (side must be kProbe); full-plan
+ * (aggregate) expressions resolve through checkRef against the probe
+ * and inner-join payloads.
+ */
+struct ExprScope
+{
+    bool inputLocal = true;
+    workload::ChTable table{}; ///< inputLocal resolution target.
+    std::size_t upto = 0;      ///< Full-plan: joins in scope.
+    bool allowChar = true;     ///< LIKE permitted here.
+    bool allowSubqueries = false;
+    const char *what = "expression";
+};
+
 void
-checkInput(const QueryPlan &plan, const TableInput &in)
+checkExpr(const QueryPlan &plan, const Expr &e,
+          const ExprScope &scope)
+{
+    if (e.kids.size() != exprArity(e.op))
+        fatal("plan {}: {} node '{}' has {} operands (needs {})",
+              plan.name, scope.what, exprOpName(e.op), e.kids.size(),
+              exprArity(e.op));
+    for (const auto &k : e.kids) {
+        if (!k)
+            fatal("plan {}: {} has a null operand under '{}'",
+                  plan.name, scope.what, exprOpName(e.op));
+        checkExpr(plan, *k, scope);
+    }
+    switch (e.op) {
+      case ExprOp::Column:
+        if (scope.inputLocal) {
+            if (e.col.side != ColRef::kProbe)
+                fatal("plan {}: {} references side {} but is local "
+                      "to one input table",
+                      plan.name, scope.what, e.col.side);
+            checkColumn(plan, scope.table, e.col.column,
+                        format::ColType::Int);
+        } else {
+            checkRef(plan, e.col, scope.upto, scope.what);
+        }
+        break;
+      case ExprOp::Like:
+        if (!scope.allowChar)
+            fatal("plan {}: {} may not contain LIKE (integer-only "
+                  "context)",
+                  plan.name, scope.what);
+        if (e.pattern.empty())
+            fatal("plan {}: {} has a LIKE with an empty pattern",
+                  plan.name, scope.what);
+        if (scope.inputLocal) {
+            if (e.col.side != ColRef::kProbe)
+                fatal("plan {}: {} LIKE references side {} but is "
+                      "local to one input table",
+                      plan.name, scope.what, e.col.side);
+            checkColumn(plan, scope.table, e.col.column,
+                        format::ColType::Char);
+        } else {
+            fatal("plan {}: {} may not contain LIKE outside an "
+                  "input filter",
+                  plan.name, scope.what);
+        }
+        break;
+      case ExprOp::SubqueryRef: {
+        if (!scope.allowSubqueries)
+            fatal("plan {}: {} may not reference a subquery (only "
+                  "probe filters can)",
+                  plan.name, scope.what);
+        if (e.subquery >= plan.subqueries.size())
+            fatal("plan {}: {} references subquery {} (only {} "
+                  "defined)",
+                  plan.name, scope.what, e.subquery,
+                  plan.subqueries.size());
+        const auto &sub = plan.subqueries[e.subquery];
+        if (e.aggIndex >= sub.aggs.size())
+            fatal("plan {}: {} references aggregate {} of subquery "
+                  "{} (only {} defined)",
+                  plan.name, scope.what, e.aggIndex, e.subquery,
+                  sub.aggs.size());
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+checkInput(const QueryPlan &plan, const TableInput &in,
+           bool is_probe)
 {
     // An empty range (lo > hi) is legal: it selects nothing, the
     // way a degenerate query window does.
@@ -120,6 +260,54 @@ checkInput(const QueryPlan &plan, const TableInput &in)
         checkColumn(plan, in.table, p.column, format::ColType::Int);
     for (const auto &p : in.charPredicates)
         checkColumn(plan, in.table, p.column, format::ColType::Char);
+    ExprScope scope;
+    scope.table = in.table;
+    scope.allowSubqueries = is_probe;
+    scope.what = is_probe ? "probe filter" : "build filter";
+    for (const auto &e : in.exprPredicates) {
+        if (!e)
+            fatal("plan {}: {} has a null expression predicate",
+                  plan.name, scope.what);
+        checkExpr(plan, *e, scope);
+    }
+}
+
+void
+checkSubquery(const QueryPlan &plan, const SubquerySpec &sub,
+              std::size_t idx)
+{
+    checkInput(plan, sub.source, /*is_probe=*/false);
+    if (sub.groupBy.size() > kMaxSubqueryGroupKeys)
+        fatal("plan {}: subquery {} has {} group columns (max {})",
+              plan.name, idx, sub.groupBy.size(),
+              kMaxSubqueryGroupKeys);
+    for (const auto &col : sub.groupBy)
+        checkColumn(plan, sub.source.table, col,
+                    format::ColType::Int);
+    if (sub.aggs.empty())
+        fatal("plan {}: subquery {} has no aggregates", plan.name,
+              idx);
+    ExprScope agg_scope;
+    agg_scope.table = sub.source.table;
+    agg_scope.what = "subquery aggregate";
+    for (const auto &agg : sub.aggs) {
+        if (!agg.value)
+            fatal("plan {}: subquery {} has a null aggregate input",
+                  plan.name, idx);
+        checkExpr(plan, *agg.value, agg_scope);
+    }
+    if (sub.keys.size() != sub.groupBy.size())
+        fatal("plan {}: subquery {} has {} probe keys for {} group "
+              "columns",
+              plan.name, idx, sub.keys.size(), sub.groupBy.size());
+    for (const auto &key : sub.keys) {
+        if (key.side != ColRef::kProbe)
+            fatal("plan {}: subquery {} key references side {} "
+                  "(pre-pass lookups read probe columns only)",
+                  plan.name, idx, key.side);
+        checkColumn(plan, plan.probe.table, key.column,
+                    format::ColType::Int);
+    }
 }
 
 } // namespace
@@ -129,10 +317,12 @@ validatePlan(const QueryPlan &plan)
 {
     if (plan.name.empty())
         fatal("plan has no name");
-    checkInput(plan, plan.probe);
+    for (std::size_t s = 0; s < plan.subqueries.size(); ++s)
+        checkSubquery(plan, plan.subqueries[s], s);
+    checkInput(plan, plan.probe, /*is_probe=*/true);
     for (std::size_t k = 0; k < plan.joins.size(); ++k) {
         const auto &join = plan.joins[k];
-        checkInput(plan, join.build);
+        checkInput(plan, join.build, /*is_probe=*/false);
         if (join.keys.empty())
             fatal("plan {}: join {} has no equality keys", plan.name,
                   k);
@@ -150,8 +340,21 @@ validatePlan(const QueryPlan &plan)
     }
     for (const auto &key : plan.groupBy)
         checkRef(plan, key, plan.joins.size(), "group key");
-    for (const auto &agg : plan.aggregates)
-        checkRef(plan, agg.value, plan.joins.size(), "aggregate");
+    for (const auto &agg : plan.aggregates) {
+        if (agg.expr) {
+            // Integer-only full-plan context: probe columns and
+            // earlier inner-join payloads; no LIKE, no subqueries.
+            ExprScope scope;
+            scope.inputLocal = false;
+            scope.upto = plan.joins.size();
+            scope.allowChar = false;
+            scope.what = "aggregate expression";
+            checkExpr(plan, *agg.expr, scope);
+        } else {
+            checkRef(plan, agg.value, plan.joins.size(),
+                     "aggregate");
+        }
+    }
     for (const auto &sk : plan.orderBy) {
         const std::size_t bound =
             sk.target == SortKey::Target::GroupKey
@@ -395,6 +598,450 @@ q19(std::int64_t q_lo, std::int64_t q_hi, std::int64_t w_lo,
     p.joins = {std::move(items)};
 
     p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q2(std::string name_pattern)
+{
+    QueryPlan p;
+    p.name = "Q2";
+    p.probe.table = ChTable::Stock;
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.build.exprPredicates = {
+        ex::like("i_name", std::move(name_pattern))};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "s_i_id"}}};
+    p.joins = {std::move(items)};
+
+    p.groupBy = {{ColRef::kProbe, "s_w_id"}};
+    p.aggregates = {
+        {AggKind::Min, {ColRef::kProbe, "s_quantity"}},
+        {AggKind::Sum, {ColRef::kProbe, "s_ytd"}},
+        {AggKind::Sum, {ColRef::kProbe, "s_order_cnt"}}};
+    return p;
+}
+
+QueryPlan
+q5(std::int64_t entry_after, std::string state_prefix)
+{
+    QueryPlan p;
+    p.name = "Q5";
+    p.probe.table = ChTable::OrderLine;
+
+    // CH Q5 joins ORDERS on the bare order id; the composite-key
+    // uniqueness refinement is deliberate to Q12/Q9 only.
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {
+        {"o_entry_d", entry_after,
+         std::numeric_limits<std::int64_t>::max()}};
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}}};
+    orders.payload = {"o_c_id"};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.intPredicates = {
+        {"c_d_id", 0, 9},
+        {"c_w_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    customers.build.charPredicates = {
+        {"c_state", std::move(state_prefix), false}};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {0, "o_c_id"}}};
+
+    JoinSpec stock;
+    stock.build.table = ChTable::Stock;
+    stock.build.intPredicates = {
+        {"s_i_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    stock.kind = JoinKind::Semi;
+    stock.keys = {{"s_w_id", {ColRef::kProbe, "ol_supply_w_id"}}};
+
+    p.joins = {std::move(orders), std::move(customers),
+               std::move(stock)};
+    p.groupBy = {{ColRef::kProbe, "ol_supply_w_id"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    return p;
+}
+
+QueryPlan
+q7(std::int64_t entry_lo, std::int64_t entry_hi,
+   std::string state_pattern)
+{
+    QueryPlan p;
+    p.name = "Q7";
+    p.probe.table = ChTable::OrderLine;
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {{"o_entry_d", entry_lo, entry_hi}};
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}}};
+    orders.payload = {"o_c_id"};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.exprPredicates = {
+        ex::like("c_state", std::move(state_pattern))};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {0, "o_c_id"}}};
+
+    JoinSpec stock;
+    stock.build.table = ChTable::Stock;
+    stock.build.intPredicates = {
+        {"s_i_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    stock.kind = JoinKind::Semi;
+    stock.keys = {{"s_w_id", {ColRef::kProbe, "ol_supply_w_id"}}};
+
+    p.joins = {std::move(orders), std::move(customers),
+               std::move(stock)};
+    p.groupBy = {{ColRef::kProbe, "ol_supply_w_id"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q8(std::int64_t entry_lo, std::int64_t entry_hi,
+   std::int64_t share_w_hi, std::string state_prefix)
+{
+    QueryPlan p;
+    p.name = "Q8";
+    p.probe.table = ChTable::OrderLine;
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "ol_i_id"}}};
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {{"o_entry_d", entry_lo, entry_hi}};
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}}};
+    orders.payload = {"o_c_id"};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.charPredicates = {
+        {"c_state", std::move(state_prefix), false}};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {1, "o_c_id"}}};
+
+    p.joins = {std::move(items), std::move(orders),
+               std::move(customers)};
+    // Market share as a CASE sum: revenue supplied by warehouses
+    // [0, share_w_hi] next to the total revenue.
+    AggSpec share;
+    share.kind = AggKind::Sum;
+    share.expr = ex::caseWhen(
+        ex::le(ex::col("ol_supply_w_id"), ex::lit(share_w_hi)),
+        ex::col("ol_amount"), ex::lit(0));
+    p.aggregates = {std::move(share),
+                    {AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q10(std::int64_t delivery_lo, std::int64_t delivery_hi,
+    std::int64_t carrier_lo, std::int64_t carrier_hi,
+    std::string state_prefix, std::string last_pattern,
+    std::string city_pattern, std::string phone_pattern)
+{
+    QueryPlan p;
+    p.name = "Q10";
+    p.probe.table = ChTable::OrderLine;
+    p.probe.intPredicates = {
+        {"ol_delivery_d", delivery_lo, delivery_hi}};
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {
+        {"o_entry_d", std::numeric_limits<std::int64_t>::min(),
+         delivery_hi},
+        {"o_carrier_id", carrier_lo, carrier_hi}};
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}}};
+    orders.payload = {"o_c_id"};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.charPredicates = {
+        {"c_state", std::move(state_prefix), false}};
+    // A disjunctive LIKE pair plus a second conjunct: the shape the
+    // closed char-prefix predicates cannot express.
+    customers.build.exprPredicates = {
+        ex::or_(ex::like("c_last", std::move(last_pattern)),
+                ex::like("c_city", std::move(city_pattern))),
+        ex::like("c_phone", std::move(phone_pattern))};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {0, "o_c_id"}}};
+
+    p.joins = {std::move(orders), std::move(customers)};
+    p.groupBy = {{0, "o_c_id"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    p.limit = 20;
+    return p;
+}
+
+QueryPlan
+q11(std::uint64_t top)
+{
+    QueryPlan p;
+    p.name = "Q11";
+    p.probe.table = ChTable::Stock;
+    p.probe.intPredicates = {
+        {"s_w_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    p.groupBy = {{ColRef::kProbe, "s_i_id"}};
+    // Inventory value weighted by order activity: an expression
+    // aggregate folded inside the fused join-free scan.
+    AggSpec value;
+    value.kind = AggKind::Sum;
+    value.expr = ex::mul(ex::col("s_quantity"),
+                         ex::add(ex::lit(1),
+                                 ex::col("s_order_cnt")));
+    p.aggregates = {std::move(value)};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    p.limit = top;
+    return p;
+}
+
+QueryPlan
+q13(std::int64_t carrier_lo, std::int64_t carrier_hi,
+    std::uint64_t top)
+{
+    QueryPlan p;
+    p.name = "Q13";
+    p.probe.table = ChTable::Orders;
+    p.probe.intPredicates = {
+        {"o_carrier_id", carrier_lo, carrier_hi},
+        {"o_id", 0, std::numeric_limits<std::int64_t>::max()}};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.intPredicates = {
+        {"c_d_id", 0, 9},
+        {"c_w_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {ColRef::kProbe, "o_c_id"}}};
+    p.joins = {std::move(customers)};
+
+    p.groupBy = {{ColRef::kProbe, "o_c_id"}};
+    p.orderBy = {{SortKey::Target::Count, 0, true}};
+    p.limit = top;
+    return p;
+}
+
+QueryPlan
+q15(std::int64_t delivery_lo, std::int64_t delivery_hi,
+    std::uint64_t top)
+{
+    QueryPlan p;
+    p.name = "Q15";
+    p.probe.table = ChTable::OrderLine;
+    p.probe.intPredicates = {
+        {"ol_delivery_d", delivery_lo, delivery_hi}};
+
+    JoinSpec stock;
+    stock.build.table = ChTable::Stock;
+    stock.kind = JoinKind::Semi;
+    stock.keys = {{"s_i_id", {ColRef::kProbe, "ol_i_id"}},
+                  {"s_w_id", {ColRef::kProbe, "ol_supply_w_id"}}};
+    p.joins = {std::move(stock)};
+
+    p.groupBy = {{ColRef::kProbe, "ol_supply_w_id"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    p.limit = top;
+    return p;
+}
+
+QueryPlan
+q16(std::int64_t price_lo, std::int64_t price_hi,
+    std::string data_not_pattern)
+{
+    QueryPlan p;
+    p.name = "Q16";
+    p.probe.table = ChTable::Stock;
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.intPredicates = {{"i_price", price_lo, price_hi}};
+    items.build.exprPredicates = {
+        ex::notLike("i_data", std::move(data_not_pattern))};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "s_i_id"}}};
+    p.joins = {std::move(items)};
+
+    p.groupBy = {{ColRef::kProbe, "s_w_id"}};
+    p.orderBy = {{SortKey::Target::Count, 0, true}};
+    return p;
+}
+
+QueryPlan
+q17()
+{
+    QueryPlan p;
+    p.name = "Q17";
+    p.probe.table = ChTable::OrderLine;
+
+    // Per-item quantity statistics, materialized before the probe
+    // pass: slot 0 = SUM(ol_quantity), slot 1 = COUNT(*).
+    SubquerySpec stats;
+    stats.source.table = ChTable::OrderLine;
+    stats.groupBy = {"ol_i_id"};
+    stats.aggs = {{AggKind::Sum, ex::col("ol_quantity")},
+                  {AggKind::Sum, ex::lit(1)}};
+    stats.keys = {{ColRef::kProbe, "ol_i_id"}};
+    p.subqueries = {std::move(stats)};
+
+    // qty < 0.2 * AVG(qty) per item, exactly in integers:
+    // 5 * qty * count < sum.
+    p.probe.exprPredicates = {
+        ex::lt(ex::mul(ex::lit(5),
+                       ex::mul(ex::col("ol_quantity"),
+                               ex::subq(0, 1))),
+               ex::subq(0, 0))};
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "ol_i_id"}}};
+    p.joins = {std::move(items)};
+
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    return p;
+}
+
+QueryPlan
+q18(std::int64_t entry_lo, std::int64_t entry_hi,
+    std::string last_pattern, std::uint64_t top)
+{
+    QueryPlan p;
+    p.name = "Q18";
+    p.probe.table = ChTable::OrderLine;
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {{"o_entry_d", entry_lo, entry_hi}};
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}}};
+    orders.payload = {"o_c_id", "o_ol_cnt"};
+
+    JoinSpec customers;
+    customers.build.table = ChTable::Customer;
+    customers.build.exprPredicates = {
+        ex::like("c_last", std::move(last_pattern))};
+    customers.kind = JoinKind::Semi;
+    customers.keys = {{"c_id", {0, "o_c_id"}}};
+
+    p.joins = {std::move(orders), std::move(customers)};
+    p.groupBy = {{0, "o_c_id"}, {0, "o_ol_cnt"}};
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "ol_amount"}}};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    p.limit = top;
+    return p;
+}
+
+QueryPlan
+q20(std::int64_t delivery_lo, std::int64_t delivery_hi)
+{
+    QueryPlan p;
+    p.name = "Q20";
+    p.probe.table = ChTable::Stock;
+
+    // Quantity shipped per item inside the delivery window.
+    SubquerySpec shipped;
+    shipped.source.table = ChTable::OrderLine;
+    shipped.source.intPredicates = {
+        {"ol_delivery_d", delivery_lo, delivery_hi}};
+    shipped.groupBy = {"ol_i_id"};
+    shipped.aggs = {{AggKind::Sum, ex::col("ol_quantity")}};
+    shipped.keys = {{ColRef::kProbe, "s_i_id"}};
+    p.subqueries = {std::move(shipped)};
+
+    // Excess stock: s_quantity > 0.5 * shipped, in integers. Items
+    // never shipped in the window aggregate to 0, so any stocked
+    // warehouse qualifies — the promotion-candidate reading.
+    p.probe.exprPredicates = {
+        ex::gt(ex::mul(ex::lit(2), ex::col("s_quantity")),
+               ex::subq(0, 0))};
+
+    JoinSpec items;
+    items.build.table = ChTable::Item;
+    items.build.charPredicates = {{"i_data", "ORIGINAL", false}};
+    items.kind = JoinKind::Semi;
+    items.keys = {{"i_id", {ColRef::kProbe, "s_i_id"}}};
+    p.joins = {std::move(items)};
+
+    p.groupBy = {{ColRef::kProbe, "s_w_id"}};
+    return p;
+}
+
+QueryPlan
+q21(std::int64_t delay)
+{
+    QueryPlan p;
+    p.name = "Q21";
+    p.probe.table = ChTable::OrderLine;
+
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.kind = JoinKind::Inner;
+    orders.keys = {{"o_id", {ColRef::kProbe, "ol_o_id"}}};
+    orders.payload = {"o_entry_d"};
+
+    JoinSpec stock;
+    stock.build.table = ChTable::Stock;
+    stock.build.intPredicates = {
+        {"s_i_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    stock.kind = JoinKind::Semi;
+    stock.keys = {{"s_w_id", {ColRef::kProbe, "ol_supply_w_id"}}};
+
+    p.joins = {std::move(orders), std::move(stock)};
+    p.groupBy = {{ColRef::kProbe, "ol_supply_w_id"}};
+    // Late-delivery count per supplier warehouse: a CASE sum whose
+    // condition compares a probe column against an inner-join
+    // payload column.
+    AggSpec late;
+    late.kind = AggKind::Sum;
+    late.expr = ex::caseWhen(
+        ex::gt(ex::col("ol_delivery_d"),
+               ex::add(ex::col(0, "o_entry_d"), ex::lit(delay))),
+        ex::lit(1), ex::lit(0));
+    p.aggregates = {std::move(late)};
+    p.orderBy = {{SortKey::Target::Aggregate, 0, true}};
+    return p;
+}
+
+QueryPlan
+q22(std::string phone_pattern, std::int64_t balance_lo)
+{
+    QueryPlan p;
+    p.name = "Q22";
+    p.probe.table = ChTable::Customer;
+    p.probe.intPredicates = {
+        {"c_balance", balance_lo,
+         std::numeric_limits<std::int64_t>::max()}};
+    p.probe.exprPredicates = {
+        ex::like("c_phone", std::move(phone_pattern))};
+
+    // Customers with no orders at all (NOT EXISTS).
+    JoinSpec orders;
+    orders.build.table = ChTable::Orders;
+    orders.build.intPredicates = {
+        {"o_id", 0, std::numeric_limits<std::int64_t>::max()}};
+    orders.kind = JoinKind::Anti;
+    orders.keys = {{"o_c_id", {ColRef::kProbe, "c_id"}}};
+    p.joins = {std::move(orders)};
+
+    p.aggregates = {{AggKind::Sum, {ColRef::kProbe, "c_balance"}}};
     return p;
 }
 

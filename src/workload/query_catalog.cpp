@@ -264,13 +264,27 @@ chExecutablePlans()
         namespace p = olap::plans;
         std::vector<ExecutableQuery> v;
         v.push_back({1, true, p::q1()});
+        v.push_back({2, true, p::q2()});
         v.push_back({3, true, p::q3()});
         v.push_back({4, true, p::q4()});
+        v.push_back({5, true, p::q5()});
         v.push_back({6, true, p::q6()});
+        v.push_back({7, true, p::q7()});
+        v.push_back({8, true, p::q8()});
         v.push_back({9, true, p::q9()});
+        v.push_back({10, true, p::q10()});
+        v.push_back({11, true, p::q11()});
         v.push_back({12, true, p::q12()});
+        v.push_back({13, true, p::q13()});
         v.push_back({14, true, p::q14()});
+        v.push_back({15, true, p::q15()});
+        v.push_back({16, true, p::q16()});
+        v.push_back({17, true, p::q17()});
+        v.push_back({18, true, p::q18()});
         v.push_back({19, true, p::q19()});
+        v.push_back({20, true, p::q20()});
+        v.push_back({21, true, p::q21()});
+        v.push_back({22, true, p::q22()});
         return v;
     }();
     return plans;
@@ -279,6 +293,10 @@ chExecutablePlans()
 const olap::QueryPlan *
 executableQueryPlan(int query_no)
 {
+    if (query_no < 1 || query_no > 22)
+        fatal("executableQueryPlan: Q{} is outside the CH-benCHmark "
+              "catalog (valid queries: Q1..Q22, all executable)",
+              query_no);
     for (const auto &q : chExecutablePlans())
         if (q.queryNo == query_no)
             return &q.plan;
@@ -289,7 +307,10 @@ std::map<std::pair<ChTable, std::string>, std::uint32_t>
 scanFrequencies(int n_queries)
 {
     if (n_queries < 0 || n_queries > 22)
-        fatal("scanFrequencies: subset Q1-{} out of range", n_queries);
+        fatal("scanFrequencies: subset Q1-Q{} is out of range "
+              "(valid subsets: 0 for none through 22 for the full "
+              "CH-benCHmark catalog)",
+              n_queries);
     std::map<std::pair<ChTable, std::string>, std::uint32_t> freq;
     for (const auto &q : chQueryCatalog()) {
         if (q.queryNo > n_queries)

@@ -55,15 +55,17 @@ struct ExecutableQuery
 };
 
 /**
- * All queries with executable plans, ordered by query number. The
- * remaining catalog entries are footprint-only (data for the
- * key-column model, not yet runnable).
+ * All 22 CH queries with executable plans, ordered by query number
+ * (every catalog footprint has a runnable plan since the expression
+ * IR landed).
  */
 const std::vector<ExecutableQuery> &chExecutablePlans();
 
 /**
- * The default-parameter plan of query @p query_no, or nullptr when
- * the query is footprint-only.
+ * The default-parameter plan of query @p query_no. Fatal when
+ * @p query_no is outside [1, 22] (the message names the valid
+ * range); nullptr would mark a footprint-only query, of which none
+ * remain.
  */
 const olap::QueryPlan *executableQueryPlan(int query_no);
 

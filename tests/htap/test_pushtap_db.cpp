@@ -120,10 +120,15 @@ TEST_F(PushtapDbTest, RunQuerySnapshotsForFreshness)
     EXPECT_GE(after.rows[0].count, before.rows[0].count);
 }
 
-TEST_F(PushtapDbTest, RunQueryRejectsFootprintOnlyQueries)
+TEST_F(PushtapDbTest, RunQueryAcceptsTheWholeCatalogRange)
 {
-    EXPECT_THROW(db.runQuery(2), pushtap::FatalError);
-    EXPECT_THROW(db.runQuery(22), pushtap::FatalError);
+    // Every CH query is executable now; only numbers outside the
+    // catalog range are caller bugs.
+    olap::QueryResult res;
+    EXPECT_NO_THROW(db.runQuery(2, &res));
+    EXPECT_NO_THROW(db.runQuery(22, &res));
+    EXPECT_THROW(db.runQuery(0), pushtap::FatalError);
+    EXPECT_THROW(db.runQuery(23), pushtap::FatalError);
 }
 
 TEST_F(PushtapDbTest, RunQueryAcceptsAdHocPlans)

@@ -14,22 +14,34 @@
  *  - join keys: int tuples in ordered maps instead of packed byte
  *    strings in hash maps,
  *  - match expansion: breadth-first context lists instead of
- *    recursive descent.
+ *    recursive descent,
+ *  - expressions: direct recursion over ConstRowView values with an
+ *    independently-written arithmetic switch and a recursive
+ *    backtracking LIKE matcher (the engine compiles trees against
+ *    typed scanners / vectorized kernels and matches LIKE by
+ *    anchored piece scanning),
+ *  - scalar subqueries: ordered maps keyed by int-tuple vectors
+ *    instead of the engine's inline-key hash lookups.
  *
- * Aggregate accumulation and the orderBy/limit step are direct
- * transcriptions of the plan spec in both executors, so defects
- * there would be shared; the operator suites pin those behaviors
- * with independent direct assertions (explicit ordering checks,
- * hand-computed Min/Max) instead.
+ * Aggregate accumulation, the orderBy/limit step, and the IR's
+ * value semantics (wrapping arithmetic, guarded division, NUL-
+ * truncated LIKE payloads, missing-group = 0) are direct
+ * transcriptions of the spec in both executors, so defects there
+ * would be shared; the operator suites pin those behaviors with
+ * independent direct assertions (explicit ordering checks,
+ * hand-computed Min/Max, literal LIKE tables) instead.
  *
  * The property suites assert that every plan-based query's
  * aggregates exactly match this executor over the same snapshot.
  */
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "olap/plan.hpp"
@@ -45,10 +57,138 @@ struct RefRow
     std::uint64_t count = 0;
 };
 
+/** Materialized scalar subqueries: key tuple -> aggregate values. */
+using RefSubqueryTables = std::vector<
+    std::map<std::vector<std::int64_t>, std::vector<std::int64_t>>>;
+
 namespace detail {
 
+/** Independently-written IR arithmetic (wrap / guarded division). */
+inline std::int64_t
+refArith(olap::ExprOp op, std::int64_t a, std::int64_t b)
+{
+    using olap::ExprOp;
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    switch (op) {
+      case ExprOp::Add: return static_cast<std::int64_t>(ua + ub);
+      case ExprOp::Sub: return static_cast<std::int64_t>(ua - ub);
+      case ExprOp::Mul: return static_cast<std::int64_t>(ua * ub);
+      case ExprOp::Div:
+        if (b == 0)
+            return 0;
+        if (a == std::numeric_limits<std::int64_t>::min() &&
+            b == -1)
+            return a;
+        return a / b;
+      case ExprOp::Eq: return a == b;
+      case ExprOp::Ne: return a != b;
+      case ExprOp::Lt: return a < b;
+      case ExprOp::Le: return a <= b;
+      case ExprOp::Gt: return a > b;
+      case ExprOp::Ge: return a >= b;
+      case ExprOp::And: return a != 0 && b != 0;
+      case ExprOp::Or: return a != 0 || b != 0;
+      default: return 0;
+    }
+}
+
+/** Recursive backtracking '%' matcher (the engine scans anchored
+ *  pieces instead). */
 inline bool
-passes(const workload::ConstRowView &v, const olap::TableInput &in)
+refLike(std::string_view s, std::string_view pat)
+{
+    if (pat.empty())
+        return s.empty();
+    if (pat.front() == '%') {
+        for (std::size_t k = 0; k <= s.size(); ++k)
+            if (refLike(s.substr(k), pat.substr(1)))
+                return true;
+        return false;
+    }
+    if (s.empty() || s.front() != pat.front())
+        return false;
+    return refLike(s.substr(1), pat.substr(1));
+}
+
+/** Char payload truncated at the first NUL (the IR's LIKE view). */
+inline std::string_view
+trimNul(std::string_view s)
+{
+    const auto nul = s.find('\0');
+    return nul == std::string_view::npos ? s : s.substr(0, nul);
+}
+
+/**
+ * Input-local expression evaluation over one canonical row.
+ * @p plan/@p subs are set only for the probe input (subquery
+ * lookups resolve probe-side key columns against the same row).
+ */
+inline std::int64_t
+refEvalLocal(const olap::Expr &e, const workload::ConstRowView &v,
+             const olap::QueryPlan *plan,
+             const RefSubqueryTables *subs)
+{
+    using olap::ExprOp;
+    switch (e.op) {
+      case ExprOp::IntLit:
+        return e.lit;
+      case ExprOp::Column:
+        return v.getInt(e.col.column);
+      case ExprOp::Like:
+        return refLike(trimNul(v.getChars(e.col.column)),
+                       e.pattern);
+      case ExprOp::SubqueryRef: {
+        std::vector<std::int64_t> key;
+        for (const auto &k : plan->subqueries[e.subquery].keys)
+            key.push_back(v.getInt(k.column));
+        const auto &table = (*subs)[e.subquery];
+        const auto it = table.find(key);
+        return it == table.end()
+                   ? 0
+                   : it->second[e.aggIndex];
+      }
+      case ExprOp::Not:
+        return refEvalLocal(*e.kids[0], v, plan, subs) == 0;
+      case ExprOp::CaseWhen:
+        return refEvalLocal(*e.kids[0], v, plan, subs) != 0
+                   ? refEvalLocal(*e.kids[1], v, plan, subs)
+                   : refEvalLocal(*e.kids[2], v, plan, subs);
+      default:
+        return refArith(e.op,
+                        refEvalLocal(*e.kids[0], v, plan, subs),
+                        refEvalLocal(*e.kids[1], v, plan, subs));
+    }
+}
+
+/** Full-plan expression evaluation (aggregate expressions): columns
+ *  resolve through @p resolve; LIKE/subqueries cannot appear. */
+template <typename Resolve>
+std::int64_t
+refEvalFull(const olap::Expr &e, Resolve &&resolve)
+{
+    using olap::ExprOp;
+    switch (e.op) {
+      case ExprOp::IntLit:
+        return e.lit;
+      case ExprOp::Column:
+        return resolve(e.col);
+      case ExprOp::Not:
+        return refEvalFull(*e.kids[0], resolve) == 0;
+      case ExprOp::CaseWhen:
+        return refEvalFull(*e.kids[0], resolve) != 0
+                   ? refEvalFull(*e.kids[1], resolve)
+                   : refEvalFull(*e.kids[2], resolve);
+      default:
+        return refArith(e.op, refEvalFull(*e.kids[0], resolve),
+                        refEvalFull(*e.kids[1], resolve));
+    }
+}
+
+inline bool
+passes(const workload::ConstRowView &v, const olap::TableInput &in,
+       const olap::QueryPlan *plan = nullptr,
+       const RefSubqueryTables *subs = nullptr)
 {
     for (const auto &p : in.intPredicates) {
         const auto x = v.getInt(p.column);
@@ -61,6 +201,9 @@ passes(const workload::ConstRowView &v, const olap::TableInput &in)
         if (match == p.negate)
             return false;
     }
+    for (const auto &e : in.exprPredicates)
+        if (refEvalLocal(*e, v, plan, subs) == 0)
+            return false;
     return true;
 }
 
@@ -89,6 +232,51 @@ referenceExecute(txn::Database &db, const olap::QueryPlan &plan)
 {
     using olap::ColRef;
     using olap::JoinKind;
+
+    // Scalar subqueries: grouped aggregates over the materialized
+    // source rows, keyed by int-tuple vectors in ordered maps.
+    RefSubqueryTables subqueries;
+    for (const auto &spec : plan.subqueries) {
+        const auto &schema = db.table(spec.source.table).schema();
+        std::map<std::vector<std::int64_t>,
+                 std::pair<std::vector<std::int64_t>,
+                           std::uint64_t>>
+            groups;
+        for (const auto &bytes :
+             detail::materialize(db, spec.source.table)) {
+            const workload::ConstRowView v(schema, bytes);
+            if (!detail::passes(v, spec.source))
+                continue;
+            std::vector<std::int64_t> key;
+            for (const auto &col : spec.groupBy)
+                key.push_back(v.getInt(col));
+            auto &[aggs, count] = groups[key];
+            if (count == 0)
+                aggs.assign(spec.aggs.size(), 0);
+            for (std::size_t a = 0; a < spec.aggs.size(); ++a) {
+                const auto x = detail::refEvalLocal(
+                    *spec.aggs[a].value, v, nullptr, nullptr);
+                switch (spec.aggs[a].kind) {
+                  case olap::AggKind::Sum:
+                    aggs[a] = detail::refArith(olap::ExprOp::Add,
+                                               aggs[a], x);
+                    break;
+                  case olap::AggKind::Min:
+                    aggs[a] =
+                        count == 0 ? x : std::min(aggs[a], x);
+                    break;
+                  case olap::AggKind::Max:
+                    aggs[a] =
+                        count == 0 ? x : std::max(aggs[a], x);
+                    break;
+                }
+            }
+            ++count;
+        }
+        auto &table = subqueries.emplace_back();
+        for (auto &[key, acc] : groups)
+            table.emplace(key, std::move(acc.first));
+    }
 
     // Build sides: key tuple -> payload tuples (empty marker for
     // semi/anti existence).
@@ -134,7 +322,7 @@ referenceExecute(txn::Database &db, const olap::QueryPlan &plan)
     for (const auto &bytes :
          detail::materialize(db, plan.probe.table)) {
         const workload::ConstRowView v(probe_schema, bytes);
-        if (!detail::passes(v, plan.probe))
+        if (!detail::passes(v, plan.probe, &plan, &subqueries))
             continue;
 
         auto resolve = [&](const Ctx &ctx, const ColRef &ref) {
@@ -197,11 +385,19 @@ referenceExecute(txn::Database &db, const olap::QueryPlan &plan)
                 acc.aggs.assign(plan.aggregates.size(), 0);
             for (std::size_t i = 0; i < plan.aggregates.size();
                  ++i) {
+                const auto &spec = plan.aggregates[i];
                 const auto x =
-                    resolve(ctx, plan.aggregates[i].value);
+                    spec.expr
+                        ? detail::refEvalFull(
+                              *spec.expr,
+                              [&](const ColRef &ref) {
+                                  return resolve(ctx, ref);
+                              })
+                        : resolve(ctx, spec.value);
                 switch (plan.aggregates[i].kind) {
                   case olap::AggKind::Sum:
-                    acc.aggs[i] += x;
+                    acc.aggs[i] = detail::refArith(
+                        olap::ExprOp::Add, acc.aggs[i], x);
                     break;
                   case olap::AggKind::Min:
                     acc.aggs[i] = acc.count == 0

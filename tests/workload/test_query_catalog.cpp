@@ -104,6 +104,38 @@ TEST(QueryCatalog, SubsetRangeValidated)
     EXPECT_TRUE(scanFrequencies(0).empty());
 }
 
+TEST(QueryCatalog, SubsetRangeErrorNamesTheValidRange)
+{
+    // The fatal message must tell the caller what the valid subsets
+    // are, not just that theirs is bad.
+    try {
+        scanFrequencies(23);
+        FAIL() << "scanFrequencies(23) did not throw";
+    } catch (const pushtap::FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Q23"), std::string::npos) << what;
+        EXPECT_NE(what.find("22"), std::string::npos) << what;
+        EXPECT_NE(what.find("0"), std::string::npos) << what;
+    }
+}
+
+TEST(QueryCatalog, ExecutablePlanRangeValidated)
+{
+    // Out-of-range query numbers are caller bugs: fatal, with the
+    // valid query set named. In-range numbers all resolve.
+    for (int bad : {0, -1, 23, 100})
+        EXPECT_THROW(executableQueryPlan(bad), pushtap::FatalError)
+            << "Q" << bad;
+    try {
+        executableQueryPlan(23);
+        FAIL() << "executableQueryPlan(23) did not throw";
+    } catch (const pushtap::FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Q23"), std::string::npos) << what;
+        EXPECT_NE(what.find("Q1..Q22"), std::string::npos) << what;
+    }
+}
+
 TEST(QueryCatalog, HtapBenchFootprintNonEmpty)
 {
     const auto freq = htapBenchScanFrequencies();
@@ -115,6 +147,26 @@ TEST(QueryCatalog, HtapBenchFootprintNonEmpty)
 // ---- executable plan must stay within — and normally equal — its
 // ---- catalog entry).
 
+bool
+hasNoExprPredicates(const olap::QueryPlan &plan)
+{
+    if (!plan.probe.exprPredicates.empty())
+        return false;
+    for (const auto &join : plan.joins)
+        if (!join.build.exprPredicates.empty())
+            return false;
+    return true;
+}
+
+bool
+hasExprAggregate(const olap::QueryPlan &plan)
+{
+    for (const auto &agg : plan.aggregates)
+        if (agg.expr)
+            return true;
+    return false;
+}
+
 std::set<std::pair<ChTable, std::string>>
 footprintSet(int query_no)
 {
@@ -125,10 +177,10 @@ footprintSet(int query_no)
     return {};
 }
 
-TEST(QueryCatalog, ExecutablePlansCoverAtLeastEightQueries)
+TEST(QueryCatalog, AllTwentyTwoQueriesExecutable)
 {
     const auto &plans = chExecutablePlans();
-    EXPECT_GE(plans.size(), 8u);
+    ASSERT_EQ(plans.size(), 22u);
     int prev = 0;
     for (const auto &q : plans) {
         EXPECT_GT(q.queryNo, prev) << "ordered by query number";
@@ -138,15 +190,24 @@ TEST(QueryCatalog, ExecutablePlansCoverAtLeastEightQueries)
         EXPECT_EQ(q.plan.name,
                   std::string("Q") + std::to_string(q.queryNo));
     }
-    // The three original queries plus at least five more.
-    for (int n : {1, 3, 4, 6, 9, 12, 14, 19})
+    // The full CH suite: every catalog query resolves to a plan.
+    for (int n = 1; n <= 22; ++n)
         EXPECT_NE(executableQueryPlan(n), nullptr) << "Q" << n;
 }
 
-TEST(QueryCatalog, FootprintOnlyQueriesHaveNoPlan)
+TEST(QueryCatalog, LongTailPlansUseTheExpressionIR)
 {
-    for (int n : {2, 5, 7, 8, 10, 11, 13})
-        EXPECT_EQ(executableQueryPlan(n), nullptr) << "Q" << n;
+    // The queries the closed predicate/aggregate structs could not
+    // express: LIKE filters, CASE sums and subquery thresholds.
+    for (int n : {2, 7, 10, 16, 18, 22})
+        EXPECT_FALSE(hasNoExprPredicates(*executableQueryPlan(n)))
+            << "Q" << n << " should carry expression predicates";
+    for (int n : {8, 11, 21})
+        EXPECT_TRUE(hasExprAggregate(*executableQueryPlan(n)))
+            << "Q" << n << " should carry an expression aggregate";
+    for (int n : {17, 20})
+        EXPECT_FALSE(executableQueryPlan(n)->subqueries.empty())
+            << "Q" << n << " should carry a scalar subquery";
 }
 
 TEST(QueryCatalog, PlanTouchedColumnsMatchFootprint)
