@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace pushtap {
+
+thread_local const WorkerPool *WorkerPool::tlsActive_ = nullptr;
 
 std::uint32_t
 WorkerPool::hardwareWorkers()
@@ -37,6 +41,7 @@ void
 WorkerPool::runTasks(std::uint32_t worker, const Task &fn,
                      std::size_t tasks)
 {
+    const ActiveScope active(this);
     for (;;) {
         const std::size_t t =
             next_.fetch_add(1, std::memory_order_relaxed);
@@ -78,7 +83,12 @@ WorkerPool::parallelFor(std::size_t tasks, const Task &fn)
 {
     if (tasks == 0)
         return;
+    if (tlsActive_ == this)
+        fatal("WorkerPool::parallelFor: reentrant call from inside "
+              "a task of the same pool; nested parallelism needs a "
+              "separate WorkerPool");
     if (workers_ == 1 || tasks == 1) {
+        const ActiveScope active(this);
         for (std::size_t t = 0; t < tasks; ++t)
             fn(0, t);
         return;

@@ -18,6 +18,12 @@
  * Task functions must not throw (engine errors go through fatal(),
  * which throws before any job is dispatched, or panic()); rng(w) may
  * only be touched by worker w while a job is running.
+ *
+ * Reentrancy is detected: a task that calls parallelFor() on the pool
+ * that is running it fatal()s with a clear message instead of
+ * silently corrupting the job handshake (or recursing forever on a
+ * one-worker pool). Nested parallelism through a *different* pool
+ * remains allowed.
  */
 
 #include <atomic>
@@ -69,6 +75,25 @@ class WorkerPool
     /** Claim-and-run loop shared by the caller and the threads. */
     void runTasks(std::uint32_t worker, const Task &fn,
                   std::size_t tasks);
+
+    /** Marks this thread as executing tasks of a pool (reentrancy
+     * detection); restores the previous pool on scope exit so nested
+     * different-pool jobs keep working. */
+    class ActiveScope
+    {
+      public:
+        explicit ActiveScope(const WorkerPool *pool)
+            : prev_(tlsActive_)
+        {
+            tlsActive_ = pool;
+        }
+        ~ActiveScope() { tlsActive_ = prev_; }
+
+      private:
+        const WorkerPool *prev_;
+    };
+
+    static thread_local const WorkerPool *tlsActive_;
 
     std::uint32_t workers_;
     std::vector<Rng> rngs_;

@@ -69,6 +69,26 @@ PushtapDB::mixed(std::uint64_t n)
     }
 }
 
+txn::TxnStats
+PushtapDB::mixedParallel(std::uint64_t n)
+{
+    if (!oltpGroup_) {
+        txn::TxnWorkerGroupOptions gopts;
+        gopts.workers = opts_.oltpWorkers;
+        gopts.seed = opts_.txnSeed;
+        oltpGroup_ = std::make_unique<txn::TxnWorkerGroup>(
+            *db_, opts_.format, *bw_, *timing_, gopts);
+    }
+    oltpGroup_->run(n);
+
+    // Interval defragmentation at batch granularity.
+    sinceDefrag_ += n;
+    if (opts_.defragInterval != 0 &&
+        sinceDefrag_ >= opts_.defragInterval)
+        runDefragPass();
+    return oltpGroup_->stats();
+}
+
 olap::QueryReport
 PushtapDB::runQuery(const olap::QueryPlan &plan,
                     olap::QueryResult *result)

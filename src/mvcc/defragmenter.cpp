@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "mvcc/epoch.hpp"
 
 namespace pushtap::mvcc {
 
@@ -78,20 +79,25 @@ Defragmenter::run(storage::TableStore &store, VersionManager &vm,
 
     // Walk every chain head: copy the newest version back over the
     // origin row and count the traversal work (Fig. 11(d) breakdown).
-    for (const auto &[data_row, head] : vm.heads()) {
-        const VersionMeta &newest = versions[head];
-        stats.bytesMoved +=
-            store.copyDeltaToData(newest.deltaSlot, data_row);
-        ++stats.rowsCopied;
+    // The epoch pin covers the arena walk and must drop before
+    // reset(), which waits for all pinned readers.
+    {
+        const EpochGuard epoch(vm.epochs());
+        vm.forEachHead([&](RowId data_row, std::uint32_t head) {
+            const VersionMeta &newest = versions[head];
+            stats.bytesMoved +=
+                store.copyDeltaToData(newest.deltaSlot, data_row);
+            ++stats.rowsCopied;
 
-        std::uint32_t idx = head;
-        while (idx != kNoVersion) {
-            ++stats.chainSteps;
-            idx = versions[idx].prev;
-        }
+            std::uint32_t idx = head;
+            while (idx != kNoVersion) {
+                ++stats.chainSteps;
+                idx = versions[idx].prev;
+            }
 
-        // Repair visibility: origin row is current again.
-        store.dataVisible().set(data_row);
+            // Repair visibility: origin row is current again.
+            store.dataVisible().set(data_row);
+        });
     }
     store.deltaVisible().setAll(false);
     vm.reset();

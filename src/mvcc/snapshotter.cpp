@@ -2,7 +2,40 @@
 
 #include <cstddef>
 
+#include "mvcc/epoch.hpp"
+
 namespace pushtap::mvcc {
+
+bool
+Snapshotter::applyVersion(storage::TableStore &store,
+                          const VersionArena &versions,
+                          const VersionMeta &v, Timestamp ts,
+                          SnapshotStats &stats)
+{
+    stats.metadataBytesRead += kMetadataBytes;
+    if (v.writeTs > ts) {
+        ++stats.versionsSkipped;
+        return false;
+    }
+    ++stats.versionsScanned;
+    // Invalidate the previous location of the row...
+    if (v.prev == kNoVersion) {
+        if (store.dataVisible().test(v.rowId)) {
+            store.dataVisible().clear(v.rowId);
+            ++stats.bitsFlipped;
+        }
+    } else {
+        const RowId prev_slot = versions[v.prev].deltaSlot;
+        if (store.deltaVisible().test(prev_slot)) {
+            store.deltaVisible().clear(prev_slot);
+            ++stats.bitsFlipped;
+        }
+    }
+    // ...and make this version visible.
+    store.deltaVisible().set(v.deltaSlot);
+    ++stats.bitsFlipped;
+    return true;
+}
 
 SnapshotStats
 Snapshotter::snapshot(storage::TableStore &store, VersionManager &vm,
@@ -10,36 +43,40 @@ Snapshotter::snapshot(storage::TableStore &store, VersionManager &vm,
 {
     SnapshotStats stats;
     const auto &versions = vm.versions();
+    // Pin an epoch so a concurrent defragmentation's reset() cannot
+    // free arena chunks mid-walk; size() is sampled once so entries
+    // appended during the walk wait for the next snapshot.
+    const EpochGuard epoch(vm.epochs());
+    const std::size_t limit = versions.size();
 
-    std::size_t i = cursor_;
-    for (; i < versions.size(); ++i) {
-        const VersionMeta &v = versions[i];
-        stats.metadataBytesRead += kMetadataBytes;
-        if (v.writeTs > ts) {
-            // Commit order == metadata order: everything beyond is
-            // newer too (T5 in Fig. 6(c) is skipped).
-            ++stats.versionsSkipped;
-            break;
+    if (vm.appendsCommitOrdered() && pending_.empty()) {
+        // Append order == commit order: stop at the first too-new
+        // version, everything beyond is newer too (T5 in Fig. 6(c)).
+        std::size_t i = cursor_;
+        for (; i < limit; ++i) {
+            if (!applyVersion(store, versions, versions[i], ts,
+                              stats))
+                break;
         }
-        ++stats.versionsScanned;
-        // Invalidate the previous location of the row...
-        if (v.prev == kNoVersion) {
-            if (store.dataVisible().test(v.rowId)) {
-                store.dataVisible().clear(v.rowId);
-                ++stats.bitsFlipped;
-            }
-        } else {
-            const RowId prev_slot = versions[v.prev].deltaSlot;
-            if (store.deltaVisible().test(prev_slot)) {
-                store.deltaVisible().clear(prev_slot);
-                ++stats.bitsFlipped;
-            }
+        cursor_ = i;
+    } else {
+        // Interleaved appends: examine the pending backlog (in arena
+        // index order, which per row is still chain order), then the
+        // whole newly appended tail. Too-new entries park for later.
+        std::vector<std::size_t> still_pending;
+        for (const std::size_t i : pending_) {
+            if (!applyVersion(store, versions, versions[i], ts,
+                              stats))
+                still_pending.push_back(i);
         }
-        // ...and make this version visible.
-        store.deltaVisible().set(v.deltaSlot);
-        ++stats.bitsFlipped;
+        for (std::size_t i = cursor_; i < limit; ++i) {
+            if (!applyVersion(store, versions, versions[i], ts,
+                              stats))
+                still_pending.push_back(i);
+        }
+        pending_ = std::move(still_pending);
+        cursor_ = limit;
     }
-    cursor_ = i;
 
     // Each flipped bit dirties one 8-byte bitmap word, replicated on
     // every device of the stripe; the copies are ADE-aligned so the

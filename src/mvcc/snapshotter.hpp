@@ -7,10 +7,25 @@
  * since the last snapshot into the per-device visibility bitmaps, so
  * PIM units scan exactly the rows of a consistent version. Versions
  * newer than the snapshot timestamp are skipped (like T5 in Fig. 6).
+ *
+ * Two scan strategies share one cursor:
+ *  - While the version arena's append order equals commit order
+ *    (single-threaded ingest), the scan stops at the first
+ *    too-new version — everything beyond is newer too.
+ *  - Once concurrent partitions have interleaved appends out of
+ *    commit order, the scan examines the whole appended tail and
+ *    parks too-new entries on a pending list for the next snapshot.
+ *    Per-row chain order is still append order (timestamps are
+ *    monotonic per row), so bitmap flips stay well-ordered.
+ *
+ * Snapshot timestamps must be non-decreasing across calls (the
+ * continuous-update strategy is incremental and never un-applies a
+ * version).
  */
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "mvcc/version_manager.hpp"
@@ -43,10 +58,20 @@ class Snapshotter
     rewind()
     {
         cursor_ = 0;
+        pending_.clear();
     }
 
   private:
+    /** Apply one version's bitmap flips; true when it was visible. */
+    static bool applyVersion(storage::TableStore &store,
+                             const VersionArena &versions,
+                             const VersionMeta &v, Timestamp ts,
+                             SnapshotStats &stats);
+
     std::size_t cursor_ = 0;
+    /** Arena indices seen but still newer than the last snapshot ts
+     * (only used once appends left commit order); kept sorted. */
+    std::vector<std::size_t> pending_;
 };
 
 } // namespace pushtap::mvcc

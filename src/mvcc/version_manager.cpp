@@ -1,15 +1,53 @@
 #include "mvcc/version_manager.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/log.hpp"
 
 namespace pushtap::mvcc {
 
+std::uint32_t
+VersionArena::pushBack(Timestamp write_ts, RowId row,
+                       RowId delta_slot, std::uint32_t prev)
+{
+    const std::size_t idx = count_.load(std::memory_order_relaxed);
+    const std::size_t c = idx >> kChunkBits;
+    if (c >= dirCap_)
+        fatal("version arena exhausted ({} entries)", idx);
+    VersionMeta *chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+        chunk = new VersionMeta[kChunkRows];
+        chunks_[c].store(chunk, std::memory_order_release);
+    }
+    VersionMeta &v = chunk[idx & (kChunkRows - 1)];
+    v.writeTs = write_ts;
+    v.readTs.store(write_ts, std::memory_order_relaxed);
+    v.rowId = row;
+    v.deltaSlot = delta_slot;
+    v.prev = prev;
+    // Publish: readers that observe the new count (acquire) also see
+    // the chunk pointer and every field written above.
+    count_.store(idx + 1, std::memory_order_release);
+    return static_cast<std::uint32_t>(idx);
+}
+
+void
+VersionArena::freeChunks()
+{
+    for (std::size_t c = 0; c < dirCap_; ++c) {
+        delete[] chunks_[c].load(std::memory_order_relaxed);
+        chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+}
+
 VersionManager::VersionManager(
     const format::BlockCirculant &circulant,
     std::uint64_t delta_capacity)
-    : circulant_(circulant), deltaCapacity_(delta_capacity)
+    : circulant_(circulant), deltaCapacity_(delta_capacity),
+      arena_(delta_capacity)
 {
     const std::uint32_t classes =
         circulant_.enabled() ? circulant_.devices() : 1;
@@ -19,6 +57,7 @@ VersionManager::VersionManager(
 RowId
 VersionManager::allocDeltaSlot(RowId data_row)
 {
+    std::lock_guard<std::mutex> guard(mu_);
     const std::uint32_t classes =
         static_cast<std::uint32_t>(cursors_.size());
     const std::uint32_t cls = static_cast<std::uint32_t>(
@@ -35,53 +74,113 @@ VersionManager::allocDeltaSlot(RowId data_row)
     if (slot >= deltaCapacity_)
         fatal("delta region exhausted ({} of {} rows); "
               "defragmentation overdue",
-              deltaUsed_, deltaCapacity_);
+              deltaUsed_.load(std::memory_order_relaxed),
+              deltaCapacity_);
 
     if (++cur.slot == block_rows) {
         cur.slot = 0;
         ++cur.blockOrdinal;
     }
-    ++deltaUsed_;
+    deltaUsed_.fetch_add(1, std::memory_order_relaxed);
     return slot;
+}
+
+std::uint64_t
+VersionManager::slotBoundWithExtra(
+    const std::vector<std::uint64_t> &extra_per_class) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    const std::uint32_t classes =
+        static_cast<std::uint32_t>(cursors_.size());
+    if (extra_per_class.size() != classes)
+        fatal("slotBoundWithExtra: {} classes given, {} expected",
+              extra_per_class.size(), classes);
+    const std::uint32_t block_rows =
+        circulant_.enabled() ? circulant_.blockRows() : 1;
+
+    std::uint64_t bound = 0;
+    for (std::uint32_t cls = 0; cls < classes; ++cls) {
+        const std::uint64_t k = extra_per_class[cls];
+        if (k == 0)
+            continue;
+        const auto &cur = cursors_[cls];
+        // Where the k-th future allocation of this class lands.
+        const std::uint64_t last = cur.slot + k - 1;
+        const std::uint64_t last_ord =
+            cur.blockOrdinal + last / block_rows;
+        const std::uint64_t last_block = cls + last_ord * classes;
+        const std::uint64_t last_slot =
+            last_block * block_rows + last % block_rows;
+        bound = std::max(bound, last_slot + 1);
+    }
+    if (bound > deltaCapacity_)
+        fatal("delta region cannot hold the scheduled batch "
+              "(needs {} of {} rows); defragment first or raise "
+              "deltaFraction",
+              bound, deltaCapacity_);
+    return bound;
 }
 
 std::uint32_t
 VersionManager::addVersion(RowId data_row, RowId delta_slot,
                            Timestamp write_ts)
 {
-    if (write_ts < lastTs_)
-        fatal("non-monotonic commit timestamp {} < {}", write_ts,
-              lastTs_);
-    lastTs_ = write_ts;
+    HeadShard &shard = headShards_[headShardOf(data_row)];
+    std::lock_guard<std::mutex> append_guard(mu_);
+    std::unique_lock<std::shared_mutex> head_guard(shard.mu);
 
-    VersionMeta meta;
-    meta.writeTs = write_ts;
-    meta.readTs = write_ts;
-    meta.rowId = data_row;
-    meta.deltaSlot = delta_slot;
-    auto it = heads_.find(data_row);
-    meta.prev = it == heads_.end() ? kNoVersion : it->second;
+    auto it = shard.map.find(data_row);
+    const std::uint32_t prev =
+        it == shard.map.end() ? kNoVersion : it->second;
+    if (prev != kNoVersion && write_ts < arena_[prev].writeTs)
+        fatal("non-monotonic commit timestamp {} < {} for row {}",
+              write_ts, arena_[prev].writeTs, data_row);
 
-    const auto idx = static_cast<std::uint32_t>(versions_.size());
-    versions_.push_back(meta);
-    heads_[data_row] = idx;
+    // Track whether arena append order still equals commit order;
+    // concurrent partitions interleave and latch this false, which
+    // switches the snapshotter to its order-insensitive scan.
+    if (write_ts < lastAppendTs_)
+        commitOrdered_.store(false, std::memory_order_release);
+    else
+        lastAppendTs_ = write_ts;
+
+    const std::uint32_t idx =
+        arena_.pushBack(write_ts, data_row, delta_slot, prev);
+    shard.map[data_row] = idx;
     return idx;
+}
+
+bool
+VersionManager::hasVersions(RowId data_row) const
+{
+    const HeadShard &shard = headShards_[headShardOf(data_row)];
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    return shard.map.find(data_row) != shard.map.end();
 }
 
 VersionLookup
 VersionManager::locateVisible(RowId data_row, Timestamp ts)
 {
     VersionLookup lk{storage::Region::Data, data_row, 0};
-    auto it = heads_.find(data_row);
-    if (it == heads_.end())
-        return lk;
-    std::uint32_t idx = it->second;
+    std::uint32_t idx;
+    {
+        const HeadShard &shard = headShards_[headShardOf(data_row)];
+        std::shared_lock<std::shared_mutex> guard(shard.mu);
+        auto it = shard.map.find(data_row);
+        if (it == shard.map.end())
+            return lk;
+        idx = it->second;
+    }
+    // The prev-chain below the head is immutable: walk lock-free.
     while (idx != kNoVersion) {
         ++lk.chainSteps;
-        VersionMeta &v = versions_[idx];
+        const VersionMeta &v = arena_[idx];
         if (v.writeTs <= ts) {
-            if (ts > v.readTs)
-                v.readTs = ts;
+            Timestamp seen = v.readTs.load(std::memory_order_relaxed);
+            while (ts > seen &&
+                   !v.readTs.compare_exchange_weak(
+                       seen, ts, std::memory_order_relaxed)) {
+            }
             lk.region = storage::Region::Delta;
             lk.row = v.deltaSlot;
             return lk;
@@ -95,21 +194,42 @@ VersionManager::locateVisible(RowId data_row, Timestamp ts)
 VersionLookup
 VersionManager::locateNewest(RowId data_row) const
 {
-    auto it = heads_.find(data_row);
-    if (it == heads_.end())
+    const HeadShard &shard = headShards_[headShardOf(data_row)];
+    std::shared_lock<std::shared_mutex> guard(shard.mu);
+    auto it = shard.map.find(data_row);
+    if (it == shard.map.end())
         return {storage::Region::Data, data_row, 0};
-    const VersionMeta &v = versions_[it->second];
+    const VersionMeta &v = arena_[it->second];
     return {storage::Region::Delta, v.deltaSlot, 1};
+}
+
+void
+VersionManager::forEachHead(
+    const std::function<void(RowId, std::uint32_t)> &fn) const
+{
+    for (const HeadShard &shard : headShards_) {
+        std::shared_lock<std::shared_mutex> guard(shard.mu);
+        for (const auto &[row, head] : shard.map)
+            fn(row, head);
+    }
 }
 
 void
 VersionManager::reset()
 {
-    versions_.clear();
-    heads_.clear();
-    deltaUsed_ = 0;
+    // Wait out every epoch-pinned chain walk before freeing metadata.
+    epochs_.synchronize();
+    std::lock_guard<std::mutex> guard(mu_);
+    for (HeadShard &shard : headShards_) {
+        std::unique_lock<std::shared_mutex> head_guard(shard.mu);
+        shard.map.clear();
+    }
+    arena_.clear();
+    deltaUsed_.store(0, std::memory_order_relaxed);
     for (auto &c : cursors_)
         c = ClassCursor{};
+    lastAppendTs_ = 0;
+    commitOrdered_.store(true, std::memory_order_release);
 }
 
 } // namespace pushtap::mvcc

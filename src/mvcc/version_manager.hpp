@@ -7,14 +7,39 @@
  * new-version row bytes stored in the table's delta region. The delta
  * allocator preserves the origin row's block-circulant rotation so
  * defragmentation is a device-local PIM copy.
+ *
+ * Concurrency model (multi-writer OLTP + snapshot readers):
+ *  - Version metadata lives in a chunked arena with stable addresses;
+ *    readers walk chains lock-free while writers append (the entry
+ *    count is published with release ordering after the entry's
+ *    fields are written, and chunk pointers are never reallocated).
+ *  - Chain heads are a striped-lock hash map: writers update a head
+ *    under one stripe's exclusive lock, readers take the stripe
+ *    shared just long enough to fetch the head index, then walk the
+ *    immutable prev-chain without any lock.
+ *  - Commit timestamps must be monotonic *per row* (concurrent
+ *    partitions interleave their appends, so the global append order
+ *    is no longer the commit order; appendsCommitOrdered() tells the
+ *    snapshotter which scan strategy is sound).
+ *  - reset() (defragmentation's bookkeeping) synchronises with the
+ *    epoch manager so in-flight chain walks never dereference freed
+ *    metadata: readers pin an epoch (see mvcc/epoch.hpp), and never
+ *    block writers.
  */
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "format/block_circulant.hpp"
+#include "mvcc/epoch.hpp"
 #include "storage/table_store.hpp"
 
 namespace pushtap::mvcc {
@@ -31,11 +56,12 @@ inline constexpr Bytes kMetadataBytes = 16;
 /** One version's metadata (Fig. 6(b)). */
 struct VersionMeta
 {
-    Timestamp writeTs;   ///< Transaction that created the version.
-    Timestamp readTs;    ///< Most recent reader.
-    RowId rowId;         ///< Origin row in the data region.
-    RowId deltaSlot;     ///< This version's bytes in the delta region.
-    std::uint32_t prev;  ///< Previous version index, kNoVersion if origin.
+    Timestamp writeTs = 0; ///< Transaction that created the version.
+    /** Most recent reader; atomic max-updated by concurrent reads. */
+    mutable std::atomic<Timestamp> readTs{0};
+    RowId rowId = 0;       ///< Origin row in the data region.
+    RowId deltaSlot = 0;   ///< This version's bytes in the delta region.
+    std::uint32_t prev = kNoVersion; ///< Previous version, kNoVersion if origin.
 };
 
 /** Where the visible version of a row was found. */
@@ -44,6 +70,104 @@ struct VersionLookup
     storage::Region region;
     RowId row;
     std::uint32_t chainSteps; ///< Pointer hops performed.
+};
+
+/**
+ * Append-only version store with stable addresses: fixed-size chunks
+ * hang off a preallocated pointer directory, so concurrent readers
+ * index entries below the published count while one writer (under the
+ * VersionManager's mutex) appends — no reallocation ever moves a
+ * published entry. clear() may only run quiesced (after an epoch
+ * synchronise).
+ */
+class VersionArena
+{
+  public:
+    static constexpr std::size_t kChunkBits = 12;
+    static constexpr std::size_t kChunkRows = 1ull << kChunkBits;
+
+    explicit VersionArena(std::uint64_t max_entries)
+        : dirCap_((max_entries >> kChunkBits) + 2),
+          chunks_(new std::atomic<VersionMeta *>[dirCap_])
+    {
+        for (std::size_t c = 0; c < dirCap_; ++c)
+            chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+
+    ~VersionArena() { freeChunks(); }
+
+    VersionArena(const VersionArena &) = delete;
+    VersionArena &operator=(const VersionArena &) = delete;
+
+    std::size_t
+    size() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    const VersionMeta &
+    operator[](std::size_t i) const
+    {
+        return chunks_[i >> kChunkBits].load(
+            std::memory_order_relaxed)[i & (kChunkRows - 1)];
+    }
+
+    const VersionMeta &back() const { return (*this)[size() - 1]; }
+
+    /** Single-writer append (call under the owner's write mutex). */
+    std::uint32_t pushBack(Timestamp write_ts, RowId row,
+                           RowId delta_slot, std::uint32_t prev);
+
+    /** Drop everything; only sound with no concurrent readers. */
+    void
+    clear()
+    {
+        freeChunks();
+        count_.store(0, std::memory_order_release);
+    }
+
+    class const_iterator
+    {
+      public:
+        const_iterator(const VersionArena *a, std::size_t i)
+            : a_(a), i_(i)
+        {
+        }
+        const VersionMeta &operator*() const { return (*a_)[i_]; }
+        const VersionMeta *operator->() const { return &(*a_)[i_]; }
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return i_ == o.i_;
+        }
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return i_ != o.i_;
+        }
+
+      private:
+        const VersionArena *a_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+
+  private:
+    void freeChunks();
+
+    std::size_t dirCap_;
+    std::unique_ptr<std::atomic<VersionMeta *>[]> chunks_;
+    std::atomic<std::size_t> count_{0};
 };
 
 class VersionManager
@@ -59,24 +183,21 @@ class VersionManager
     /**
      * Allocate a delta slot whose rotation matches data row @p data_row.
      * fatal()s when the delta region is exhausted (defragmentation
-     * overdue).
+     * overdue). Thread-safe.
      */
     RowId allocDeltaSlot(RowId data_row);
 
     /**
      * Record a new version of @p data_row living at @p delta_slot,
-     * committed at @p write_ts. Timestamps must be non-decreasing.
-     * Returns the version index.
+     * committed at @p write_ts. Timestamps must be non-decreasing per
+     * row (concurrent rows may interleave out of order). Returns the
+     * version index. Thread-safe.
      */
     std::uint32_t addVersion(RowId data_row, RowId delta_slot,
                              Timestamp write_ts);
 
     /** True if the row has at least one delta version. */
-    bool
-    hasVersions(RowId data_row) const
-    {
-        return heads_.contains(data_row);
-    }
+    bool hasVersions(RowId data_row) const;
 
     /**
      * Find the newest version of @p data_row visible at @p ts
@@ -88,39 +209,96 @@ class VersionManager
     /** Find the newest version regardless of timestamp. */
     VersionLookup locateNewest(RowId data_row) const;
 
-    /** All versions in commit order. */
-    const std::vector<VersionMeta> &versions() const
+    /** All versions in append order (stable addresses; lock-free). */
+    const VersionArena &versions() const { return arena_; }
+
+    /**
+     * Visit every chain head as (data_row, newest version index).
+     * Takes the head stripes shared; intended for quiesced phases
+     * (defragmentation) or read-only inspection.
+     */
+    void forEachHead(
+        const std::function<void(RowId, std::uint32_t)> &fn) const;
+
+    /**
+     * True while the arena's append order matches commit-timestamp
+     * order (always the case for single-threaded execution). The
+     * snapshotter's early-exit scan relies on it; once concurrent
+     * partitions interleave appends out of order this latches false
+     * (until reset()).
+     */
+    bool
+    appendsCommitOrdered() const
     {
-        return versions_;
+        return commitOrdered_.load(std::memory_order_acquire);
     }
 
-    /** Rows that currently have delta versions (chain heads). */
-    const std::unordered_map<RowId, std::uint32_t> &heads() const
+    std::uint64_t
+    deltaUsed() const
     {
-        return heads_;
+        return deltaUsed_.load(std::memory_order_relaxed);
     }
-
-    std::uint64_t deltaUsed() const { return deltaUsed_; }
     std::uint64_t deltaCapacity() const { return deltaCapacity_; }
+
+    /**
+     * The exclusive upper bound of delta slot ids after allocating
+     * @p extra_per_class more versions in each rotation class, given
+     * the current cursors. Lets a transaction scheduler pre-grow the
+     * physical delta region so no growth (and no reallocation) can
+     * happen under concurrent readers. fatal()s if the bound would
+     * exceed the delta capacity guard.
+     */
+    std::uint64_t slotBoundWithExtra(
+        const std::vector<std::uint64_t> &extra_per_class) const;
+
+    /** Rotation classes the delta allocator cycles through. */
+    std::uint32_t
+    rotationClasses() const
+    {
+        return static_cast<std::uint32_t>(cursors_.size());
+    }
+
+    /** Rotation class of @p data_row's versions. */
+    std::uint32_t
+    rotationClassOf(RowId data_row) const
+    {
+        return static_cast<std::uint32_t>(
+            circulant_.blockOf(data_row) % cursors_.size());
+    }
+
+    /** Epoch manager guarding metadata reclamation. */
+    EpochManager &epochs() const { return epochs_; }
 
     /** Total metadata bytes resident in CPU memory. */
     Bytes
     metadataBytes() const
     {
-        return versions_.size() * kMetadataBytes;
+        return arena_.size() * kMetadataBytes;
     }
 
     /**
      * Drop all chains and free the delta region (the bookkeeping half
      * of defragmentation; data movement is the Defragmenter's job).
+     * Waits for in-flight epoch-pinned readers first; must not be
+     * called while the calling thread holds an epoch pin.
      */
     void reset();
 
   private:
+    std::size_t
+    headShardOf(RowId row) const
+    {
+        return (row * 0x9E3779B97F4A7C15ull) >> 58; // top 6 bits
+    }
+
     format::BlockCirculant circulant_;
     std::uint64_t deltaCapacity_;
-    std::uint64_t deltaUsed_ = 0;
-    Timestamp lastTs_ = 0;
+    std::atomic<std::uint64_t> deltaUsed_{0};
+
+    /** Serialises allocator cursors and arena appends. */
+    mutable std::mutex mu_;
+    Timestamp lastAppendTs_ = 0; ///< Guarded by mu_.
+    std::atomic<bool> commitOrdered_{true};
 
     /** Per rotation class: next block ordinal and slot within it. */
     struct ClassCursor
@@ -128,10 +306,19 @@ class VersionManager
         std::uint64_t blockOrdinal = 0; ///< 0 -> block class, 1 -> class+d...
         std::uint32_t slot = 0;         ///< Next free slot within the block.
     };
-    std::vector<ClassCursor> cursors_;
+    std::vector<ClassCursor> cursors_; ///< Guarded by mu_.
 
-    std::vector<VersionMeta> versions_;
-    std::unordered_map<RowId, std::uint32_t> heads_;
+    VersionArena arena_;
+
+    static constexpr std::size_t kHeadShards = 64;
+    struct HeadShard
+    {
+        mutable std::shared_mutex mu;
+        std::unordered_map<RowId, std::uint32_t> map;
+    };
+    std::array<HeadShard, kHeadShards> headShards_;
+
+    mutable EpochManager epochs_;
 };
 
 } // namespace pushtap::mvcc

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "mvcc/epoch.hpp"
 #include "workload/query_catalog.hpp"
 #include "workload/row_view.hpp"
 
@@ -72,10 +73,20 @@ TableRuntime::shardMap(std::uint32_t shards) const
 RowId
 TableRuntime::allocInsertRow()
 {
-    if (insertCursor_ >= dataCapacity_)
-        fatal("table {}: insert capacity exhausted ({} rows)",
-              schema_->name(), dataCapacity_);
-    return insertCursor_++;
+    // CAS loop rather than fetch_add: a failed claim must leave the
+    // cursor untouched so usedDataRows() never overshoots capacity
+    // (callers may catch the FatalError and keep using the table).
+    std::uint64_t cur =
+        insertCursor_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (cur >= dataCapacity_)
+            fatal("table {}: insert capacity exhausted ({} rows)",
+                  schema_->name(), dataCapacity_);
+        if (insertCursor_.compare_exchange_weak(
+                cur, cur + 1, std::memory_order_acq_rel,
+                std::memory_order_relaxed))
+            return cur;
+    }
 }
 
 Database::Database(const DatabaseConfig &cfg)
@@ -151,6 +162,9 @@ Database::readNewest(ChTable t, RowId row,
                      std::span<std::uint8_t> out)
 {
     auto &tbl = table(t);
+    // Pin an epoch so defragmentation cannot reclaim the chain
+    // between locating the newest version and reading its bytes.
+    const mvcc::EpochGuard epoch(tbl.versions().epochs());
     const auto lk = tbl.versions().locateNewest(row);
     tbl.store().readRow(lk.region, lk.row, out);
     return lk.chainSteps;

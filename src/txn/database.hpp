@@ -9,6 +9,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -68,7 +69,14 @@ class TableRuntime
     std::uint64_t populatedRows() const { return populatedRows_; }
 
     /** Data-region rows in use, including inserted tail rows. */
-    std::uint64_t usedDataRows() const { return insertCursor_; }
+    std::uint64_t
+    usedDataRows() const
+    {
+        return insertCursor_.load(std::memory_order_acquire);
+    }
+
+    /** Provisioned data-region rows (insert ceiling). */
+    std::uint64_t dataCapacity() const { return dataCapacity_; }
 
     /**
      * Partition the table's current data+delta row space into
@@ -80,14 +88,17 @@ class TableRuntime
      */
     storage::ShardMap shardMap(std::uint32_t shards) const;
 
-    /** Next insert slot in the data-region tail; fatal when full. */
+    /**
+     * Next insert slot in the data-region tail; fatal when full.
+     * Thread-safe (lock-free claim).
+     */
     RowId allocInsertRow();
 
     /** Reset the insert cursor's accounting after defragmentation. */
     void
     absorbInserts()
     {
-        populatedRows_ = insertCursor_;
+        populatedRows_ = usedDataRows();
     }
 
   private:
@@ -98,7 +109,7 @@ class TableRuntime
     std::unique_ptr<mvcc::VersionManager> versions_;
     HashIndex index_;
     std::uint64_t populatedRows_;
-    std::uint64_t insertCursor_;
+    std::atomic<std::uint64_t> insertCursor_;
     std::uint64_t dataCapacity_;
 
     friend class Database;
@@ -122,10 +133,30 @@ class Database
     }
 
     /** Current global commit timestamp. */
-    Timestamp now() const { return now_; }
+    Timestamp
+    now() const
+    {
+        return now_.load(std::memory_order_acquire);
+    }
 
-    /** Mint the next commit timestamp. */
-    Timestamp nextTimestamp() { return ++now_; }
+    /** Mint the next commit timestamp. Thread-safe. */
+    Timestamp
+    nextTimestamp()
+    {
+        return now_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+
+    /**
+     * Atomically reserve @p n consecutive commit timestamps; returns
+     * the base so the caller owns base+1 .. base+n. Lets a scheduler
+     * pre-assign deterministic timestamps to a whole batch before
+     * concurrent execution starts.
+     */
+    Timestamp
+    reserveTimestamps(std::uint64_t n)
+    {
+        return now_.fetch_add(n, std::memory_order_acq_rel);
+    }
 
     /**
      * Read the current (newest) canonical bytes of a row, following
@@ -146,7 +177,7 @@ class Database
     DatabaseConfig cfg_;
     workload::ChGenerator gen_;
     std::vector<std::unique_ptr<TableRuntime>> tables_;
-    Timestamp now_ = 0;
+    std::atomic<Timestamp> now_{0};
 };
 
 } // namespace pushtap::txn

@@ -69,13 +69,35 @@ RowId
 TpccEngine::lookupOrDie(ChTable t, std::uint64_t key)
 {
     auto &index = db_.table(t).index();
-    const auto before = index.probes();
-    const auto row = index.lookup(key);
-    chargeIndex(index.probes() - before);
+    std::uint64_t probes = 0;
+    const auto row = index.lookup(key, &probes);
+    chargeIndex(probes);
     if (!row)
         panic("missing key {} in table {}", key,
               db_.table(t).schema().name());
     return *row;
+}
+
+void
+TpccEngine::gateEnter(ChTable t, RowId row, Timestamp ts)
+{
+    if (gate_ == nullptr)
+        return;
+    // One NewOrder can hit the same stock row twice (duplicate
+    // items); entering its own gate again would deadlock.
+    for (const auto &h : held_)
+        if (h.table == t && h.row == row)
+            return;
+    gate_->enter(t, row, ts);
+    held_.push_back({t, row});
+}
+
+void
+TpccEngine::releaseGates(Timestamp ts)
+{
+    for (const auto &h : held_)
+        gate_->leave(h.table, h.row, ts);
+    held_.clear();
 }
 
 void
@@ -156,27 +178,104 @@ TpccEngine::commit(std::uint64_t dirtied_lines)
     stats_.cpu.add("commit", cost_.commitBarrierNs);
 }
 
-Timestamp
-TpccEngine::executePayment()
+TxnDescriptor
+TpccEngine::genPayment(Rng &rng, const Database &db)
 {
-    const auto &counts = db_.generator().rowCounts();
+    const auto &counts = db.generator().rowCounts();
     const auto n_w = counts.at(ChTable::Warehouse);
     const auto n_c = counts.at(ChTable::Customer);
 
-    const auto w = rng_.below(n_w);
-    const auto d = rng_.below(10);
-    NuRand nurand(rng_, 1023, 259);
-    const auto c = static_cast<std::uint64_t>(nurand(
-        0, static_cast<std::int64_t>(n_c - 1)));
-    const std::int64_t amount = rng_.inRange(100, 500000);
+    TxnDescriptor d;
+    d.kind = TxnDescriptor::Kind::Payment;
+    d.warehouse = rng.below(n_w);
+    d.district = rng.below(10);
+    NuRand nurand(rng, 1023, 259);
+    d.customer = static_cast<std::uint64_t>(
+        nurand(0, static_cast<std::int64_t>(n_c - 1)));
+    d.amount = rng.inRange(100, 500000);
+    return d;
+}
 
-    const Timestamp ts = db_.nextTimestamp();
+TxnDescriptor
+TpccEngine::genNewOrder(Rng &rng, const Database &db)
+{
+    const auto &counts = db.generator().rowCounts();
+    const auto n_w = counts.at(ChTable::Warehouse);
+    const auto n_c = counts.at(ChTable::Customer);
+    const auto n_i = counts.at(ChTable::Item);
+
+    TxnDescriptor d;
+    d.kind = TxnDescriptor::Kind::NewOrder;
+    d.warehouse = rng.below(n_w);
+    d.district = rng.below(10);
+    NuRand nurand(rng, 1023, 259);
+    d.customer = static_cast<std::uint64_t>(
+        nurand(0, static_cast<std::int64_t>(n_c - 1)));
+    NuRand item_rand(rng, 8191, 7911);
+    for (auto &line : d.lines) {
+        line.item = static_cast<std::uint64_t>(
+            item_rand(0, static_cast<std::int64_t>(n_i - 1)));
+        line.qty = rng.inRange(1, 10);
+    }
+    return d;
+}
+
+TxnDescriptor
+TpccEngine::genMixed(Rng &rng, const Database &db)
+{
+    return rng.flip(0.5) ? genPayment(rng, db)
+                         : genNewOrder(rng, db);
+}
+
+Timestamp
+TpccEngine::execute(const TxnDescriptor &d)
+{
+    if (d.kind == TxnDescriptor::Kind::Payment)
+        applyPayment(d);
+    else
+        applyNewOrder(d);
+    return d.ts;
+}
+
+Timestamp
+TpccEngine::executePayment()
+{
+    TxnDescriptor d = genPayment(rng_, db_);
+    d.ts = db_.nextTimestamp();
+    return execute(d);
+}
+
+Timestamp
+TpccEngine::executeNewOrder()
+{
+    TxnDescriptor d = genNewOrder(rng_, db_);
+    d.ts = db_.nextTimestamp();
+    return execute(d);
+}
+
+Timestamp
+TpccEngine::executeMixed()
+{
+    TxnDescriptor d = genMixed(rng_, db_);
+    d.ts = db_.nextTimestamp();
+    return execute(d);
+}
+
+void
+TpccEngine::applyPayment(const TxnDescriptor &txn)
+{
+    const auto w = txn.warehouse;
+    const auto d = txn.district;
+    const auto c = txn.customer;
+    const std::int64_t amount = txn.amount;
+    const Timestamp ts = txn.ts;
 
     // Warehouse: read tax/ytd, bump ytd.
     {
         auto &tbl = db_.table(ChTable::Warehouse);
         const auto &s = tbl.schema();
         const RowId row = lookupOrDie(ChTable::Warehouse, packKey(w));
+        gateEnter(ChTable::Warehouse, row, ts);
         scratch_.assign(s.rowBytes(), 0);
         readRow(ChTable::Warehouse, row,
                 {s.columnId("w_ytd"), s.columnId("w_tax"),
@@ -192,6 +291,7 @@ TpccEngine::executePayment()
         const auto &s = tbl.schema();
         const RowId row =
             lookupOrDie(ChTable::District, packKey(w, d));
+        gateEnter(ChTable::District, row, ts);
         scratch_.assign(s.rowBytes(), 0);
         readRow(ChTable::District, row,
                 {s.columnId("d_ytd"), s.columnId("d_tax"),
@@ -207,6 +307,7 @@ TpccEngine::executePayment()
         const auto &s = tbl.schema();
         const RowId row =
             lookupOrDie(ChTable::Customer, packKey(0, 0, c));
+        gateEnter(ChTable::Customer, row, ts);
         scratch_.assign(s.rowBytes(), 0);
         readRow(ChTable::Customer, row,
                 {s.columnId("c_balance"),
@@ -237,26 +338,18 @@ TpccEngine::executePayment()
     }
 
     commit(0);
+    releaseGates(ts);
     ++stats_.transactions;
     ++stats_.payments;
-    return ts;
 }
 
-Timestamp
-TpccEngine::executeNewOrder()
+void
+TpccEngine::applyNewOrder(const TxnDescriptor &txn)
 {
-    const auto &counts = db_.generator().rowCounts();
-    const auto n_w = counts.at(ChTable::Warehouse);
-    const auto n_c = counts.at(ChTable::Customer);
-    const auto n_i = counts.at(ChTable::Item);
-
-    const auto w = rng_.below(n_w);
-    const auto d = rng_.below(10);
-    NuRand nurand(rng_, 1023, 259);
-    const auto c = static_cast<std::uint64_t>(
-        nurand(0, static_cast<std::int64_t>(n_c - 1)));
-
-    const Timestamp ts = db_.nextTimestamp();
+    const auto w = txn.warehouse;
+    const auto d = txn.district;
+    const auto c = txn.customer;
+    const Timestamp ts = txn.ts;
     std::int64_t next_o_id = 0;
 
     // District: read and bump the order counter.
@@ -264,6 +357,7 @@ TpccEngine::executeNewOrder()
         const auto &s = db_.table(ChTable::District).schema();
         const RowId row =
             lookupOrDie(ChTable::District, packKey(w, d));
+        gateEnter(ChTable::District, row, ts);
         scratch_.assign(s.rowBytes(), 0);
         readRow(ChTable::District, row,
                 {s.columnId("d_next_o_id"), s.columnId("d_tax")},
@@ -286,11 +380,9 @@ TpccEngine::executeNewOrder()
     }
 
     std::int64_t total_amount = 0;
-    NuRand item_rand(rng_, 8191, 7911);
     for (std::uint64_t line = 0; line < workload::kLinesPerOrder;
          ++line) {
-        const auto item = static_cast<std::uint64_t>(item_rand(
-            0, static_cast<std::int64_t>(n_i - 1)));
+        const auto item = txn.lines[line].item;
         std::int64_t price = 0;
 
         // Item read.
@@ -310,6 +402,7 @@ TpccEngine::executeNewOrder()
             const auto &s = db_.table(ChTable::Stock).schema();
             const RowId row =
                 lookupOrDie(ChTable::Stock, packKey(0, 0, item));
+            gateEnter(ChTable::Stock, row, ts);
             scratch_.assign(s.rowBytes(), 0);
             readRow(ChTable::Stock, row,
                     {s.columnId("s_quantity"), s.columnId("s_ytd"),
@@ -317,7 +410,7 @@ TpccEngine::executeNewOrder()
                      s.columnId("s_dist_01")},
                     scratch_);
             RowView v(s, scratch_);
-            const std::int64_t qty = rng_.inRange(1, 10);
+            const std::int64_t qty = txn.lines[line].qty;
             std::int64_t sq = v.getInt("s_quantity");
             sq = sq >= qty + 10 ? sq - qty : sq - qty + 91;
             v.setInt("s_quantity", sq);
@@ -376,15 +469,9 @@ TpccEngine::executeNewOrder()
 
     (void)total_amount;
     commit(0);
+    releaseGates(ts);
     ++stats_.transactions;
     ++stats_.newOrders;
-    return ts;
-}
-
-Timestamp
-TpccEngine::executeMixed()
-{
-    return rng_.flip(0.5) ? executePayment() : executeNewOrder();
 }
 
 } // namespace pushtap::txn

@@ -9,8 +9,17 @@
  * breakdown of Fig. 11(c) (indexing / allocation / computation /
  * version-chain traversal) and the DRAM line traffic implied by the
  * instance's storage format (Fig. 9(a)).
+ *
+ * Execution is split into two halves so a multi-worker front end can
+ * reuse it: gen*() draws a transaction's parameters into a
+ * TxnDescriptor (serially, off one Rng stream), and execute() applies
+ * a descriptor at its pre-assigned commit timestamp. The single-
+ * threaded execute*() conveniences compose the two, consuming the
+ * identical random stream the pre-split engine did. Under concurrent
+ * execution an optional TxnGate orders same-row writers by timestamp.
  */
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -21,6 +30,7 @@
 #include "dram/timing_model.hpp"
 #include "format/bandwidth.hpp"
 #include "txn/database.hpp"
+#include "workload/ch_gen.hpp"
 
 namespace pushtap::txn {
 
@@ -61,6 +71,19 @@ struct TxnStats
     double memLines = 0.0;
     TimeNs memTimeNs = 0.0;
 
+    /** Fold another worker's stats into this one. */
+    void
+    merge(const TxnStats &o)
+    {
+        transactions += o.transactions;
+        payments += o.payments;
+        newOrders += o.newOrders;
+        versionsCreated += o.versionsCreated;
+        cpu.merge(o.cpu);
+        memLines += o.memLines;
+        memTimeNs += o.memTimeNs;
+    }
+
     TimeNs
     totalNs() const
     {
@@ -74,6 +97,53 @@ struct TxnStats
                                   static_cast<double>(transactions)
                             : 0.0;
     }
+};
+
+/** One New-Order order line's pre-drawn parameters. */
+struct TxnLine
+{
+    std::uint64_t item = 0;
+    std::int64_t qty = 1;
+};
+
+/**
+ * A fully parameterised transaction: every random draw is made up
+ * front (by the gen* helpers, off one serial Rng stream) and the
+ * commit timestamp is pre-assigned, so execution itself is
+ * deterministic and can be partitioned across worker threads.
+ */
+struct TxnDescriptor
+{
+    enum class Kind : std::uint8_t
+    {
+        Payment,
+        NewOrder,
+    };
+
+    Kind kind = Kind::Payment;
+    Timestamp ts = 0;
+    std::uint64_t warehouse = 0;
+    std::uint64_t district = 0;
+    std::uint64_t customer = 0;
+    std::int64_t amount = 0; ///< Payment only.
+    std::array<TxnLine, workload::kLinesPerOrder> lines{}; ///< NewOrder.
+};
+
+/**
+ * Row-level ordering gates for concurrent execution. Before the first
+ * read of a row it will modify, a transaction enters the row's gate;
+ * enter() blocks until every earlier-timestamped writer of that row
+ * has left. Gates are held to transaction end (2PL-style), so a
+ * same-row successor never observes a partial transaction.
+ */
+class TxnGate
+{
+  public:
+    virtual ~TxnGate() = default;
+    virtual void enter(workload::ChTable t, RowId row,
+                       Timestamp ts) = 0;
+    virtual void leave(workload::ChTable t, RowId row,
+                       Timestamp ts) = 0;
 };
 
 class TpccEngine
@@ -94,12 +164,40 @@ class TpccEngine
     /** Execute one transaction of the 50/50 mix. */
     Timestamp executeMixed();
 
+    /**
+     * Draw a transaction's parameters from @p rng without executing
+     * anything (or touching timestamps). The draw order matches the
+     * execute*() paths exactly, so a scheduler generating descriptors
+     * serially consumes the identical random stream.
+     */
+    static TxnDescriptor genPayment(Rng &rng, const Database &db);
+    static TxnDescriptor genNewOrder(Rng &rng, const Database &db);
+    static TxnDescriptor genMixed(Rng &rng, const Database &db);
+
+    /**
+     * Execute a pre-parameterised transaction at its pre-assigned
+     * timestamp. Row gates (if set) order same-row writers.
+     */
+    Timestamp execute(const TxnDescriptor &d);
+
+    /** Install row-ordering gates (nullptr disables; not owned). */
+    void setGate(TxnGate *gate) { gate_ = gate; }
+
     const TxnStats &stats() const { return stats_; }
     void resetStats() { stats_ = TxnStats{}; }
 
     InstanceFormat instanceFormat() const { return fmt_; }
 
   private:
+    void applyPayment(const TxnDescriptor &d);
+    void applyNewOrder(const TxnDescriptor &d);
+
+    /** Enter @p row's gate unless this txn already holds it. */
+    void gateEnter(workload::ChTable t, RowId row, Timestamp ts);
+
+    /** Leave every gate held by the current transaction. */
+    void releaseGates(Timestamp ts);
+
     /** Line cost of reading @p columns of one row. */
     double readLines(const TableRuntime &tbl,
                      const std::vector<ColumnId> &columns) const;
@@ -133,6 +231,15 @@ class TpccEngine
     Rng rng_;
     TxnStats stats_;
     std::vector<std::uint8_t> scratch_;
+    TxnGate *gate_ = nullptr;
+
+    /** Gates held by the in-flight transaction (deduplicated). */
+    struct HeldGate
+    {
+        workload::ChTable table;
+        RowId row;
+    };
+    std::vector<HeldGate> held_;
 };
 
 } // namespace pushtap::txn

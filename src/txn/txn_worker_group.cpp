@@ -1,0 +1,287 @@
+#include "txn/txn_worker_group.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "workload/ch_schema.hpp"
+
+namespace pushtap::txn {
+
+using workload::ChTable;
+
+void
+GateDirectory::append(ChTable t, RowId row, Timestamp ts)
+{
+    auto &entry = entries_[keyOf(t, row)];
+    if (!entry)
+        entry = std::make_unique<Entry>();
+    entry->order.push_back(ts);
+}
+
+void
+GateDirectory::enter(ChTable t, RowId row, Timestamp ts)
+{
+    const auto it = entries_.find(keyOf(t, row));
+    if (it == entries_.end())
+        fatal("gate directory: no entry for table {} row {}",
+              static_cast<int>(t), row);
+    Entry &e = *it->second;
+    const auto pos =
+        std::lower_bound(e.order.begin(), e.order.end(), ts);
+    const Timestamp pred =
+        pos == e.order.begin() ? 0 : *(pos - 1);
+    // Wait until every earlier-timestamped writer of this row has
+    // committed. pred < ts always, so waits form no cycle.
+    while (e.applied.load(std::memory_order_acquire) != pred)
+        std::this_thread::yield();
+}
+
+void
+GateDirectory::leave(ChTable t, RowId row, Timestamp ts)
+{
+    Entry &e = *entries_.find(keyOf(t, row))->second;
+    e.applied.store(ts, std::memory_order_release);
+}
+
+TxnWorkerGroup::TxnWorkerGroup(Database &db, InstanceFormat fmt,
+                               const format::BandwidthModel &bw,
+                               const dram::BatchTimingModel &timing,
+                               const TxnWorkerGroupOptions &opts)
+    : db_(db), pool_(opts.workers), rng_(opts.seed)
+{
+    const std::uint32_t p = pool_.workers();
+    engines_.reserve(p);
+    for (std::uint32_t i = 0; i < p; ++i) {
+        engines_.push_back(std::make_unique<TpccEngine>(
+            db, fmt, bw, timing, opts.seed, opts.cost));
+        engines_.back()->setGate(&gates_);
+    }
+    partitions_ = std::make_unique<Partition[]>(p);
+}
+
+TxnWorkerGroup::~TxnWorkerGroup()
+{
+    finish();
+}
+
+void
+TxnWorkerGroup::buildSchedule(std::uint64_t n)
+{
+    if (runner_.joinable())
+        fatal("TxnWorkerGroup: previous batch still running; call "
+              "finish() first");
+
+    const std::uint32_t parts = pool_.workers();
+    gates_.clear();
+    schedule_.clear();
+    schedule_.reserve(n);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        partitions_[p].queue.clear();
+        partitions_[p].nextPending.store(
+            kPartitionDone, std::memory_order_relaxed);
+    }
+    count_ = n;
+    base_ = db_.reserveTimestamps(n);
+
+    // 1. Draw every transaction off the one serial stream and
+    //    pre-assign its commit timestamp.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TxnDescriptor d = TpccEngine::genMixed(rng_, db_);
+        d.ts = base_ + 1 + i;
+        schedule_.push_back(d);
+    }
+
+    // 2. Partition by home district, register per-row gates (in ts
+    //    order, deduplicated per transaction exactly as the engine
+    //    enters them) and count versions per rotation class.
+    std::array<std::vector<std::uint64_t>, workload::kChTableCount>
+        per_class;
+    std::array<std::uint64_t, workload::kChTableCount> inserts{};
+    for (std::size_t t = 0; t < workload::kChTableCount; ++t)
+        per_class[t].assign(db_.table(static_cast<ChTable>(t))
+                                .versions()
+                                .rotationClasses(),
+                            0);
+
+    const auto row_of = [&](ChTable t, std::uint64_t key) {
+        const auto row = db_.table(t).index().lookup(key);
+        if (!row)
+            panic("missing key {} in table {}", key,
+                  db_.table(t).schema().name());
+        return *row;
+    };
+    const auto bump = [&](ChTable t, RowId row) {
+        auto &vm = db_.table(t).versions();
+        ++per_class[static_cast<std::size_t>(t)]
+                   [vm.rotationClassOf(row)];
+    };
+    const auto count_insert = [&](ChTable t, std::uint64_t k) {
+        inserts[static_cast<std::size_t>(t)] += k;
+    };
+
+    std::vector<RowId> seen_stock;
+    for (std::uint32_t i = 0; i < schedule_.size(); ++i) {
+        const TxnDescriptor &d = schedule_[i];
+        const std::uint32_t p = static_cast<std::uint32_t>(
+            (d.warehouse * 10 + d.district) % parts);
+        partitions_[p].queue.push_back(i);
+
+        if (d.kind == TxnDescriptor::Kind::Payment) {
+            const RowId wrow =
+                row_of(ChTable::Warehouse, packKey(d.warehouse));
+            const RowId drow = row_of(
+                ChTable::District, packKey(d.warehouse, d.district));
+            const RowId crow = row_of(ChTable::Customer,
+                                      packKey(0, 0, d.customer));
+            gates_.append(ChTable::Warehouse, wrow, d.ts);
+            gates_.append(ChTable::District, drow, d.ts);
+            gates_.append(ChTable::Customer, crow, d.ts);
+            bump(ChTable::Warehouse, wrow);
+            bump(ChTable::District, drow);
+            bump(ChTable::Customer, crow);
+            count_insert(ChTable::History, 1);
+        } else {
+            const RowId drow = row_of(
+                ChTable::District, packKey(d.warehouse, d.district));
+            gates_.append(ChTable::District, drow, d.ts);
+            bump(ChTable::District, drow);
+            seen_stock.clear();
+            for (const TxnLine &line : d.lines) {
+                const RowId srow = row_of(ChTable::Stock,
+                                          packKey(0, 0, line.item));
+                // Duplicate items create two versions but enter the
+                // row's gate once (mirrors TpccEngine::gateEnter).
+                bump(ChTable::Stock, srow);
+                if (std::find(seen_stock.begin(), seen_stock.end(),
+                              srow) == seen_stock.end()) {
+                    gates_.append(ChTable::Stock, srow, d.ts);
+                    seen_stock.push_back(srow);
+                }
+            }
+            count_insert(ChTable::OrderLine,
+                         workload::kLinesPerOrder);
+            count_insert(ChTable::Orders, 1);
+            count_insert(ChTable::NewOrder, 1);
+        }
+    }
+
+    // 3. Inserted rows also become delta versions. Which transaction
+    //    claims which tail row is scheduling-dependent, but the
+    //    claimed *set* is exactly the next `inserts[t]` rows of each
+    //    table's tail, so the per-class totals are deterministic.
+    for (std::size_t t = 0; t < workload::kChTableCount; ++t) {
+        if (inserts[t] == 0)
+            continue;
+        auto &tbl = db_.table(static_cast<ChTable>(t));
+        const std::uint64_t used = tbl.usedDataRows();
+        if (used + inserts[t] > tbl.dataCapacity())
+            fatal("table {}: scheduled batch needs {} insert rows "
+                  "but only {} remain of {}",
+                  tbl.schema().name(), inserts[t],
+                  tbl.dataCapacity() - used, tbl.dataCapacity());
+        for (std::uint64_t r = used; r < used + inserts[t]; ++r)
+            ++per_class[t][tbl.versions().rotationClassOf(r)];
+    }
+
+    // 4. Pre-grow each delta region to the exact bound of the batch,
+    //    so no storage reallocation happens under concurrent readers.
+    for (std::size_t t = 0; t < workload::kChTableCount; ++t) {
+        bool any = false;
+        for (const auto k : per_class[t])
+            any = any || k > 0;
+        if (!any)
+            continue;
+        auto &tbl = db_.table(static_cast<ChTable>(t));
+        const std::uint64_t bound =
+            tbl.versions().slotBoundWithExtra(per_class[t]);
+        if (bound > tbl.store().deltaRows())
+            tbl.store().growDelta(bound);
+    }
+
+    // 5. Publish the initial per-partition frontier markers.
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        auto &part = partitions_[p];
+        part.nextPending.store(
+            part.queue.empty()
+                ? kPartitionDone
+                : schedule_[part.queue.front()].ts,
+            std::memory_order_release);
+    }
+}
+
+void
+TxnWorkerGroup::drainPartition(std::uint32_t p)
+{
+    Partition &part = partitions_[p];
+    TpccEngine &engine = *engines_[p];
+    const std::size_t n = part.queue.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        engine.execute(schedule_[part.queue[i]]);
+        part.nextPending.store(
+            i + 1 < n ? schedule_[part.queue[i + 1]].ts
+                      : kPartitionDone,
+            std::memory_order_release);
+    }
+}
+
+void
+TxnWorkerGroup::executeSchedule()
+{
+    // Partition count equals worker count, so every partition drains
+    // on its own worker; a gate wait in one partition never starves
+    // the partition it waits on.
+    pool_.parallelFor(pool_.workers(),
+                      [this](std::uint32_t, std::size_t p) {
+                          drainPartition(
+                              static_cast<std::uint32_t>(p));
+                      });
+}
+
+void
+TxnWorkerGroup::run(std::uint64_t n)
+{
+    buildSchedule(n);
+    executeSchedule();
+}
+
+void
+TxnWorkerGroup::start(std::uint64_t n)
+{
+    buildSchedule(n);
+    runner_ = std::thread([this] { executeSchedule(); });
+}
+
+void
+TxnWorkerGroup::finish()
+{
+    if (runner_.joinable())
+        runner_.join();
+}
+
+Timestamp
+TxnWorkerGroup::commitFrontier() const
+{
+    Timestamp lowest = kPartitionDone;
+    for (std::uint32_t p = 0; p < pool_.workers(); ++p)
+        lowest = std::min(
+            lowest, partitions_[p].nextPending.load(
+                        std::memory_order_acquire));
+    if (lowest == kPartitionDone)
+        return base_ + count_;
+    return lowest - 1;
+}
+
+TxnStats
+TxnWorkerGroup::stats() const
+{
+    TxnStats merged;
+    for (const auto &e : engines_)
+        merged.merge(e->stats());
+    return merged;
+}
+
+} // namespace pushtap::txn

@@ -1,0 +1,174 @@
+#pragma once
+
+/**
+ * @file
+ * Concurrent multi-writer OLTP front end: a worker-per-thread
+ * transaction layer that executes a Payment/New-Order stream
+ * partitioned by home (warehouse, district) while preserving the
+ * exact serial schedule semantics.
+ *
+ * The design is deterministic-first (Calvin-style):
+ *  1. The schedule is generated serially: every transaction's random
+ *     parameters are drawn off one Rng stream (bit-identical to the
+ *     single-threaded engine's stream) and its commit timestamp is
+ *     pre-assigned from one atomic reservation.
+ *  2. Transactions are partitioned by home (warehouse*10+district)
+ *     modulo the worker count — a locality heuristic, not a
+ *     correctness requirement.
+ *  3. Cross-partition conflicts (customer rows, stock rows shared by
+ *     orders from different home districts) are ordered by a per-row
+ *     gate directory keyed by (table, row id): a transaction's first
+ *     write-access to a row waits until every earlier-timestamped
+ *     writer of that row has committed, and gates are held to
+ *     transaction end. Waits only ever target strictly smaller
+ *     timestamps and the globally smallest unfinished transaction
+ *     sits at the head of its partition's queue, so the schedule is
+ *     deadlock-free.
+ *  4. Before execution starts the group pre-computes each table's
+ *     per-rotation-class version counts and pre-grows the delta
+ *     regions, so no storage reallocation can happen under
+ *     concurrent snapshot readers.
+ *
+ * Row values at any commit frontier F equal the serial execution's
+ * values at F: every value-carrying read is a gated same-row RMW (or
+ * reads an immutable table), so per-row write order — which the gates
+ * pin to timestamp order — determines all visible bytes. OLAP
+ * snapshots taken at F during ingest therefore return byte-identical
+ * query results to a serial run stopped at F.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/worker_pool.hpp"
+#include "dram/timing_model.hpp"
+#include "format/bandwidth.hpp"
+#include "txn/database.hpp"
+#include "txn/tpcc_engine.hpp"
+
+namespace pushtap::txn {
+
+/**
+ * Per-row ordering gates (the lock/indirection table routing
+ * cross-partition writes). Entries are built serially in timestamp
+ * order during scheduling; execution only reads the map and spins on
+ * the per-row applied timestamp.
+ */
+class GateDirectory final : public TxnGate
+{
+  public:
+    /** Register @p ts as a writer of (t, row); build-time, serial,
+     * called in ascending ts order (caller dedups per transaction). */
+    void append(workload::ChTable t, RowId row, Timestamp ts);
+
+    void clear() { entries_.clear(); }
+
+    std::size_t rows() const { return entries_.size(); }
+
+    // TxnGate
+    void enter(workload::ChTable t, RowId row, Timestamp ts) override;
+    void leave(workload::ChTable t, RowId row, Timestamp ts) override;
+
+  private:
+    struct Entry
+    {
+        /** Writer timestamps in ascending order. */
+        std::vector<Timestamp> order;
+        /** Last writer that left the gate (0 = none yet). */
+        std::atomic<Timestamp> applied{0};
+    };
+
+    static std::uint64_t
+    keyOf(workload::ChTable t, RowId row)
+    {
+        return (static_cast<std::uint64_t>(t) << 56) | row;
+    }
+
+    /** unique_ptr for address stability across rehashes (entries
+     * contain an atomic and are spun on concurrently). */
+    std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>
+        entries_;
+};
+
+struct TxnWorkerGroupOptions
+{
+    /** Worker (and partition) count; 0 means hardware threads. */
+    std::uint32_t workers = 1;
+    /** Seed of the serial schedule stream (matches TpccEngine). */
+    std::uint64_t seed = 7;
+    TxnCostConfig cost;
+};
+
+class TxnWorkerGroup
+{
+  public:
+    TxnWorkerGroup(Database &db, InstanceFormat fmt,
+                   const format::BandwidthModel &bw,
+                   const dram::BatchTimingModel &timing,
+                   const TxnWorkerGroupOptions &opts = {});
+    ~TxnWorkerGroup();
+
+    TxnWorkerGroup(const TxnWorkerGroup &) = delete;
+    TxnWorkerGroup &operator=(const TxnWorkerGroup &) = delete;
+
+    /** Execute @p n transactions of the 50/50 mix; blocks. */
+    void run(std::uint64_t n);
+
+    /**
+     * Build the schedule (serial: reserves timestamps, pre-grows
+     * storage) and launch execution in the background. OLAP queries
+     * may run concurrently against any frontier <= commitFrontier().
+     */
+    void start(std::uint64_t n);
+
+    /** Wait for a start()ed batch to finish. */
+    void finish();
+
+    /**
+     * Highest timestamp F such that every transaction with ts <= F
+     * has committed. Monotonic during a run; base + n once done.
+     */
+    Timestamp commitFrontier() const;
+
+    std::uint32_t workers() const { return pool_.workers(); }
+
+    /** First timestamp of the current batch minus one. */
+    Timestamp scheduleBase() const { return base_; }
+
+    /** Merged per-worker statistics. */
+    TxnStats stats() const;
+
+  private:
+    void buildSchedule(std::uint64_t n);
+    void executeSchedule();
+    void drainPartition(std::uint32_t p);
+
+    /** Sentinel published by a partition that has drained fully. */
+    static constexpr Timestamp kPartitionDone = kInvalidTimestamp;
+
+    Database &db_;
+    WorkerPool pool_;
+    GateDirectory gates_;
+    Rng rng_;
+    std::vector<std::unique_ptr<TpccEngine>> engines_;
+
+    std::vector<TxnDescriptor> schedule_;
+    Timestamp base_ = 0;
+    std::uint64_t count_ = 0;
+
+    struct Partition
+    {
+        std::vector<std::uint32_t> queue; ///< schedule_ indices, ts order.
+        std::atomic<Timestamp> nextPending{kInvalidTimestamp};
+    };
+    std::unique_ptr<Partition[]> partitions_;
+
+    std::thread runner_;
+};
+
+} // namespace pushtap::txn

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/worker_pool.hpp"
 
 namespace pushtap {
@@ -111,6 +112,42 @@ TEST(WorkerPool, RngStreamsAreDeterministicAndDistinct)
     EXPECT_NE(WorkerPool(3, 123).rng(0)(), c.rng(0)());
     WorkerPool d(2, 7);
     EXPECT_NE(d.rng(0)(), d.rng(1)());
+}
+
+TEST(WorkerPool, ReentrantParallelForFatals)
+{
+    // A task dispatching onto the pool that runs it would corrupt
+    // the job handshake (or recurse forever on one worker); it must
+    // fail loudly instead. Driven through the single-task inline
+    // path so the FatalError surfaces on the calling thread.
+    WorkerPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(1,
+                         [&](std::uint32_t, std::size_t) {
+                             pool.parallelFor(
+                                 1, [](std::uint32_t,
+                                       std::size_t) {});
+                         }),
+        FatalError);
+
+    // The pool stays usable after the rejected call.
+    std::atomic<std::size_t> ran{0};
+    pool.parallelFor(8, [&](std::uint32_t, std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST(WorkerPool, NestedDifferentPoolsAllowed)
+{
+    WorkerPool outer(1), inner(2);
+    std::atomic<std::size_t> ran{0};
+    outer.parallelFor(1, [&](std::uint32_t, std::size_t) {
+        inner.parallelFor(8, [&](std::uint32_t, std::size_t) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(ran.load(), 8u);
 }
 
 } // namespace

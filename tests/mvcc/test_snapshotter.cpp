@@ -133,5 +133,54 @@ TEST_F(SnapshotterTest, BitmapTrafficReplicatedPerDevice)
     EXPECT_EQ(stats.metadataBytesRead, kMetadataBytes);
 }
 
+TEST_F(SnapshotterTest, OutOfOrderAppendsSnapshotCorrectly)
+{
+    // Concurrent partitions append out of commit order across rows;
+    // the snapshotter must fall back to the order-insensitive scan
+    // and still expose exactly the versions at or below ts.
+    const RowId s_new = update(3, 40, 3); // row 3 @ 40
+    const RowId s_old = update(4, 20, 4); // row 4 @ 20: out of order
+    const RowId s_fut = update(5, 90, 5); // row 5 @ 90: future
+    ASSERT_FALSE(vm.appendsCommitOrdered());
+
+    const auto stats = snap.snapshot(store, vm, 50);
+    EXPECT_EQ(stats.versionsScanned, 2u);
+    EXPECT_EQ(stats.versionsSkipped, 1u);
+    EXPECT_TRUE(store.deltaVisible().test(s_new));
+    EXPECT_TRUE(store.deltaVisible().test(s_old));
+    EXPECT_FALSE(store.deltaVisible().test(s_fut));
+    EXPECT_FALSE(store.dataVisible().test(3));
+    EXPECT_FALSE(store.dataVisible().test(4));
+    EXPECT_TRUE(store.dataVisible().test(5));
+
+    // The parked future version surfaces once ts catches up, even
+    // with nothing new appended.
+    const auto later = snap.snapshot(store, vm, 100);
+    EXPECT_EQ(later.versionsScanned, 1u);
+    EXPECT_EQ(later.versionsSkipped, 0u);
+    EXPECT_TRUE(store.deltaVisible().test(s_fut));
+    EXPECT_FALSE(store.dataVisible().test(5));
+}
+
+TEST_F(SnapshotterTest, OutOfOrderChainKeepsNewestVisible)
+{
+    // Per-row order is still append order; interleave a second row
+    // between two versions of the first and snapshot in two steps.
+    const RowId a1 = update(6, 30, 1);
+    const RowId b1 = update(7, 10, 2); // out of global order
+    const RowId a2 = update(6, 50, 3);
+    ASSERT_FALSE(vm.appendsCommitOrdered());
+
+    snap.snapshot(store, vm, 40); // sees a1, b1; parks a2
+    EXPECT_TRUE(store.deltaVisible().test(a1));
+    EXPECT_TRUE(store.deltaVisible().test(b1));
+    EXPECT_FALSE(store.deltaVisible().test(a2));
+
+    snap.snapshot(store, vm, 60); // a2 supersedes a1
+    EXPECT_FALSE(store.deltaVisible().test(a1));
+    EXPECT_TRUE(store.deltaVisible().test(a2));
+    EXPECT_TRUE(store.deltaVisible().test(b1));
+}
+
 } // namespace
 } // namespace pushtap::mvcc

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "common/log.hpp"
 
 #include "mvcc/version_manager.hpp"
@@ -135,6 +141,95 @@ TEST_F(VersionManagerTest, MetadataBytesTrack16PerVersion)
     vm.addVersion(1, vm.allocDeltaSlot(1), 1);
     vm.addVersion(2, vm.allocDeltaSlot(2), 2);
     EXPECT_EQ(vm.metadataBytes(), 32u);
+}
+
+TEST_F(VersionManagerTest, CrossRowTimestampsMayInterleave)
+{
+    // Concurrent partitions append in arrival order, which need not
+    // be global commit order — only per-row order is enforced.
+    vm.addVersion(1, vm.allocDeltaSlot(1), 10);
+    EXPECT_TRUE(vm.appendsCommitOrdered());
+    vm.addVersion(2, vm.allocDeltaSlot(2), 5); // older, other row: OK
+    EXPECT_FALSE(vm.appendsCommitOrdered());
+    // Both chains resolve independently of the interleaving.
+    EXPECT_EQ(vm.locateVisible(1, 100).region,
+              storage::Region::Delta);
+    EXPECT_EQ(vm.locateVisible(2, 100).region,
+              storage::Region::Delta);
+    EXPECT_EQ(vm.locateVisible(2, 4).region, storage::Region::Data);
+    // reset() restores the commit-ordered fast path.
+    vm.reset();
+    EXPECT_TRUE(vm.appendsCommitOrdered());
+}
+
+TEST_F(VersionManagerTest, ForEachHeadVisitsNewestPerRow)
+{
+    vm.addVersion(3, vm.allocDeltaSlot(3), 10);
+    const auto second = vm.addVersion(3, vm.allocDeltaSlot(3), 20);
+    const auto other = vm.addVersion(7, vm.allocDeltaSlot(7), 30);
+    std::map<RowId, std::uint32_t> heads;
+    vm.forEachHead([&](RowId row, std::uint32_t head) {
+        heads[row] = head;
+    });
+    ASSERT_EQ(heads.size(), 2u);
+    EXPECT_EQ(heads[3], second);
+    EXPECT_EQ(heads[7], other);
+}
+
+TEST_F(VersionManagerTest, SlotBoundPredictsAllocations)
+{
+    // Ask for the bound of a batch, then actually allocate it: no
+    // slot may land at or beyond the promised bound.
+    std::vector<std::uint64_t> extra(4, 0);
+    std::vector<RowId> rows = {0, 9, 17, 25, 3, 11, 0, 9, 1, 2};
+    for (const RowId r : rows)
+        ++extra[vm.rotationClassOf(r)];
+    const std::uint64_t bound = vm.slotBoundWithExtra(extra);
+    RowId max_slot = 0;
+    for (const RowId r : rows)
+        max_slot = std::max(max_slot, vm.allocDeltaSlot(r));
+    EXPECT_LT(max_slot, bound);
+    EXPECT_LE(bound, vm.deltaCapacity());
+}
+
+TEST_F(VersionManagerTest, SlotBoundOverCapacityIsFatal)
+{
+    VersionManager tiny{format::BlockCirculant(4, 8), 8};
+    std::vector<std::uint64_t> extra(4, 0);
+    extra[0] = 100;
+    EXPECT_THROW(tiny.slotBoundWithExtra(extra), FatalError);
+}
+
+TEST_F(VersionManagerTest, ConcurrentReadersSeePublishedVersions)
+{
+    // One writer appends versions of distinct rows with increasing
+    // timestamps while readers locate them; every row observed by a
+    // reader must resolve exactly (TSan hardens this further).
+    constexpr RowId kRows = 32;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> bad{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                for (RowId r = 0; r < kRows; ++r) {
+                    if (!vm.hasVersions(r))
+                        continue;
+                    const auto lk = vm.locateNewest(r);
+                    if (lk.region != storage::Region::Delta)
+                        bad.fetch_add(
+                            1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (Timestamp ts = 1; ts <= 128; ++ts)
+        vm.addVersion(ts % kRows,
+                      vm.allocDeltaSlot(ts % kRows), ts);
+    stop.store(true, std::memory_order_release);
+    for (auto &t : readers)
+        t.join();
+    EXPECT_EQ(bad.load(), 0u);
 }
 
 } // namespace

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "common/log.hpp"
 
 #include "common/rng.hpp"
@@ -75,6 +80,82 @@ TEST(HashIndex, ZeroKeyWorks)
     HashIndex idx;
     idx.insert(0, 99);
     EXPECT_EQ(idx.lookup(0), RowId{99});
+}
+
+TEST(HashIndex, PackKeyBoundariesFit)
+{
+    // The widest representable value of each field round-trips
+    // without touching its neighbours.
+    EXPECT_EQ(packKey(kPackKeyMaxA, 0, 0), kPackKeyMaxA << 40);
+    EXPECT_EQ(packKey(0, kPackKeyMaxB, 0), kPackKeyMaxB << 32);
+    EXPECT_EQ(packKey(0, 0, kPackKeyMaxC), kPackKeyMaxC);
+    // Compile-time evaluation keeps working for in-range keys.
+    static_assert(packKey(1, 2, 3) ==
+                  ((1ull << 40) | (2ull << 32) | 3ull));
+}
+
+TEST(HashIndex, PackKeyOverflowIsFatal)
+{
+    // Each field in turn, one past its capacity. Before the
+    // mask-and-check fix these silently aliased into neighbouring
+    // fields (b has only 8 bits at 32-39; c has 32).
+    EXPECT_THROW(packKey(kPackKeyMaxA + 1, 0, 0), FatalError);
+    EXPECT_THROW(packKey(0, kPackKeyMaxB + 1, 0), FatalError);
+    EXPECT_THROW(packKey(0, 0, kPackKeyMaxC + 1), FatalError);
+    // The regression that motivated the check: an oversized b used
+    // to collide with a's low bits instead of failing.
+    EXPECT_THROW(packKey(0, 1ull << 8, 0), FatalError);
+}
+
+TEST(HashIndex, LookupIsConstWithCallerProbes)
+{
+    HashIndex idx;
+    idx.insert(7, 70);
+    const HashIndex &ro = idx;
+    std::uint64_t probes = 0;
+    EXPECT_EQ(ro.lookup(7, &probes), RowId{70});
+    EXPECT_GE(probes, 1u);
+    std::uint64_t miss_probes = 0;
+    EXPECT_EQ(ro.lookup(8, &miss_probes), std::nullopt);
+    EXPECT_GE(miss_probes, 1u);
+    // The cumulative counter still advances for the Fig. 11(c)
+    // accounting even through the const path.
+    EXPECT_EQ(idx.probes(), probes + miss_probes);
+}
+
+TEST(HashIndex, ConcurrentInsertAndLookup)
+{
+    // One writer streams inserts (forcing several growth rehashes
+    // from a tiny initial capacity) while readers continuously probe.
+    // Every key observed as present must carry its final row value.
+    HashIndex idx(4);
+    constexpr std::uint64_t kKeys = 20000;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> wrong{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&, r] {
+            pushtap::Rng rng(100 + r);
+            while (!stop.load(std::memory_order_acquire)) {
+                const std::uint64_t k = rng.below(kKeys);
+                const auto row = idx.lookup(k * 2654435761ULL);
+                if (row && *row != k)
+                    wrong.fetch_add(1,
+                                    std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+        idx.insert(k * 2654435761ULL, k);
+    stop.store(true, std::memory_order_release);
+    for (auto &t : readers)
+        t.join();
+
+    EXPECT_EQ(wrong.load(), 0u);
+    EXPECT_EQ(idx.size(), kKeys);
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+        ASSERT_EQ(idx.lookup(k * 2654435761ULL), RowId{k});
 }
 
 } // namespace
