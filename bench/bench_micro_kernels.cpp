@@ -7,19 +7,33 @@
  * word-level visibility extraction) vs the row-at-a-time paths —
  * so kernel-level regressions are visible independent of the query
  * suite.
+ *
+ * The SIMD-vs-scalar benches run each kernel twice (Arg 0 = scalar
+ * reference via simd::forceScalarKernels, Arg 1 = the dispatched
+ * vector path), and the Char-LIKE benches add the dictionary-code
+ * variant vs the raw byte-match path. Results land in
+ * BENCH_micro.json (rows/s per kernel and variant), archived by CI
+ * next to BENCH_fig9a/9b.json.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bitmap.hpp"
 #include "common/rng.hpp"
+#include "common/worker_pool.hpp"
 #include "format/generators.hpp"
 #include "format/row_codec.hpp"
 #include "olap/batch.hpp"
+#include "olap/expr.hpp"
+#include "olap/simd_kernels.hpp"
 #include "pim/pim_unit.hpp"
 #include "storage/table_store.hpp"
 #include "txn/hash_index.hpp"
@@ -145,11 +159,15 @@ BENCHMARK(BM_PimFilter);
 
 /**
  * A populated ORDERLINE-format store for the batch-kernel benches
- * (owns the layout/schema the store references).
+ * (owns the layout/schema the store references). ol_dist_info is
+ * drawn from 64 distinct strings so the post-populate dictionary
+ * build freezes it at cardinality 64 (1-byte codes) — the dict-LIKE
+ * benches run against it.
  */
 struct BenchStore
 {
     static constexpr std::uint64_t kRows = 1 << 16;
+    static constexpr std::uint32_t kDistinctDist = 64;
 
     format::TableSchema schema;
     format::TableLayout layout;
@@ -166,13 +184,23 @@ struct BenchStore
           layout(format::compactAligned(schema, 8, 0.6)),
           store(layout, format::BlockCirculant(8, 1024), kRows, 16)
     {
+        const ColumnId dist = schema.columnId("ol_dist_info");
+        const std::uint32_t doff = schema.canonicalOffset(dist);
+        const std::uint32_t dw = schema.column(dist).width;
         Rng rng(31);
         std::vector<std::uint8_t> row(schema.rowBytes());
+        char dval[32];
         for (RowId r = 0; r < kRows; ++r) {
             for (auto &b : row)
                 b = static_cast<std::uint8_t>(rng());
+            std::snprintf(dval, sizeof dval,
+                          "dist-%02u-abcdefghijklmnop",
+                          static_cast<std::uint32_t>(
+                              rng.below(kDistinctDist)));
+            std::memcpy(row.data() + doff, dval, dw);
             store.writeRow(storage::Region::Data, r, row);
         }
+        store.buildDictionaries(4096);
     }
 
     static const BenchStore &
@@ -183,11 +211,23 @@ struct BenchStore
     }
 };
 
+/**
+ * Resolve a bench's variant arg (0 = forced scalar reference, 1 =
+ * dispatched kernels) and label the run for the JSON artifact.
+ */
+void
+setKernelVariant(benchmark::State &state)
+{
+    olap::simd::forceScalarKernels(state.range(0) == 0);
+    state.SetLabel(olap::simd::simdActive() ? "avx2" : "scalar");
+}
+
 void
 BM_MorselDecodeInt(benchmark::State &state)
 {
     // Morsel-at-a-time stride decode of one Int column (the batch
     // executor's hot gather), rows/sec.
+    setKernelVariant(state);
     const auto &bs = BenchStore::instance();
     const olap::BatchColumnReader rd(bs.store, "ol_amount");
     olap::SelectionVector sel;
@@ -205,8 +245,9 @@ BM_MorselDecodeInt(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
 }
-BENCHMARK(BM_MorselDecodeInt);
+BENCHMARK(BM_MorselDecodeInt)->Arg(0)->Arg(1);
 
 void
 BM_RowAtATimeDecodeInt(benchmark::State &state)
@@ -236,6 +277,7 @@ BM_MorselFilterRange(benchmark::State &state)
 {
     // Fused decode + selection-vector range filter per morsel: the
     // whole predicate pass of a Q6-style scan, rows/sec.
+    setKernelVariant(state);
     const auto &bs = BenchStore::instance();
     const olap::BatchColumnReader rd(bs.store, "ol_quantity");
     olap::SelectionVector all;
@@ -256,8 +298,9 @@ BM_MorselFilterRange(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
 }
-BENCHMARK(BM_MorselFilterRange);
+BENCHMARK(BM_MorselFilterRange)->Arg(0)->Arg(1);
 
 void
 BM_BitmapCollectSetBits(benchmark::State &state)
@@ -283,6 +326,229 @@ BM_BitmapCollectSetBits(benchmark::State &state)
 BENCHMARK(BM_BitmapCollectSetBits);
 
 void
+BM_FilterCompare(benchmark::State &state)
+{
+    // Fused compare+select vs a literal (the expression executor's
+    // comparison root), scalar vs AVX2.
+    setKernelVariant(state);
+    Rng rng(11);
+    std::vector<std::int64_t> vals(olap::kMorselRows);
+    for (auto &v : vals)
+        v = static_cast<std::int64_t>(rng.below(1000)) - 500;
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        olap::simd::filterCompare(vals, sel, olap::ExprOp::Gt, 0);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_FilterCompare)->Arg(0)->Arg(1);
+
+void
+BM_CompactByNonzero(benchmark::State &state)
+{
+    // Selection compaction off a boolean vector (the generic
+    // expression-predicate tail), scalar vs AVX2.
+    setKernelVariant(state);
+    Rng rng(13);
+    std::vector<std::int64_t> keep(olap::kMorselRows);
+    for (auto &v : keep)
+        v = rng.below(2);
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        olap::simd::compactByNonzero(keep, sel);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_CompactByNonzero)->Arg(0)->Arg(1);
+
+void
+BM_FilterDictCodes(benchmark::State &state)
+{
+    // Dictionary-code predicate filter (LUT lookup + compaction),
+    // scalar vs AVX2.
+    setKernelVariant(state);
+    Rng rng(17);
+    const std::uint32_t card = BenchStore::kDistinctDist;
+    std::vector<std::uint32_t> codes(olap::kMorselRows);
+    for (auto &c : codes)
+        c = static_cast<std::uint32_t>(rng.below(card));
+    std::vector<std::uint32_t> lut(card + 1, 0);
+    for (std::uint32_t c = 0; c < card; c += 3)
+        lut[c] = 1;
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        olap::simd::filterDictCodes(codes, sel, lut, false);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_FilterDictCodes)->Arg(0)->Arg(1);
+
+void
+BM_CharLikeRaw(benchmark::State &state)
+{
+    // LIKE over raw Char bytes: gather 24-byte payloads, per-row
+    // likeMatch — the path every executor took before dictionary
+    // encoding (and still takes for delta morsels).
+    olap::simd::forceScalarKernels(false);
+    state.SetLabel("raw");
+    const auto &bs = BenchStore::instance();
+    const olap::BatchColumnReader rd(bs.store, "ol_dist_info");
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    olap::ColumnBatch batch;
+    RowId base = 0;
+    for (auto _ : state) {
+        const olap::Morsel m{storage::Region::Data, base,
+                             olap::kMorselRows};
+        sel.idx = all.idx;
+        rd.gatherChars(m, sel.span(), batch);
+        olap::filterCharLike(batch.chars, rd.column().width, sel,
+                             "%-3%", false);
+        benchmark::DoNotOptimize(sel.idx.data());
+        base = (base + olap::kMorselRows) % BenchStore::kRows;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+}
+BENCHMARK(BM_CharLikeRaw);
+
+void
+BM_CharLikeDict(benchmark::State &state)
+{
+    // The same LIKE over the frozen dictionary: pattern evaluated
+    // once per cardinality into a LUT, then gather packed codes and
+    // filter them (scalar vs AVX2 code filter).
+    setKernelVariant(state);
+    state.SetLabel(std::string("dict-") +
+                   (olap::simd::simdActive() ? "avx2" : "scalar"));
+    const auto &bs = BenchStore::instance();
+    const olap::BatchColumnReader rd(bs.store, "ol_dist_info");
+    const auto *dict = rd.dict();
+    if (dict == nullptr) {
+        state.SkipWithError("ol_dist_info not dict-encoded");
+        return;
+    }
+    const auto lut =
+        dict->matchTable([](std::span<const std::uint8_t> v) {
+            return olap::likeMatch(v, "%-3%");
+        });
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    olap::ColumnBatch batch;
+    RowId base = 0;
+    for (auto _ : state) {
+        const olap::Morsel m{storage::Region::Data, base,
+                             olap::kMorselRows};
+        sel.idx = all.idx;
+        rd.gatherCodes(m, sel.span(), batch);
+        olap::simd::filterDictCodes(batch.codes, sel, lut, false);
+        benchmark::DoNotOptimize(sel.idx.data());
+        base = (base + olap::kMorselRows) % BenchStore::kRows;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_CharLikeDict)->Arg(0)->Arg(1);
+
+void
+BM_FlatKeySetProbe(benchmark::State &state)
+{
+    // Bulk single-int existence probe (semi/anti filter join) over
+    // the open-addressing FlatKeySet, scalar vs vectorized hashing.
+    setKernelVariant(state);
+    Rng rng(19);
+    olap::simd::FlatKeySet set;
+    set.reserve(1 << 15);
+    for (int i = 0; i < (1 << 15); ++i) {
+        olap::InlineKey k;
+        k.n = 1;
+        k.v[0] = static_cast<std::int64_t>(i) * 2; // even = member
+        set.insert(k);
+    }
+    std::vector<std::int64_t> keys(olap::kMorselRows);
+    for (auto &k : keys)
+        k = static_cast<std::int64_t>(rng.below(1 << 16));
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        set.filterContains1(keys, sel, false);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_FlatKeySetProbe)->Arg(0)->Arg(1);
+
+void
+BM_UnorderedSetProbe(benchmark::State &state)
+{
+    // The node-based std::unordered_set the filter join probed
+    // before FlatKeySet, for contrast.
+    state.SetLabel("stdhash");
+    Rng rng(19);
+    std::unordered_set<olap::InlineKey, olap::InlineKeyHash> set;
+    for (int i = 0; i < (1 << 15); ++i) {
+        olap::InlineKey k;
+        k.n = 1;
+        k.v[0] = static_cast<std::int64_t>(i) * 2;
+        set.insert(k);
+    }
+    std::vector<std::int64_t> keys(olap::kMorselRows);
+    for (auto &k : keys)
+        k = static_cast<std::int64_t>(rng.below(1 << 16));
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        std::size_t out = 0;
+        for (const auto i : sel.idx) {
+            olap::InlineKey k;
+            k.n = 1;
+            k.v[0] = keys[i];
+            if (set.count(k) != 0)
+                sel.idx[out++] = i;
+        }
+        sel.idx.resize(out);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+}
+BENCHMARK(BM_UnorderedSetProbe);
+
+void
 BM_HashIndexLookup(benchmark::State &state)
 {
     txn::HashIndex idx(1 << 16);
@@ -300,6 +566,94 @@ BM_HashIndexLookup(benchmark::State &state)
 }
 BENCHMARK(BM_HashIndexLookup);
 
+/**
+ * Console reporter that also collects every iteration run's
+ * throughput, so main() can write the machine-readable
+ * BENCH_micro.json after the normal console table.
+ */
+class JsonCollector : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;    ///< Full benchmark name (with args).
+        std::string variant; ///< SetLabel tag (scalar/avx2/dict/..).
+        double itemsPerSec;  ///< rows/s (0 when not item-counted).
+        double realNs;       ///< ns per iteration.
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        ConsoleReporter::ReportRuns(reports);
+        for (const auto &r : reports) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            const double ips =
+                r.counters.count("items_per_second")
+                    ? static_cast<double>(
+                          r.counters.at("items_per_second"))
+                    : 0.0;
+            rows.push_back({r.benchmark_name(), r.report_label, ips,
+                            r.GetAdjustedRealTime()});
+        }
+    }
+
+    std::vector<Row> rows;
+};
+
+void
+writeJson(const std::vector<JsonCollector::Row> &rows,
+          const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    const auto &d = olap::simd::kernelDispatch();
+    std::fprintf(f,
+                 "{\n  \"figure\": \"micro\",\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"dispatch\": {\"forced_scalar_build\": %s, "
+                 "\"forced_scalar_env\": %s, \"avx2\": %s, "
+                 "\"active\": \"%s\"},\n  \"rows\": [\n",
+                 WorkerPool::hardwareWorkers(),
+                 d.forcedScalarBuild ? "true" : "false",
+                 d.forcedScalarEnv ? "true" : "false",
+                 d.avx2 ? "true" : "false", d.active);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        // Kernel = the registered name up to the first arg suffix.
+        const auto slash = r.name.find('/');
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"kernel\": \"%s\", "
+                     "\"variant\": \"%s\", "
+                     "\"items_per_sec\": %.0f, "
+                     "\"real_ns_per_iter\": %.1f}%s\n",
+                     r.name.c_str(),
+                     r.name.substr(0, slash).c_str(),
+                     r.variant.empty() ? "default"
+                                       : r.variant.c_str(),
+                     r.itemsPerSec, r.realNs,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path, rows.size());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonCollector collector;
+    benchmark::RunSpecifiedBenchmarks(&collector);
+    writeJson(collector.rows, "BENCH_micro.json");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -113,10 +113,13 @@ class Bitmap
      * [from, to) to @p out, ascending. Word-at-a-time: this is how
      * the batch executor turns a snapshot bitmap range into a
      * morsel's selection vector without walking bit-by-bit.
+     * Templated on the output vector so both std::vector and the
+     * executor's 64-byte-aligned vectors work.
      */
+    template <typename U32Vec>
     void
     collectSetBits(std::size_t from, std::size_t to,
-                   std::vector<std::uint32_t> &out) const
+                   U32Vec &out) const
     {
         if (to > nbits_)
             to = nbits_;

@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "format/row_codec.hpp"
+#include "olap/simd_kernels.hpp"
 
 namespace pushtap::olap {
 
@@ -82,8 +83,12 @@ BatchColumnReader::gatherInts(const Morsel &m,
         m, sel,
         [&](std::span<const std::uint32_t> seg,
             const std::uint8_t *base, std::size_t at) {
-            format::decodeIntStride(*column_, base, access_->stride,
-                                    seg, out.ints.data() + at);
+            if (!simd::decodeIntStride(*column_, base,
+                                       access_->stride, seg,
+                                       out.ints.data() + at))
+                format::decodeIntStride(*column_, base,
+                                        access_->stride, seg,
+                                        out.ints.data() + at);
         });
 }
 
@@ -112,6 +117,20 @@ BatchColumnReader::gatherChars(const Morsel &m,
 }
 
 void
+BatchColumnReader::gatherCodes(const Morsel &m,
+                               std::span<const std::uint32_t> sel,
+                               ColumnBatch &out) const
+{
+    const format::ColumnDictionary *d = dict();
+    if (m.reg != Region::Data || d == nullptr)
+        fatal("gatherCodes: column {} has no data-region codes",
+              column_->name);
+    simd::gatherDictCodes(store_->dictDataCodes(col_),
+                          d->codeWidthBytes(), m.base, sel,
+                          out.codes);
+}
+
+void
 visibleRows(const storage::TableStore &store, const Morsel &m,
             SelectionVector &sel)
 {
@@ -125,13 +144,20 @@ void
 filterIntRange(std::span<const std::int64_t> vals,
                SelectionVector &sel, std::int64_t lo, std::int64_t hi)
 {
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < sel.idx.size(); ++i) {
-        const std::uint32_t off = sel.idx[i];
-        sel.idx[n] = off;
-        n += static_cast<std::size_t>(vals[i] >= lo && vals[i] <= hi);
-    }
-    sel.idx.resize(n);
+    simd::filterRange(vals, sel, lo, hi);
+}
+
+std::span<const std::int64_t>
+BatchExprContext::likeValues(const Expr &e)
+{
+    std::uint32_t w = 0;
+    const auto payload = chars(e.col, w);
+    const std::size_t n = entries();
+    likeScratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        likeScratch_[i] =
+            likeMatch(payload.subspan(i * w, w), e.pattern) ? 1 : 0;
+    return likeScratch_;
 }
 
 namespace {
@@ -158,13 +184,10 @@ evalRec(const Expr &e, BatchExprContext &ctx,
         return;
       }
       case ExprOp::Like: {
-        std::uint32_t w = 0;
-        const auto payload = ctx.chars(e.col, w);
-        out.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = likeMatch(payload.subspan(i * w, w), e.pattern)
-                         ? 1
-                         : 0;
+        // The context picks the fastest route: dictionary codes,
+        // pre-evaluated vectors (post-join), or raw byte matching.
+        const auto vals = ctx.likeValues(e);
+        out.assign(vals.begin(), vals.end());
         return;
       }
       case ExprOp::SubqueryRef: {
@@ -223,34 +246,29 @@ filterExprBatch(const Expr &e, BatchExprContext &ctx,
         const Expr *rhs = e.kids[1].get();
         if (lhs->op == ExprOp::Column &&
             rhs->op == ExprOp::IntLit) {
-            const auto vals = ctx.ints(lhs->col);
-            std::size_t n = 0;
-            for (std::size_t i = 0; i < sel.idx.size(); ++i) {
-                sel.idx[n] = sel.idx[i];
-                n += static_cast<std::size_t>(
-                    exprApply(e.op, vals[i], rhs->lit) != 0);
-            }
-            sel.idx.resize(n);
+            simd::filterCompare(ctx.ints(lhs->col), sel, e.op,
+                                rhs->lit);
             return;
         }
         if (lhs->op == ExprOp::IntLit &&
             rhs->op == ExprOp::Column) {
-            const auto vals = ctx.ints(rhs->col);
-            std::size_t n = 0;
-            for (std::size_t i = 0; i < sel.idx.size(); ++i) {
-                sel.idx[n] = sel.idx[i];
-                n += static_cast<std::size_t>(
-                    exprApply(e.op, lhs->lit, vals[i]) != 0);
-            }
-            sel.idx.resize(n);
+            // lit op val == val flip(op) lit.
+            simd::filterCompare(ctx.ints(rhs->col), sel,
+                                simd::flipCompare(e.op), lhs->lit);
             return;
         }
     }
-    // Fused (negated) LIKE: match straight off the char payload.
+    // Fused (negated) LIKE: dictionary codes when the column is
+    // dict-encoded (pattern pre-evaluated once per distinct value),
+    // raw char payload otherwise.
     const bool not_like =
         e.op == ExprOp::Not && e.kids[0]->op == ExprOp::Like;
     if (e.op == ExprOp::Like || not_like) {
         const Expr &like = not_like ? *e.kids[0] : e;
+        if (const auto dv = ctx.dictLike(like.col, like.pattern)) {
+            simd::filterDictCodes(dv->codes, sel, dv->lut, not_like);
+            return;
+        }
         std::uint32_t w = 0;
         const auto payload = ctx.chars(like.col, w);
         filterCharLike(payload, w, sel, like.pattern, not_like);
@@ -259,12 +277,7 @@ filterExprBatch(const Expr &e, BatchExprContext &ctx,
 
     std::vector<std::int64_t> keep;
     evalRec(e, ctx, keep);
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < sel.idx.size(); ++i) {
-        sel.idx[n] = sel.idx[i];
-        n += static_cast<std::size_t>(keep[i] != 0);
-    }
-    sel.idx.resize(n);
+    simd::compactByNonzero(keep, sel);
 }
 
 void

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <optional>
 #include <span>
 #include <string>
@@ -54,12 +55,54 @@ struct Morsel
 };
 
 /**
+ * Minimal allocator that hands out 64-byte-aligned storage, so the
+ * SIMD kernels' vector loads over morsel buffers never split a cache
+ * line. All instances are interchangeable (stateless).
+ */
+template <typename T>
+struct Aligned64Allocator
+{
+    using value_type = T;
+    static constexpr std::align_val_t kAlign{64};
+
+    Aligned64Allocator() = default;
+    template <typename U>
+    Aligned64Allocator(const Aligned64Allocator<U> &) noexcept
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), kAlign));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, kAlign);
+    }
+
+    template <typename U>
+    bool
+    operator==(const Aligned64Allocator<U> &) const noexcept
+    {
+        return true;
+    }
+};
+
+/** 64-byte-aligned vector for morsel-resident kernel buffers. */
+template <typename T>
+using AlignedVec = std::vector<T, Aligned64Allocator<T>>;
+
+/**
  * Offsets (relative to a morsel's base row) of the rows still
  * selected, ascending. Kernels compact it in place.
  */
 struct SelectionVector
 {
-    std::vector<std::uint32_t> idx;
+    AlignedVec<std::uint32_t> idx;
 
     std::size_t size() const { return idx.size(); }
     bool empty() const { return idx.empty(); }
@@ -70,13 +113,15 @@ struct SelectionVector
 /**
  * Reusable typed buffer one morsel's decode of one column lands in:
  * `ints` for Int columns, `chars` (column-width bytes per selected
- * row) for Char columns. Entry i corresponds to the i-th entry of
- * the selection the gather ran over.
+ * row) for Char columns, `codes` for dictionary codes of
+ * dict-encoded Char columns. Entry i corresponds to the i-th entry
+ * of the selection the gather ran over.
  */
 struct ColumnBatch
 {
-    std::vector<std::int64_t> ints;
-    std::vector<std::uint8_t> chars;
+    AlignedVec<std::int64_t> ints;
+    AlignedVec<std::uint8_t> chars;
+    AlignedVec<std::uint32_t> codes;
 };
 
 /**
@@ -106,6 +151,31 @@ class BatchColumnReader
 
     /** Copy raw bytes of rows (m.base + sel[i]) into out.chars. */
     void gatherChars(const Morsel &m,
+                     std::span<const std::uint32_t> sel,
+                     ColumnBatch &out) const;
+
+    /** Frozen dictionary of this column, or nullptr. */
+    const format::ColumnDictionary *
+    dict() const
+    {
+        return store_->dictionary(col_);
+    }
+
+    /**
+     * True when dictionary codes can stand in for the raw bytes of
+     * this morsel: data region (delta rows carry no codes) and every
+     * post-freeze write found its value in the frozen table.
+     */
+    bool
+    dictUsable(const Morsel &m) const
+    {
+        return m.reg == storage::Region::Data && dict() != nullptr &&
+               store_->dictFullyCoded(col_);
+    }
+
+    /** Unpack dict codes of rows (m.base + sel[i]) into out.codes.
+     *  Only valid when dictUsable(m). */
+    void gatherCodes(const Morsel &m,
                      std::span<const std::uint32_t> sel,
                      ColumnBatch &out) const;
 
@@ -201,6 +271,19 @@ struct SubqueryResult
 };
 
 /**
+ * Dictionary fast path for one LIKE predicate: per-entry codes
+ * (parallel to the current entry set) plus the pattern's match table
+ * over the dictionary (cardinality + 1 entries, 1 = match; the
+ * sentinel entry never matches). Both spans stay valid until the
+ * context's next batch begins.
+ */
+struct DictFilterView
+{
+    std::span<const std::uint32_t> codes;
+    std::span<const std::uint32_t> lut;
+};
+
+/**
  * Leaf resolution for one batch expression evaluation: maps column
  * references to value vectors parallel to the current entry set
  * (a morsel's surviving selection, or the expanded post-join
@@ -222,8 +305,8 @@ class BatchExprContext
     /**
      * Raw Char column payload of @p ref: width bytes per entry,
      * written to @p width. Contexts without char access (post-join
-     * aggregate evaluation) fatal — validatePlan keeps LIKE out of
-     * those expressions.
+     * aggregate evaluation) fatal — those evaluate LIKE through
+     * likeValues() instead.
      */
     virtual std::span<const std::uint8_t>
     chars(const ColRef &ref, std::uint32_t &width) = 0;
@@ -237,6 +320,32 @@ class BatchExprContext
      */
     virtual std::span<const std::int64_t>
     subqueryValues(const Expr &ref) = 0;
+
+    /**
+     * 0/1 values of LIKE node @p e, one per entry. The default
+     * evaluates raw bytes via chars(); morsel contexts override with
+     * the dictionary code path when available, and post-join contexts
+     * serve pre-evaluated vectors (decoded through the dictionary)
+     * registered by the operator.
+     */
+    virtual std::span<const std::int64_t> likeValues(const Expr &e);
+
+    /**
+     * Dictionary fast path for a fused LIKE over column @p ref with
+     * @p pattern: codes + match table parallel to the current entry
+     * set, or nullopt when the column is not dict-encoded (or the
+     * context has no dictionary access).
+     */
+    virtual std::optional<DictFilterView>
+    dictLike(const ColRef &ref, const std::string &pattern)
+    {
+        (void)ref;
+        (void)pattern;
+        return std::nullopt;
+    }
+
+  protected:
+    std::vector<std::int64_t> likeScratch_;
 };
 
 /**

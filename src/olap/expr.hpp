@@ -16,7 +16,8 @@
  *    reference subqueries,
  *  - AggSpec::expr — an integer aggregate input over probe columns
  *    and earlier inner-join payloads (SUM(amount * (100 - disc)),
- *    CASE sums); LIKE and subquery references are predicate-only,
+ *    CASE sums); LIKE may target a probe Char column, subquery
+ *    references are predicate-only,
  *  - SubquerySpec aggregate inputs — over the subquery source table.
  *
  * Evaluation semantics are fixed here so the scalar interpreter

@@ -226,6 +226,17 @@ OlapEngine::priceCpuGather(const txn::TableRuntime &tbl,
                            const std::string &column,
                            QueryReport &rep) const
 {
+    // Dictionary-encoded Char columns are filtered over their packed
+    // integer codes: the predicate pre-evaluates once against the
+    // dictionary and the scan streams code-width bytes per row, so
+    // the charge is a sharded scan at the code width instead of the
+    // raw fragment gather.
+    const ColumnId cid = tbl.schema().columnId(column);
+    if (const auto *dict = tbl.store().dictionary(cid)) {
+        priceShardedScan(tbl, dict->codeWidthBytes(),
+                         pim::OpType::Filter, rep);
+        return;
+    }
     // Normal columns (no query in the key-selection set scans them by
     // themselves) are evaluated by the CPU across the devices "with a
     // performance loss" (section 4.1.2).

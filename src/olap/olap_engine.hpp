@@ -158,6 +158,15 @@ class OlapEngine
     ScanCost columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
                             pim::OpType op) const;
 
+    /**
+     * Scan-cost core shared by per-column and fused pricing; public
+     * so tests and benches can reconstruct width-based charges
+     * (e.g. dictionary code scans) exactly.
+     */
+    ScanCost scanCostForWidth(const txn::TableRuntime &tbl,
+                              std::uint32_t width,
+                              pim::OpType op) const;
+
     /** Last defragmentation's statistics (Fig. 11(d)). */
     const mvcc::DefragStats &lastDefragStats() const
     {
@@ -211,11 +220,6 @@ class OlapEngine
     void priceSubqueries(const QueryPlan &plan,
                          bool probe_keys_fused,
                          QueryReport &rep) const;
-
-    /** Scan-cost core shared by per-column and fused pricing. */
-    ScanCost scanCostForWidth(const txn::TableRuntime &tbl,
-                              std::uint32_t width,
-                              pim::OpType op) const;
 
     /** Scan cost of streaming @p rows rows of @p width bytes. */
     ScanCost scanCostForRows(std::uint64_t rows, std::uint32_t width,

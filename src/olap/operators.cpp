@@ -17,6 +17,7 @@
 #include "common/log.hpp"
 #include "common/worker_pool.hpp"
 #include "olap/batch.hpp"
+#include "olap/simd_kernels.hpp"
 #include "storage/shard_map.hpp"
 
 namespace pushtap::olap {
@@ -308,12 +309,21 @@ class ScalarExpr
         Node n;
         n.op = e.op;
         n.lit = e.lit;
-        if (e.op == ExprOp::Column)
+        n.pattern = e.pattern;
+        if (e.op == ExprOp::Column) {
             n.ref = makeRefReader(db, plan, e.col);
-        else if (e.op == ExprOp::Like ||
-                 e.op == ExprOp::SubqueryRef)
+        } else if (e.op == ExprOp::Like) {
+            // Full-plan LIKE targets a probe Char column (validated);
+            // the probe row id is in scope at every eval site.
+            if (e.col.side != ColRef::kProbe)
+                fatal("scalar expression: LIKE must target a probe "
+                      "column");
+            n.scan.emplace(db.table(plan.probe.table), e.col.column);
+            n.charBuf.resize(n.scan->column().width);
+        } else if (e.op == ExprOp::SubqueryRef) {
             fatal("scalar expression: {} outside an input filter",
                   exprOpName(e.op));
+        }
         for (const auto &k : e.kids)
             n.kids.push_back(compileFull(db, plan, *k));
         return n;
@@ -666,6 +676,44 @@ class MorselExprContext final : public BatchExprContext
         return slot.batch.chars;
     }
 
+    /** Dictionary route for LIKE: data-region morsels over a fully
+     *  coded column hand back the gathered codes plus a per-pattern
+     *  truth table evaluated once against the dictionary. */
+    std::optional<DictFilterView>
+    dictLike(const ColRef &ref, const std::string &pattern) override
+    {
+        auto &slot = columnSlot(ref.column);
+        if (!slot.rd.dictUsable(*morsel_))
+            return std::nullopt;
+        if (slot.codeEpoch != epoch_) {
+            slot.rd.gatherCodes(*morsel_, sel_->span(), slot.batch);
+            slot.codeEpoch = epoch_;
+        }
+        for (const auto &[pat, lut] : slot.luts)
+            if (pat == pattern)
+                return DictFilterView{slot.batch.codes, lut};
+        const auto *d = slot.rd.dict();
+        slot.luts.emplace_back(
+            pattern,
+            d->matchTable([&](std::span<const std::uint8_t> v) {
+                return likeMatch(v, pattern);
+            }));
+        return DictFilterView{slot.batch.codes,
+                              slot.luts.back().second};
+    }
+
+    std::span<const std::int64_t>
+    likeValues(const Expr &e) override
+    {
+        const auto dv = dictLike(e.col, e.pattern);
+        if (!dv)
+            return BatchExprContext::likeValues(e);
+        likeScratch_.resize(dv->codes.size());
+        for (std::size_t i = 0; i < dv->codes.size(); ++i)
+            likeScratch_[i] = dv->lut[dv->codes[i]] != 0 ? 1 : 0;
+        return likeScratch_;
+    }
+
     std::span<const std::int64_t>
     subqueryValues(const Expr &ref) override
     {
@@ -694,9 +742,16 @@ class MorselExprContext final : public BatchExprContext
   private:
     struct Slot
     {
+        explicit Slot(BatchColumnReader r) : rd(std::move(r)) {}
+
         BatchColumnReader rd;
         ColumnBatch batch;
         std::uint64_t epoch = 0;
+        std::uint64_t codeEpoch = 0;
+        /** LIKE truth tables over the dictionary, per pattern. */
+        std::vector<
+            std::pair<std::string, std::vector<std::uint32_t>>>
+            luts;
     };
 
     Slot &
@@ -706,7 +761,7 @@ class MorselExprContext final : public BatchExprContext
             if (s.first == column)
                 return s.second;
         slots_.emplace_back(
-            column, Slot{BatchColumnReader(*store_, column), {}, 0});
+            column, Slot(BatchColumnReader(*store_, column)));
         return slots_.back().second;
     }
 
@@ -746,7 +801,7 @@ class BatchPredicates
                 {BatchColumnReader(store, p.column), p.lo, p.hi});
         for (const auto &p : input.charPredicates)
             chars_.push_back({BatchColumnReader(store, p.column),
-                              p.prefix, p.negate});
+                              p.prefix, p.negate, {}, false});
         for (const auto &e : input.exprPredicates) {
             exprs_.push_back({foldConstants(e), 0, 0});
             order_.push_back(order_.size());
@@ -762,9 +817,27 @@ class BatchPredicates
             p.rd.gatherInts(m, sel.span(), scratch_);
             filterIntRange(scratch_.ints, sel, p.lo, p.hi);
         }
-        for (const auto &p : chars_) {
+        for (auto &p : chars_) {
             if (sel.empty())
                 return;
+            // Dictionary route: evaluate the prefix once per
+            // distinct value, then filter the (narrower) codes.
+            if (p.rd.dictUsable(m)) {
+                if (!p.lutBuilt) {
+                    p.lut = p.rd.dict()->matchTable(
+                        [&p](std::span<const std::uint8_t> v) {
+                            return p.prefix.size() <= v.size() &&
+                                   std::memcmp(v.data(),
+                                               p.prefix.data(),
+                                               p.prefix.size()) == 0;
+                        });
+                    p.lutBuilt = true;
+                }
+                p.rd.gatherCodes(m, sel.span(), scratch_);
+                simd::filterDictCodes(scratch_.codes, sel, p.lut,
+                                      p.negate);
+                continue;
+            }
             p.rd.gatherChars(m, sel.span(), scratch_);
             filterCharPrefix(scratch_.chars, p.rd.column().width,
                              sel, p.prefix, p.negate);
@@ -799,6 +872,8 @@ class BatchPredicates
         BatchColumnReader rd;
         std::string prefix;
         bool negate;
+        std::vector<std::uint32_t> lut; ///< Dict truth table.
+        bool lutBuilt = false;
     };
     struct ExprConjunct
     {
@@ -915,12 +990,20 @@ class RefVecExprContext final : public BatchExprContext
     {
         n_ = n;
         refs_.clear();
+        likes_.clear();
     }
 
     void
     add(const ColRef &ref, std::span<const std::int64_t> vals)
     {
         refs_.emplace_back(ref, vals);
+    }
+
+    /** Register the pre-evaluated 0/1 vector of one LIKE node. */
+    void
+    addLike(const Expr *node, std::span<const std::int64_t> vals)
+    {
+        likes_.emplace_back(node, vals);
     }
 
     std::size_t
@@ -940,9 +1023,24 @@ class RefVecExprContext final : public BatchExprContext
     }
 
     std::span<const std::uint8_t>
-    chars(const ColRef &, std::uint32_t &) override
+    chars(const ColRef &ref, std::uint32_t &) override
     {
-        fatal("batch aggregate expression: LIKE is predicate-only");
+        fatal("batch aggregate expression: no char payload for {} "
+              "(LIKE resolves through pre-evaluated vectors)",
+              ref.column);
+    }
+
+    /** LIKE nodes resolve to vectors evaluated over the probe
+     *  morsel (dictionary-accelerated when possible) and mapped
+     *  through the join expansion, keyed by node identity. */
+    std::span<const std::int64_t>
+    likeValues(const Expr &e) override
+    {
+        for (const auto &[node, vals] : likes_)
+            if (node == &e)
+                return vals;
+        fatal("batch aggregate expression: unresolved LIKE over {}",
+              e.col.column);
     }
 
     std::span<const std::int64_t>
@@ -956,6 +1054,9 @@ class RefVecExprContext final : public BatchExprContext
     std::size_t n_ = 0;
     std::vector<std::pair<ColRef, std::span<const std::int64_t>>>
         refs_;
+    std::vector<
+        std::pair<const Expr *, std::span<const std::int64_t>>>
+        likes_;
 };
 
 /** One join's built hash table over inline keys: payload buckets
@@ -1004,7 +1105,7 @@ class DenseGroupAggregator
      */
     bool
     accumulate(std::span<const std::int64_t> gvals,
-               const std::vector<const std::vector<std::int64_t> *>
+               const std::vector<std::span<const std::int64_t>>
                    &avals)
     {
         if (gvals.empty())
@@ -1019,7 +1120,7 @@ class DenseGroupAggregator
         const std::int64_t lo = lo_;
         for (std::size_t a = 0; a < kinds_.size(); ++a) {
             auto *slots = aggs_[a].data();
-            const auto &vals = *avals[a];
+            const auto vals = avals[a];
             switch (kinds_[a]) {
               case AggKind::Sum:
                 for (std::size_t i = 0; i < gvals.size(); ++i) {
@@ -1224,6 +1325,18 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             opts.morselRows);
     }
 
+    // Flatten each semi/anti existence set into an open-addressing
+    // probe table (simd::FlatKeySet): built once here, probed
+    // strictly read-only by every worker.
+    std::vector<simd::FlatKeySet> exist_sets(plan.joins.size());
+    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+        if (plan.joins[k].kind == JoinKind::Inner)
+            continue;
+        exist_sets[k].reserve(builds[k].exists.size());
+        for (const auto &key : builds[k].exists)
+            exist_sets[k].insert(key);
+    }
+
     // Probe-side references: every referenced probe column is
     // gathered exactly once per morsel (per worker), shared across
     // join keys, group keys and aggregates. Only the slot -> column
@@ -1269,19 +1382,43 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         ExprPtr expr; ///< Null for the plain-column form.
         BatchRef ref; ///< Plain column (expr == nullptr).
         std::vector<std::pair<ColRef, BatchRef>> exprRefs;
+        /** Probe-side LIKE leaves (by node identity) and their
+         *  slots in the per-worker pre-evaluated vectors. */
+        std::vector<const Expr *> likes;
+        std::vector<std::size_t> likeSlots;
+    };
+    auto collectLikes = [](const Expr &e, auto &&self,
+                           std::vector<const Expr *> &out) -> void {
+        if (e.op == ExprOp::Like) {
+            out.push_back(&e);
+            return;
+        }
+        for (const auto &k : e.kids)
+            self(*k, self, out);
     };
     std::vector<BatchAggInput> agg_inputs;
+    std::vector<const Expr *> agg_like_nodes;
     for (const auto &agg : plan.aggregates) {
         BatchAggInput in;
         if (agg.expr) {
             in.expr = foldConstants(agg.expr);
+            // Char LIKE targets resolve through pre-evaluated
+            // vectors, not the gathered Int batches.
             forEachColumnRef(
-                *in.expr, [&in, &makeRef](const ColRef &ref, bool) {
+                *in.expr,
+                [&in, &makeRef](const ColRef &ref, bool is_char) {
+                    if (is_char)
+                        return;
                     for (const auto &[seen, slot] : in.exprRefs)
                         if (seen == ref)
                             return;
                     in.exprRefs.emplace_back(ref, makeRef(ref));
                 });
+            collectLikes(*in.expr, collectLikes, in.likes);
+            for (const auto *l : in.likes) {
+                in.likeSlots.push_back(agg_like_nodes.size());
+                agg_like_nodes.push_back(l);
+            }
         } else {
             in.ref = makeRef(agg.value);
         }
@@ -1353,6 +1490,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                     const std::vector<std::string> &cols,
                     bool fused_ungrouped, bool dense_grouped)
             : preds(store, plan.probe, &plan, subs),
+              aggLikeCtx(store, nullptr, nullptr),
               dense(plan.aggregates), denseActive(dense_grouped)
         {
             rd.reserve(cols.size());
@@ -1365,7 +1503,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             gvals.resize(plan.groupBy.size());
             avals.resize(plan.aggregates.size());
             aggExprVals.resize(plan.aggregates.size());
-            aggPtrs.resize(plan.aggregates.size(), nullptr);
+            aggPtrs.resize(plan.aggregates.size());
             if (fused_ungrouped)
                 fusedTotal.aggs.assign(plan.aggregates.size(), 0);
         }
@@ -1387,8 +1525,15 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         std::vector<std::vector<std::int64_t>> aggExprVals;
         /** Per-ref gathers feeding a post-join expression eval. */
         std::vector<std::vector<std::int64_t>> refScratch;
+        /** Aggregate-LIKE machinery: the context evaluating each
+         *  LIKE node over the morsel's final selection (dictionary-
+         *  accelerated), the per-node 0/1 vectors (parallel to the
+         *  selection), and the join-expansion remap scratch. */
+        MorselExprContext aggLikeCtx;
+        std::vector<std::vector<std::int64_t>> likeVals;
+        std::vector<std::vector<std::int64_t>> likeExpand;
         RefVecExprContext exprCtx;
-        std::vector<const std::vector<std::int64_t> *> aggPtrs;
+        std::vector<std::span<const std::int64_t>> aggPtrs;
         std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
         Accum fusedTotal;
         DenseGroupAggregator dense;
@@ -1421,19 +1566,41 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
      * their gathered batch; expressions evaluate column-at-a-time
      * over the probe batches into per-worker scratch.
      */
+    /**
+     * Evaluate every aggregate LIKE node once over the morsel's
+     * final selection (dictionary codes when the column is encoded,
+     * raw bytes otherwise) into per-worker 0/1 vectors. The fused
+     * pass uses them directly; the join-expansion path remaps them
+     * through erow.
+     */
+    auto computeAggLikes = [&](WorkerState &st, const Morsel &m) {
+        if (agg_like_nodes.empty())
+            return;
+        st.likeVals.resize(agg_like_nodes.size());
+        st.aggLikeCtx.begin(m, st.sel);
+        for (std::size_t j = 0; j < agg_like_nodes.size(); ++j) {
+            const auto vals =
+                st.aggLikeCtx.likeValues(*agg_like_nodes[j]);
+            st.likeVals[j].assign(vals.begin(), vals.end());
+        }
+    };
+
     auto computeFusedAggPtrs = [&](WorkerState &st) {
         for (std::size_t a = 0; a < agg_inputs.size(); ++a) {
             const auto &in = agg_inputs[a];
             if (!in.expr) {
-                st.aggPtrs[a] = &st.batches[in.ref.idx].ints;
+                st.aggPtrs[a] = st.batches[in.ref.idx].ints;
                 continue;
             }
             st.exprCtx.reset(st.sel.size());
             for (const auto &[cref, bref] : in.exprRefs)
                 st.exprCtx.add(cref, st.batches[bref.idx].ints);
+            for (std::size_t j = 0; j < in.likes.size(); ++j)
+                st.exprCtx.addLike(in.likes[j],
+                                   st.likeVals[in.likeSlots[j]]);
             evalExprBatch(*in.expr, st.exprCtx,
                           st.aggExprVals[a]);
-            st.aggPtrs[a] = &st.aggExprVals[a];
+            st.aggPtrs[a] = st.aggExprVals[a];
         }
     };
 
@@ -1451,9 +1618,15 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             for (const auto &ref : refs)
                 st.rd[ref.idx].gatherInts(m, st.sel.span(),
                                           st.batches[ref.idx]);
-            const auto &exists = builds[k].exists;
+            const auto &exists = exist_sets[k];
             const bool anti =
                 plan.joins[k].kind == JoinKind::Anti;
+            if (refs.size() == 1) {
+                // Bulk probe: vectorized key hashing + compaction.
+                exists.filterContains1(
+                    st.batches[refs[0].idx].ints, st.sel, anti);
+                continue;
+            }
             st.fk.n = static_cast<std::uint32_t>(refs.size());
             std::size_t n = 0;
             for (std::size_t i = 0; i < st.sel.size(); ++i) {
@@ -1470,13 +1643,14 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             return;
         for (const auto c : late_cols)
             st.rd[c].gatherInts(m, st.sel.span(), st.batches[c]);
+        computeAggLikes(st, m);
 
         if (fused_ungrouped) {
             // Fused filter+aggregate: column-at-a-time accumulator
             // updates over the surviving selection.
             computeFusedAggPtrs(st);
             for (std::size_t a = 0; a < agg_inputs.size(); ++a) {
-                const auto &vals = *st.aggPtrs[a];
+                const auto vals = st.aggPtrs[a];
                 auto &acc = st.fusedTotal.aggs[a];
                 switch (plan.aggregates[a].kind) {
                   case AggKind::Sum:
@@ -1525,7 +1699,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                     return st.batches[group_refs[g].idx].ints[e];
                 },
                 [&](std::size_t a, std::size_t e) {
-                    return (*st.aggPtrs[a])[e];
+                    return st.aggPtrs[a][e];
                 });
             return;
         }
@@ -1577,7 +1751,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
             if (plan.joins[k].kind != JoinKind::Inner) {
                 const bool anti =
                     plan.joins[k].kind == JoinKind::Anti;
-                const auto &exists = builds[k].exists;
+                const auto &exists = exist_sets[k];
                 std::size_t n = 0;
                 for (std::size_t e = 0; e < erow.size(); ++e) {
                     if (exists.contains(keyAt(e)) == anti)
@@ -1651,12 +1825,24 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                 st.exprCtx.add(in.exprRefs[c].first,
                                st.refScratch[c]);
             }
+            // LIKE vectors were evaluated over the selection; remap
+            // them through the expanded entries' source rows.
+            if (st.likeExpand.size() < in.likes.size())
+                st.likeExpand.resize(in.likes.size());
+            for (std::size_t j = 0; j < in.likes.size(); ++j) {
+                const auto &src = st.likeVals[in.likeSlots[j]];
+                auto &dst = st.likeExpand[j];
+                dst.resize(ne);
+                for (std::size_t e = 0; e < ne; ++e)
+                    dst[e] = src[erow[e]];
+                st.exprCtx.addLike(in.likes[j], dst);
+            }
             evalExprBatch(*in.expr, st.exprCtx, st.avals[a]);
         }
 
         if (st.denseActive && dense_grouped) {
             for (std::size_t a = 0; a < agg_inputs.size(); ++a)
-                st.aggPtrs[a] = &st.avals[a];
+                st.aggPtrs[a] = st.avals[a];
             if (st.dense.accumulate(st.gvals[0], st.aggPtrs))
                 return;
             st.denseActive = false;

@@ -222,9 +222,16 @@ checkExpr(const QueryPlan &plan, const Expr &e,
             checkColumn(plan, scope.table, e.col.column,
                         format::ColType::Char);
         } else {
-            fatal("plan {}: {} may not contain LIKE outside an "
-                  "input filter",
-                  plan.name, scope.what);
+            // Full-plan scope (aggregate expressions): LIKE may
+            // target a probe Char column — join payloads carry
+            // integers only, so build-side LIKE has nowhere to
+            // resolve.
+            if (e.col.side != ColRef::kProbe)
+                fatal("plan {}: {} LIKE must target a probe Char "
+                      "column (payloads are integer-only)",
+                      plan.name, scope.what);
+            checkColumn(plan, plan.probe.table, e.col.column,
+                        format::ColType::Char);
         }
         break;
       case ExprOp::SubqueryRef: {
@@ -342,12 +349,12 @@ validatePlan(const QueryPlan &plan)
         checkRef(plan, key, plan.joins.size(), "group key");
     for (const auto &agg : plan.aggregates) {
         if (agg.expr) {
-            // Integer-only full-plan context: probe columns and
-            // earlier inner-join payloads; no LIKE, no subqueries.
+            // Full-plan context: probe columns, earlier inner-join
+            // payloads, and probe-side LIKE (CASE WHEN ... LIKE
+            // sums); no subqueries.
             ExprScope scope;
             scope.inputLocal = false;
             scope.upto = plan.joins.size();
-            scope.allowChar = false;
             scope.what = "aggregate expression";
             checkExpr(plan, *agg.expr, scope);
         } else {

@@ -100,9 +100,10 @@ enum class AggKind : std::uint8_t
  * `expr` is set, in which case the aggregate folds an arbitrary
  * integer expression over probe columns and earlier inner-join
  * payloads (SUM(amount * (100 - discount)), Q8/Q12-style CASE
- * sums); `value` is then ignored. Aggregate expressions are
- * integer-only: LIKE and subquery references are predicate-side
- * constructs and rejected by validatePlan.
+ * sums); `value` is then ignored. LIKE leaves may target a probe
+ * Char column (CASE WHEN ... LIKE sums; dictionary-accelerated when
+ * the column is dict-encoded); subquery references stay
+ * predicate-side constructs and are rejected by validatePlan.
  */
 struct AggSpec
 {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/log.hpp"
@@ -84,6 +85,8 @@ TableStore::writeRow(Region reg, RowId r,
                        std::memcpy(store.parts[part][dev].data() + off,
                                    data.data(), data.size());
                    });
+    if (reg == Region::Data && !dicts_.empty())
+        encodeDictRow(r, row);
 }
 
 void
@@ -159,7 +162,98 @@ TableStore::copyDeltaToData(RowId from_delta, RowId to_data)
             moved += w;
         }
     }
+    if (!dicts_.empty()) {
+        // Re-encode the dict columns of the refreshed data row from
+        // the bytes just copied in (defrag keeps codes in sync).
+        std::vector<std::uint8_t> buf;
+        for (ColumnId c = 0; c < dicts_.size(); ++c) {
+            if (!dicts_[c])
+                continue;
+            const auto &col = schema().column(c);
+            buf.resize(col.width);
+            readColumnBytes(Region::Data, c, to_data, buf);
+            const std::uint32_t code = dicts_[c]->dict.encode(buf);
+            if (code == dicts_[c]->dict.sentinel())
+                dicts_[c]->anyNonCoded.store(
+                    true, std::memory_order_release);
+            const std::uint32_t cw = dicts_[c]->dict.codeWidthBytes();
+            std::uint8_t *dst =
+                dicts_[c]->codes.data() +
+                static_cast<std::size_t>(to_data) * cw;
+            for (std::uint32_t b = 0; b < cw; ++b)
+                dst[b] = static_cast<std::uint8_t>(code >> (8 * b));
+        }
+    }
     return moved;
+}
+
+void
+TableStore::encodeDictRow(RowId r, std::span<const std::uint8_t> row)
+{
+    for (ColumnId c = 0; c < dicts_.size(); ++c) {
+        if (!dicts_[c])
+            continue;
+        const auto &col = schema().column(c);
+        const std::uint32_t code = dicts_[c]->dict.encode(
+            row.subspan(schema().canonicalOffset(c), col.width));
+        if (code == dicts_[c]->dict.sentinel())
+            dicts_[c]->anyNonCoded.store(true,
+                                         std::memory_order_release);
+        const std::uint32_t cw = dicts_[c]->dict.codeWidthBytes();
+        std::uint8_t *dst = dicts_[c]->codes.data() +
+                            static_cast<std::size_t>(r) * cw;
+        for (std::uint32_t b = 0; b < cw; ++b)
+            dst[b] = static_cast<std::uint8_t>(code >> (8 * b));
+    }
+}
+
+void
+TableStore::buildDictionaries(std::uint32_t max_cardinality)
+{
+    if (max_cardinality == 0)
+        return;
+    const auto &cols = schema().columns();
+    dicts_.clear();
+    dicts_.resize(cols.size());
+    std::vector<std::uint8_t> buf;
+    bool any = false;
+    for (ColumnId c = 0; c < cols.size(); ++c) {
+        const auto &col = cols[c];
+        if (col.type != format::ColType::Char)
+            continue;
+        format::DictionaryBuilder bld(col.width, max_cardinality);
+        buf.resize(col.width);
+        bool ok = true;
+        for (RowId r = 0; r < dataRows_ && ok; ++r) {
+            if (!dataVisible_.test(r))
+                continue;
+            readColumnBytes(Region::Data, c, r, buf);
+            ok = bld.add(buf);
+        }
+        auto dict = std::move(bld).freeze();
+        if (!dict)
+            continue;
+        auto cd = std::make_unique<ColumnDict>(std::move(*dict));
+        const std::uint32_t cw = cd->dict.codeWidthBytes();
+        // Pre-size for the whole data region; invisible tail rows get
+        // the sentinel so a stale read can never index out of range.
+        cd->codes.assign(static_cast<std::size_t>(dataRows_) * cw, 0);
+        for (RowId r = 0; r < dataRows_; ++r) {
+            const std::uint32_t code =
+                dataVisible_.test(r)
+                    ? (readColumnBytes(Region::Data, c, r, buf),
+                       cd->dict.encode(buf))
+                    : cd->dict.sentinel();
+            std::uint8_t *dst =
+                cd->codes.data() + static_cast<std::size_t>(r) * cw;
+            for (std::uint32_t b = 0; b < cw; ++b)
+                dst[b] = static_cast<std::uint8_t>(code >> (8 * b));
+        }
+        dicts_[c] = std::move(cd);
+        any = true;
+    }
+    if (!any)
+        dicts_.clear();
 }
 
 Bytes

@@ -14,13 +14,17 @@
  * units can later copy it back without cross-device traffic.
  */
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/bitmap.hpp"
 #include "common/types.hpp"
 #include "format/block_circulant.hpp"
+#include "format/dictionary.hpp"
 #include "format/layout.hpp"
 #include "format/row_codec.hpp"
 
@@ -137,6 +141,47 @@ class TableStore
                circulant_.blockOf(delta_row) % circulant_.devices();
     }
 
+    /**
+     * Build frozen dictionaries for every Char column whose distinct
+     * value count over the currently visible data rows is at most
+     * @p max_cardinality. Call once, single-threaded, after initial
+     * population; later writeRow/copyDeltaToData calls maintain the
+     * packed per-row code arrays by read-only lookup. No-op when
+     * @p max_cardinality is 0.
+     */
+    void buildDictionaries(std::uint32_t max_cardinality);
+
+    /** Frozen dictionary of column @p c, or nullptr if none. */
+    const format::ColumnDictionary *
+    dictionary(ColumnId c) const
+    {
+        return c < dicts_.size() && dicts_[c] ? &dicts_[c]->dict
+                                              : nullptr;
+    }
+
+    /**
+     * Packed little-endian codes of the data region for a
+     * dict-encoded column: one codeWidthBytes() entry per data row.
+     */
+    std::span<const std::uint8_t>
+    dictDataCodes(ColumnId c) const
+    {
+        return dicts_[c]->codes;
+    }
+
+    /**
+     * True while every data-region row written since the freeze got a
+     * valid code. Once a post-freeze value misses the frozen table
+     * (its row carries the sentinel code) this latches false and the
+     * pure code-filter fast path must yield to the raw byte path.
+     */
+    bool
+    dictFullyCoded(ColumnId c) const
+    {
+        return !dicts_[c]->anyNonCoded.load(
+            std::memory_order_acquire);
+    }
+
   private:
     struct RegionStore
     {
@@ -144,8 +189,24 @@ class TableStore
         std::vector<std::vector<std::vector<std::uint8_t>>> parts;
     };
 
+    struct ColumnDict
+    {
+        explicit ColumnDict(format::ColumnDictionary d)
+            : dict(std::move(d))
+        {
+        }
+
+        format::ColumnDictionary dict;
+        /** dataRows * codeWidthBytes packed little-endian codes. */
+        std::vector<std::uint8_t> codes;
+        std::atomic<bool> anyNonCoded{false};
+    };
+
     RegionStore &regionStore(Region reg);
     const RegionStore &regionStore(Region reg) const;
+
+    /** Encode @p row's dict columns into the code arrays at @p r. */
+    void encodeDictRow(RowId r, std::span<const std::uint8_t> row);
 
     const format::TableLayout *layout_;
     format::BlockCirculant circulant_;
@@ -156,6 +217,8 @@ class TableStore
     RegionStore delta_;
     Bitmap dataVisible_;
     Bitmap deltaVisible_;
+    /** Indexed by ColumnId; null = column not dict-encoded. */
+    std::vector<std::unique_ptr<ColumnDict>> dicts_;
 };
 
 } // namespace pushtap::storage

@@ -100,6 +100,10 @@ Database::Database(const DatabaseConfig &cfg)
             static_cast<ChTable>(i), std::move(schemas[i]), cfg_));
     }
     populate();
+    // Freeze per-column dictionaries over the populated rows; later
+    // writes maintain the code arrays by read-only lookup.
+    for (auto &tbl : tables_)
+        tbl->store().buildDictionaries(cfg_.dictMaxCardinality);
 }
 
 void

@@ -48,6 +48,13 @@ struct DatabaseConfig
     double deltaFraction = 2.0;     ///< Delta capacity / data rows.
     double insertHeadroom = 0.3;    ///< Spare data rows for inserts.
     std::uint64_t seed = 42;
+    /**
+     * Char columns with at most this many distinct values get a
+     * frozen per-column dictionary after population (predicates then
+     * filter packed int codes instead of gathered bytes). 0 disables
+     * dictionary encoding.
+     */
+    std::uint32_t dictMaxCardinality = 4096;
 };
 
 /** Everything runtime for one table. */

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "format/dictionary.hpp"
+
+namespace pushtap::format {
+namespace {
+
+std::span<const std::uint8_t>
+bytes(const std::string &s)
+{
+    return {reinterpret_cast<const std::uint8_t *>(s.data()),
+            s.size()};
+}
+
+/** Fixed-width value padded with NULs (the stored Char form). */
+std::string
+padded(std::string s, std::size_t width)
+{
+    s.resize(width, '\0');
+    return s;
+}
+
+ColumnDictionary
+smallDict()
+{
+    // Deliberately unsorted input: codes must come out bytewise
+    // sorted regardless of insertion order.
+    return ColumnDictionary(
+        4, {padded("zz", 4), padded("aa", 4), padded("mm", 4)});
+}
+
+TEST(Dictionary, RoundTripsEveryValue)
+{
+    const auto d = smallDict();
+    ASSERT_EQ(d.cardinality(), 3u);
+    for (std::uint32_t c = 0; c < d.cardinality(); ++c) {
+        const auto v = d.value(c);
+        EXPECT_EQ(v.size(), 4u);
+        EXPECT_EQ(d.encode(v), c);
+    }
+}
+
+TEST(Dictionary, CodesAreBytewiseSorted)
+{
+    const auto d = smallDict();
+    EXPECT_EQ(d.encode(bytes(padded("aa", 4))), 0u);
+    EXPECT_EQ(d.encode(bytes(padded("mm", 4))), 1u);
+    EXPECT_EQ(d.encode(bytes(padded("zz", 4))), 2u);
+}
+
+TEST(Dictionary, UnknownValueGetsSentinel)
+{
+    const auto d = smallDict();
+    EXPECT_EQ(d.encode(bytes(padded("qq", 4))), d.sentinel());
+    EXPECT_EQ(d.sentinel(), d.cardinality());
+}
+
+TEST(Dictionary, CodeWidthIsNarrowestFitIncludingSentinel)
+{
+    // cardinality + 1 codes must fit: 255 distinct -> 256 codes ->
+    // still one byte; 256 distinct -> 257 codes -> two bytes.
+    auto make = [](std::uint32_t n) {
+        std::vector<std::string> vals;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::string v(4, '\0');
+            std::memcpy(v.data(), &i, sizeof i);
+            vals.push_back(v);
+        }
+        return ColumnDictionary(4, std::move(vals));
+    };
+    EXPECT_EQ(make(255).codeWidthBytes(), 1u);
+    EXPECT_EQ(make(256).codeWidthBytes(), 2u);
+    EXPECT_EQ(make(65535).codeWidthBytes(), 2u);
+    EXPECT_EQ(make(65536).codeWidthBytes(), 4u);
+}
+
+TEST(Dictionary, MatchTableCoversSentinelWithZero)
+{
+    const auto d = smallDict();
+    const auto lut =
+        d.matchTable([](std::span<const std::uint8_t> v) {
+            return v[0] == 'm' || v[0] == 'z';
+        });
+    ASSERT_EQ(lut.size(), d.cardinality() + 1);
+    EXPECT_EQ(lut[0], 0u); // "aa"
+    EXPECT_EQ(lut[1], 1u); // "mm"
+    EXPECT_EQ(lut[2], 1u); // "zz"
+    // Sentinel rows must be re-read raw, never matched via the LUT.
+    EXPECT_EQ(lut[d.sentinel()], 0u);
+    const auto all = d.matchTable(
+        [](std::span<const std::uint8_t>) { return true; });
+    EXPECT_EQ(all[d.sentinel()], 0u);
+}
+
+TEST(Dictionary, NulPaddedAndFullWidthValuesStayDistinct)
+{
+    // "ab\0\0" vs "abab": NUL-truncated display forms differ from
+    // stored bytes — the dictionary must key on the raw fixed-width
+    // payload, not a truncated string.
+    const ColumnDictionary d(
+        4, {padded("ab", 4), std::string("abab")});
+    ASSERT_EQ(d.cardinality(), 2u);
+    const auto short_code = d.encode(bytes(padded("ab", 4)));
+    const auto full_code = d.encode(bytes(std::string("abab")));
+    EXPECT_NE(short_code, full_code);
+    EXPECT_NE(short_code, d.sentinel());
+    EXPECT_NE(full_code, d.sentinel());
+}
+
+TEST(DictionaryBuilder, FreezesCollectedDistincts)
+{
+    DictionaryBuilder b(4, 8);
+    EXPECT_TRUE(b.add(bytes(padded("bb", 4))));
+    EXPECT_TRUE(b.add(bytes(padded("aa", 4))));
+    EXPECT_TRUE(b.add(bytes(padded("bb", 4)))); // duplicate
+    EXPECT_FALSE(b.overflowed());
+    const auto d = std::move(b).freeze();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->cardinality(), 2u);
+    EXPECT_EQ(d->encode(bytes(padded("aa", 4))), 0u);
+    EXPECT_EQ(d->encode(bytes(padded("bb", 4))), 1u);
+}
+
+TEST(DictionaryBuilder, OverflowBailsEarlyAndFreezesToNothing)
+{
+    DictionaryBuilder b(4, 2);
+    std::uint32_t i = 0;
+    bool ok = true;
+    while (ok && i < 100) {
+        std::string v(4, '\0');
+        std::memcpy(v.data(), &i, sizeof i);
+        ok = b.add(bytes(v));
+        ++i;
+    }
+    EXPECT_FALSE(ok);
+    EXPECT_LE(i, 4u); // bailed as soon as the cap was exceeded
+    EXPECT_TRUE(b.overflowed());
+    EXPECT_FALSE(std::move(b).freeze().has_value());
+}
+
+} // namespace
+} // namespace pushtap::format

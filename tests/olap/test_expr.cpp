@@ -193,10 +193,26 @@ TEST(ExprValidation, RejectsExpressionsOutsideTheirContext)
 {
     using namespace ex;
 
-    // LIKE inside an aggregate expression (integer-only context).
+    // LIKE inside an aggregate expression: allowed over a probe
+    // Char column (CASE WHEN ... LIKE sums)...
     auto p = plans::q6();
     p.aggregates = {
         {AggKind::Sum, {}, like("ol_dist_info", "%a%")}};
+    EXPECT_NO_THROW(validatePlan(p));
+    // ...but not over an Int column...
+    p = plans::q6();
+    p.aggregates = {
+        {AggKind::Sum, {}, like("ol_quantity", "%a%")}};
+    EXPECT_THROW(validatePlan(p), FatalError);
+    // ...and not against a join payload (integer-only).
+    p = plans::q21();
+    {
+        auto side_like = std::make_shared<Expr>();
+        side_like->op = ExprOp::Like;
+        side_like->col = ColRef{1, "s_dist_01"};
+        side_like->pattern = "%a%";
+        p.aggregates[0].expr = std::move(side_like);
+    }
     EXPECT_THROW(validatePlan(p), FatalError);
 
     // Subquery reference with no subquery defined.

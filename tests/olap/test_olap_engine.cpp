@@ -360,26 +360,24 @@ TEST_F(OlapEngineTest, Q9TimingMatchesBespokeDecomposition)
     const auto cfg = engine.config();
     const dram::BatchTimingModel tm(cfg.geom, cfg.timing);
 
-    // i_data: CPU gather across the devices.
-    const auto idata = format::BandwidthModel(
-                           db.config().devices,
-                           cfg.geom.interleaveGranularity,
-                           cfg.geom.stripedLines)
-                           .columnSetAccess(
-                               items.layout(),
-                               {items.schema().columnId("i_data")});
-    TimeNs cpu = tm.cpuPeakBandwidth().transferTime(
-        static_cast<Bytes>(idata.fetchedBytes *
-                           static_cast<double>(
-                               items.usedDataRows())));
     const std::uint64_t n_lines =
         lines.usedDataRows() + lines.versions().deltaUsed();
     // Bucket partition per join: 4 B per value each way.
+    TimeNs cpu = 0.0;
     for (const auto *build : {&items, &stock, &orders})
         cpu += 2.0 * tm.cpuPeakBandwidth().transferTime(
                          (build->usedDataRows() + n_lines) * 4);
 
-    TimeNs pim = 0.0;
+    // i_data is dictionary-encoded at this scale (~100 distinct
+    // values): its NOT LIKE filter prices as one scan of the packed
+    // code bytes instead of the raw CPU fragment gather.
+    const auto *idict = items.store().dictionary(
+        items.schema().columnId("i_data"));
+    ASSERT_NE(idict, nullptr);
+    TimeNs pim = engine.scanCostForWidth(items,
+                                         idict->codeWidthBytes(),
+                                         pim::OpType::Filter)
+                     .schedule.total();
     auto hash = [&](txn::TableRuntime &tbl, const char *col) {
         pim += engine.columnScanCost(tbl,
                                      tbl.schema().columnId(col),
