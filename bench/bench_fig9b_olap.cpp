@@ -72,7 +72,7 @@ struct Measured
 /** One row of the JSON report. */
 struct JsonRow
 {
-    /** "sweep", "suite", "scaling" or "morsel_default". */
+    /** "sweep", "suite", "scaling", "phases" or "morsel_default". */
     std::string section;
     std::uint64_t paperTxns = 0;
     std::string system;
@@ -84,6 +84,11 @@ struct JsonRow
     std::uint32_t workers = 1; ///< Executor worker threads.
     std::uint32_t shards = 1;  ///< Probe-table shards.
     std::uint32_t morselRows = olap::kMorselRows;
+    /** Host wall-clock per execution phase ("phases" section). */
+    double phaseSubqueryNs = 0.0;
+    double phaseBuildNs = 0.0;
+    double phaseProbeNs = 0.0;
+    double phaseMergeNs = 0.0;
 };
 
 /** Best-of-N host wall-clock of fn(), in nanoseconds. */
@@ -162,14 +167,20 @@ writeJson(const std::vector<JsonRow> &rows, const char *path)
             "\"result_rows\": %llu, "
             "\"host_batch_ns\": %.0f, \"host_scalar_ns\": %.0f, "
             "\"workers\": %u, \"shards\": %u, "
-            "\"morsel_rows\": %u}%s\n",
+            "\"morsel_rows\": %u, "
+            "\"phase_subquery_ns\": %.0f, "
+            "\"phase_build_ns\": %.0f, "
+            "\"phase_probe_ns\": %.0f, "
+            "\"phase_merge_ns\": %.0f}%s\n",
             r.section.c_str(),
             static_cast<unsigned long long>(r.paperTxns),
             r.system.c_str(), r.query.c_str(), r.t.pim, r.t.cpu,
             r.t.consistency, r.t.total(),
             static_cast<unsigned long long>(r.rows),
             r.hostBatchNs, r.hostScalarNs, r.workers, r.shards,
-            r.morselRows, i + 1 < rows.size() ? "," : "");
+            r.morselRows, r.phaseSubqueryNs, r.phaseBuildNs,
+            r.phaseProbeNs, r.phaseMergeNs,
+            i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -371,6 +382,82 @@ main()
     std::printf("\n(scaling speedups are bounded by this host's %u "
                 "hardware threads; checksum %zu)\n",
                 hw, sink);
+
+    // Per-query phase breakdown: host wall-clock of the batch
+    // executor's pre-query (subquery materialization + join build)
+    // and query (probe + merge) phases, serial (workers=1, shards=1)
+    // vs parallel builds (max(hw,2) workers, 4 shards). The two rows
+    // per query archive the serial fraction and the build+subquery
+    // speedup even when this host has a single hardware thread (the
+    // ratio then documents the parallel path's overhead, not a
+    // speedup).
+    const std::uint32_t pworkers = hw < 2 ? 2 : hw;
+    WorkerPool phase_pool(pworkers);
+    std::printf("\nPre-query phase breakdown (best-of-3 host "
+                "wall-clock per phase)\n\n");
+    TablePrinter pp({"query", "workers", "shards", "subq (us)",
+                     "build (us)", "probe (us)", "merge (us)",
+                     "pre-query share", "pre-query speedup"});
+    for (const auto &q : workload::chExecutablePlans()) {
+        double serial_pre = 0.0;
+        const std::pair<std::uint32_t, std::uint32_t> pconfigs[] = {
+            {1, 1}, {pworkers, 4}};
+        for (const auto &[workers, shards] : pconfigs) {
+            olap::ExecOptions opts;
+            opts.workers = workers;
+            opts.shards = shards;
+            opts.pool = workers > 1 ? &phase_pool : nullptr;
+            olap::PlanExecution best{};
+            double best_total =
+                std::numeric_limits<double>::infinity();
+            for (int rep = 0; rep < 3; ++rep) {
+                auto exec = olap::executePlan(suite_db.database(),
+                                              q.plan, opts);
+                sink += exec.result.rows.size();
+                const double total = exec.subqueryNs + exec.buildNs +
+                                     exec.probeNs + exec.mergeNs;
+                if (total < best_total) {
+                    best_total = total;
+                    best = std::move(exec);
+                }
+            }
+            const double pre = best.subqueryNs + best.buildNs;
+            if (workers == 1 && shards == 1)
+                serial_pre = pre;
+            pp.addRow({q.plan.name, std::to_string(workers),
+                       std::to_string(shards),
+                       TablePrinter::num(best.subqueryNs / us, 1),
+                       TablePrinter::num(best.buildNs / us, 1),
+                       TablePrinter::num(best.probeNs / us, 1),
+                       TablePrinter::num(best.mergeNs / us, 1),
+                       TablePrinter::num(
+                           best_total > 0.0 ? pre / best_total : 0.0,
+                           2),
+                       pre > 0.0 ? TablePrinter::num(
+                                       serial_pre / pre, 2) +
+                                       "x"
+                                 : "-"});
+            JsonRow row;
+            row.section = "phases";
+            row.paperTxns = 1'000'000;
+            row.system = "PUSHtap";
+            row.query = q.plan.name;
+            row.hostBatchNs = best_total;
+            row.rows = best.result.rows.size();
+            row.workers = workers;
+            row.shards = shards;
+            row.phaseSubqueryNs = best.subqueryNs;
+            row.phaseBuildNs = best.buildNs;
+            row.phaseProbeNs = best.probeNs;
+            row.phaseMergeNs = best.mergeNs;
+            json.push_back(row);
+        }
+    }
+    pp.print();
+    std::printf("\n(pre-query share = (subquery + build) / total; "
+                "speedup compares the parallel row's pre-query time "
+                "against its query's serial row; checksum %zu)\n",
+                sink);
 
     // Per-format morselRows suggestion: each InstanceFormat lays the
     // unified store out differently, so the sweet spot between

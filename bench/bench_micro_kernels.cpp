@@ -405,6 +405,39 @@ BM_FilterDictCodes(benchmark::State &state)
 BENCHMARK(BM_FilterDictCodes)->Arg(0)->Arg(1);
 
 void
+BM_FilterDictCodesSmallLut(benchmark::State &state)
+{
+    // The same LUT filter over a tiny dictionary (<= 16 distinct
+    // values): the dispatched variant takes the pshufb in-register
+    // truth table instead of the 32-bit gather, so this row is the
+    // per-variant record of where the gather parity was beaten.
+    setKernelVariant(state);
+    if (olap::simd::simdActive())
+        state.SetLabel("avx2-pshufb");
+    Rng rng(19);
+    const std::uint32_t card = 12;
+    std::vector<std::uint32_t> codes(olap::kMorselRows);
+    for (auto &c : codes)
+        c = static_cast<std::uint32_t>(rng.below(card));
+    std::vector<std::uint32_t> lut(card + 1, 0);
+    for (std::uint32_t c = 0; c < card; c += 3)
+        lut[c] = 1;
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        olap::simd::filterDictCodes(codes, sel, lut, false);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_FilterDictCodesSmallLut)->Arg(0)->Arg(1);
+
+void
 BM_CharLikeRaw(benchmark::State &state)
 {
     // LIKE over raw Char bytes: gather 24-byte payloads, per-row

@@ -11,6 +11,13 @@ namespace pushtap::htap {
 
 PushtapDB::PushtapDB(const PushtapOptions &opts) : opts_(opts)
 {
+    // The facade knows the instance format the engine does not:
+    // resolve an auto morselRows against it here, before the engine
+    // would fall back to the Unified default. Explicitly set values
+    // pass through untouched.
+    if (opts_.olap.morselRows == olap::OlapConfig::kMorselRowsAuto)
+        opts_.olap.morselRows =
+            olap::OlapConfig::defaultMorselRows(opts_.format);
     db_ = std::make_unique<txn::Database>(opts_.database);
     bw_ = std::make_unique<format::BandwidthModel>(
         opts_.database.devices,

@@ -16,6 +16,24 @@ namespace pushtap::olap {
 
 using workload::ChTable;
 
+std::uint32_t
+OlapConfig::defaultMorselRows(txn::InstanceFormat f)
+{
+    // Baked from the BENCH_fig9b.json per-format sweep: every
+    // instance format's host-wall-clock argmin is the 2048 default
+    // on the bench hardware (single-thread container; re-sweep on
+    // wider hardware before diverging these).
+    switch (f) {
+      case txn::InstanceFormat::Unified:
+        return kMorselRows;
+      case txn::InstanceFormat::RowStore:
+        return kMorselRows;
+      case txn::InstanceFormat::ColumnStore:
+        return kMorselRows;
+    }
+    return kMorselRows;
+}
+
 OlapConfig
 OlapConfig::pushtapDimm()
 {
@@ -55,8 +73,13 @@ OlapEngine::OlapEngine(txn::Database &db, const OlapConfig &cfg)
           timing_.pimAggregateBandwidth(cfg.pimConfig.streamBandwidth),
           db.config().devices)
 {
-    if (cfg_.morselRows == 0 ||
-        (cfg_.morselRows & (cfg_.morselRows - 1)) != 0)
+    // kMorselRowsAuto resolves to the baked per-format default; a
+    // bare engine (no PushtapDB resolving its instance format first)
+    // takes the Unified value.
+    if (cfg_.morselRows == OlapConfig::kMorselRowsAuto)
+        cfg_.morselRows = OlapConfig::defaultMorselRows(
+            txn::InstanceFormat::Unified);
+    if ((cfg_.morselRows & (cfg_.morselRows - 1)) != 0)
         fatal("OlapConfig: morselRows must be a power of two "
               "(got {})",
               cfg_.morselRows);
@@ -65,9 +88,11 @@ OlapEngine::OlapEngine(txn::Database &db, const OlapConfig &cfg)
     const std::uint32_t workers =
         cfg_.workers == 0 ? WorkerPool::hardwareWorkers()
                           : cfg_.workers;
-    // Threads only ever drain shards, so a single-shard engine
-    // keeps no pool (and spawns no idle threads).
-    if (workers > 1 && cfg_.shards > 1)
+    // The pool drains probe shards, the pre-query phases (join
+    // builds, subquery pre-passes) and the snapshot/defrag passes —
+    // the latter fan out per table even at shards=1, so any
+    // multi-worker config keeps a pool.
+    if (workers > 1)
         pool_ = std::make_unique<WorkerPool>(workers);
 }
 
@@ -172,15 +197,31 @@ OlapEngine::columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
 TimeNs
 OlapEngine::prepareSnapshot(Timestamp ts)
 {
-    TimeNs total = cfg_.snapshotFixedNs;
-    for (std::size_t i = 0; i < workload::kChTableCount; ++i) {
+    // Tables are fully independent (per-table snapshotter, version
+    // manager and bitmaps), so the pass fans out per table over the
+    // pool. The modelled totals fold serially in table order below —
+    // float addition order fixed — so the returned charge is
+    // bit-identical for any worker count.
+    std::vector<mvcc::SnapshotStats> stats(workload::kChTableCount);
+    auto snapshotTable = [&](std::size_t i) {
         auto &tbl = db_.table(static_cast<ChTable>(i));
-        const auto stats = snapshotters_[i].snapshot(
-            tbl.store(), tbl.versions(), ts);
-        lastSnapshot_ = stats;
-        total += busTime(stats.metadataBytesRead) +
-                 busTime(stats.bitmapBytesWritten);
+        stats[i] = snapshotters_[i].snapshot(tbl.store(),
+                                             tbl.versions(), ts);
+    };
+    if (pool_) {
+        pool_->parallelFor(workload::kChTableCount,
+                           [&](std::uint32_t, std::size_t i) {
+                               snapshotTable(i);
+                           });
+    } else {
+        for (std::size_t i = 0; i < workload::kChTableCount; ++i)
+            snapshotTable(i);
     }
+    TimeNs total = cfg_.snapshotFixedNs;
+    for (const auto &st : stats)
+        total += busTime(st.metadataBytesRead) +
+                 busTime(st.bitmapBytesWritten);
+    lastSnapshot_ = stats.back();
     pendingConsistency_ += total;
     return total;
 }
@@ -188,22 +229,39 @@ OlapEngine::prepareSnapshot(Timestamp ts)
 TimeNs
 OlapEngine::runDefragmentation(mvcc::DefragStrategy strategy)
 {
-    TimeNs total = cfg_.defragFixedNs;
-    mvcc::DefragStats merged;
-    for (std::size_t i = 0; i < workload::kChTableCount; ++i) {
+    // Per-table parallel like prepareSnapshot: Defragmenter::run is
+    // stateless apart from its construction-time bandwidth config,
+    // and absorbInserts/rewind touch only the task's own table.
+    // Epoch-guarded reclamation inside run() is unchanged. The
+    // merged stats fold serially in table order below.
+    std::vector<mvcc::DefragStats> stats(workload::kChTableCount);
+    auto defragTable = [&](std::size_t i) {
         auto &tbl = db_.table(static_cast<ChTable>(i));
-        const auto stats =
+        stats[i] =
             defragmenter_.run(tbl.store(), tbl.versions(), strategy);
-        total += stats.timeNs;
-        merged.deltaRows += stats.deltaRows;
-        merged.rowsCopied += stats.rowsCopied;
-        merged.chainSteps += stats.chainSteps;
-        merged.bytesMoved += stats.bytesMoved;
-        merged.timeNs += stats.timeNs;
-        merged.breakdown.merge(stats.breakdown);
         // Inserted rows are now primary data-region rows.
         tbl.absorbInserts();
         snapshotters_[i].rewind();
+    };
+    if (pool_) {
+        pool_->parallelFor(workload::kChTableCount,
+                           [&](std::uint32_t, std::size_t i) {
+                               defragTable(i);
+                           });
+    } else {
+        for (std::size_t i = 0; i < workload::kChTableCount; ++i)
+            defragTable(i);
+    }
+    TimeNs total = cfg_.defragFixedNs;
+    mvcc::DefragStats merged;
+    for (const auto &st : stats) {
+        total += st.timeNs;
+        merged.deltaRows += st.deltaRows;
+        merged.rowsCopied += st.rowsCopied;
+        merged.chainSteps += st.chainSteps;
+        merged.bytesMoved += st.bytesMoved;
+        merged.timeNs += st.timeNs;
+        merged.breakdown.merge(st.breakdown);
     }
     merged.chosen = strategy;
     lastDefrag_ = merged;
@@ -489,6 +547,38 @@ OlapEngine::priceShardMerge(const QueryPlan &plan,
     rep.cpuNs += rep.mergeNs;
 }
 
+void
+OlapEngine::priceBuildMerge(const QueryPlan &plan,
+                            QueryReport &rep) const
+{
+    if (cfg_.shards <= 1)
+        return;
+    // Join builds: the partitioned parallel build re-ships every
+    // surviving build tuple once — key columns plus (inner-join)
+    // payload columns, 8 B each — from the per-shard partial
+    // partitions into the stitched probe tables. Modelled on the
+    // build table's primary rows, like the join hash/partition
+    // charge above it.
+    for (const auto &join : plan.joins) {
+        const auto &build_tbl = db_.table(join.build.table);
+        const std::uint64_t width =
+            8ull * (join.keys.size() +
+                    (join.kind == JoinKind::Inner
+                         ? join.payload.size()
+                         : 0));
+        rep.buildMergeNs +=
+            busTime(build_tbl.usedDataRows() * width);
+    }
+    // Subquery pre-passes: each shard ships one partial group
+    // accumulator set to the host fold — the same consolidation
+    // shape priceShardMerge charges for the top-level aggregates.
+    for (const auto &sub : plan.subqueries)
+        rep.buildMergeNs +=
+            busTime(static_cast<Bytes>(cfg_.shards) *
+                    plan.groupSlots * 8 * (sub.aggs.size() + 1));
+    rep.cpuNs += rep.buildMergeNs;
+}
+
 QueryReport
 OlapEngine::runQuery(const QueryPlan &plan, QueryResult *result)
 {
@@ -514,6 +604,7 @@ OlapEngine::runQuery(const QueryPlan &plan, QueryResult *result)
                cfg_.fuseScans && exec.fusedScanColumns > 0, rep);
     priceMerge(plan, exec.rowsVisible, rep);
     priceShardMerge(plan, rep);
+    priceBuildMerge(plan, rep);
 
     if (result)
         *result = std::move(exec.result);

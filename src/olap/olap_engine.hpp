@@ -65,16 +65,34 @@ struct OlapConfig
      */
     std::uint32_t shards = 1;
     /**
-     * Host worker threads draining shards (0 = hardware
-     * concurrency). Purely host-side: results and pricing are
-     * independent of the worker count.
+     * Host worker threads draining shards and the parallel
+     * pre-query phases — join builds, subquery pre-passes, snapshot
+     * and defragmentation (0 = hardware concurrency). Purely
+     * host-side: results and pricing are independent of the worker
+     * count.
      */
     std::uint32_t workers = 1;
+    /** morselRows sentinel: resolve a per-format default at engine
+     *  construction (see defaultMorselRows). */
+    static constexpr std::uint32_t kMorselRowsAuto = 0;
     /**
      * Rows per morsel of the batch executor. Must be a power of two
-     * (validated at engine construction); default 2048.
+     * when set explicitly (validated at engine construction);
+     * kMorselRowsAuto (the default) resolves through
+     * defaultMorselRows() — PushtapDB resolves it against its
+     * instance format before constructing the engine, a bare
+     * OlapEngine resolves against the Unified default. Explicitly
+     * set values are always authoritative.
      */
-    std::uint32_t morselRows = kMorselRows;
+    std::uint32_t morselRows = kMorselRowsAuto;
+    /**
+     * Per-format default morsel size, baked from the
+     * BENCH_fig9b.json per-format sweep (the sweep's argmin). Every
+     * format currently agrees on 2048 on the bench hardware — the
+     * table exists so a future sweep on wider hardware can diverge
+     * them without touching call sites.
+     */
+    static std::uint32_t defaultMorselRows(txn::InstanceFormat f);
     /** Fixed per-defragmentation overhead (threads + activation). */
     TimeNs defragFixedNs = 50'000.0;
     /** Fixed per-snapshot overhead (thread wakeup). */
@@ -120,14 +138,21 @@ class OlapEngine
     const OlapConfig &config() const { return cfg_; }
 
     /**
-     * Bring every table's snapshot bitmaps up to @p ts. Returns the
-     * modelled consistency time charged to the next query.
+     * Bring every table's snapshot bitmaps up to @p ts. Tables
+     * snapshot in parallel over the worker pool when the config has
+     * one (they are fully independent: per-table snapshotter,
+     * version manager and bitmaps); the modelled totals still fold
+     * serially in table order, so the returned consistency charge is
+     * bit-identical to the serial pass. Charged to the next query.
      */
     TimeNs prepareSnapshot(Timestamp ts);
 
     /**
-     * Defragment every table with @p strategy. Returns modelled time
-     * (also charged to the next query's consistency share).
+     * Defragment every table with @p strategy — per-table parallel
+     * over the worker pool like prepareSnapshot, with epoch-guarded
+     * reclamation unchanged and the merged stats folded serially in
+     * table order. Returns modelled time (also charged to the next
+     * query's consistency share).
      */
     TimeNs runDefragmentation(mvcc::DefragStrategy strategy);
 
@@ -248,6 +273,16 @@ class OlapEngine
     void priceShardMerge(const QueryPlan &plan,
                          QueryReport &rep) const;
 
+    /**
+     * CPU-side build consolidation of the parallel pre-query
+     * phases: stitching each join's per-shard partial partitions
+     * into the probe tables, and folding each subquery's per-shard
+     * partial group accumulators. Charges nothing at shards=1 (the
+     * build is one serial scan there, exactly as priced before).
+     */
+    void priceBuildMerge(const QueryPlan &plan,
+                         QueryReport &rep) const;
+
     /** PIM scan when unfragmented, CPU gather otherwise. */
     void priceColumnRead(const txn::TableRuntime &tbl,
                          const std::string &column, pim::OpType op,
@@ -267,7 +302,8 @@ class OlapEngine
     OlapConfig cfg_;
     dram::BatchTimingModel timing_;
     pim::TwoPhaseModel twoPhase_;
-    /** Reused across queries; null when the config is one worker. */
+    /** Reused across queries and the snapshot/defrag passes; null
+     *  when the config is one worker. */
     std::unique_ptr<WorkerPool> pool_;
     std::vector<mvcc::Snapshotter> snapshotters_;
     mvcc::Defragmenter defragmenter_;

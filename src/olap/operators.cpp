@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -912,62 +913,162 @@ class BatchPredicates
     MorselExprContext ctx_;
 };
 
+/** Fold @p from into @p into per the specs' aggregate kinds (the
+ *  cross-worker merge; every step is commutative AND associative —
+ *  wrapping sum, min, max, count — so neither the shard-to-worker
+ *  assignment nor the merge order can show in the folded values.
+ *  The merge still runs in worker order for good measure). Works
+ *  over top-level AggSpec and SubqueryAgg alike. */
+template <typename SpecT>
+void
+combineAccum(const std::vector<SpecT> &specs, Accum &into,
+             const Accum &from)
+{
+    if (from.count == 0)
+        return;
+    if (into.count == 0)
+        into.aggs.assign(specs.size(), 0);
+    for (std::size_t a = 0; a < specs.size(); ++a)
+        accumulateValue(into, a, specs[a].kind, from.aggs[a]);
+    into.count += from.count;
+}
+
+/**
+ * Walk one scan task of a sharded table pass: a shard map of S
+ * shards yields 2S tasks — tasks [0, S) are the shards' data-region
+ * ranges, tasks [S, 2S) their delta-region ranges. Consuming
+ * per-task output in task order therefore reproduces
+ * forEachMorsel's serial row order (all data rows ascending, then
+ * all delta rows ascending) regardless of which worker ran which
+ * task.
+ */
+template <typename Fn>
+void
+forEachMorselInScanTask(const storage::ShardMap &smap,
+                        std::size_t task, std::uint32_t morsel_rows,
+                        Fn &&fn)
+{
+    const bool data = task < smap.shards();
+    const auto &r = smap.range(static_cast<std::uint32_t>(
+        data ? task : task - smap.shards()));
+    if (data)
+        forEachMorselInRange(Region::Data, r.dataBegin, r.dataEnd,
+                             morsel_rows, fn);
+    else
+        forEachMorselInRange(Region::Delta, r.deltaBegin, r.deltaEnd,
+                             morsel_rows, fn);
+}
+
 /**
  * Scalar-subquery pre-pass, morsel-driven mechanisation: the source
  * table streams through the same selection-vector kernels as any
  * probe, group keys decode once per morsel, and aggregate-input
- * expressions evaluate column-at-a-time. Exact integer folds, so
- * the result is identical to materializeSubqueriesScalar.
+ * expressions evaluate column-at-a-time. Sharded over the worker
+ * pool like a probe pipeline: each worker drains whole scan tasks
+ * (shard x region ranges of the source table) into private partial
+ * group accumulators, merged per group in worker order. Exact
+ * integer folds, commutative and associative, so the result is
+ * identical to materializeSubqueriesScalar for every workers x
+ * shards split.
  */
 std::vector<SubqueryResult>
 materializeSubqueriesBatch(const txn::Database &db,
                            const QueryPlan &plan,
-                           std::uint32_t morsel_rows)
+                           const ExecOptions &opts, WorkerPool *pool)
 {
     std::vector<SubqueryResult> out(plan.subqueries.size());
     for (std::size_t s = 0; s < plan.subqueries.size(); ++s) {
         const auto &spec = plan.subqueries[s];
-        const auto &store = db.table(spec.source.table).store();
-        BatchPredicates preds(store, spec.source);
-        std::vector<BatchColumnReader> key_rd;
-        for (const auto &col : spec.groupBy)
-            key_rd.emplace_back(store, col);
-        std::vector<ExprPtr> inputs;
-        for (const auto &agg : spec.aggs)
-            inputs.push_back(foldConstants(agg.value));
+        const auto &tbl = db.table(spec.source.table);
+        const auto &store = tbl.store();
 
-        MorselExprContext ctx(store, nullptr, nullptr);
-        SelectionVector sel;
-        std::vector<ColumnBatch> keys(key_rd.size());
-        std::vector<std::vector<std::int64_t>> vals(inputs.size());
-        std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
-        forEachMorsel(
-            store,
-            [&](const Morsel &m) {
-            visibleRows(store, m, sel);
-            preds.apply(m, sel);
-            if (sel.empty())
+        /** Per-worker scan state: private readers, predicate chain
+         *  and partial group accumulators (built lazily on the
+         *  worker's first claimed task). */
+        struct SubWorker
+        {
+            SubWorker(const storage::TableStore &st,
+                      const SubquerySpec &sp)
+                : preds(st, sp.source), ctx(st, nullptr, nullptr)
+            {
+                for (const auto &col : sp.groupBy)
+                    keyRd.emplace_back(st, col);
+                for (const auto &agg : sp.aggs)
+                    inputs.push_back(foldConstants(agg.value));
+                keys.resize(keyRd.size());
+                vals.resize(inputs.size());
+            }
+            BatchPredicates preds;
+            std::vector<BatchColumnReader> keyRd;
+            std::vector<ExprPtr> inputs;
+            MorselExprContext ctx;
+            SelectionVector sel;
+            std::vector<ColumnBatch> keys;
+            std::vector<std::vector<std::int64_t>> vals;
+            std::unordered_map<InlineKey, Accum, InlineKeyHash>
+                groups;
+        };
+
+        const storage::ShardMap smap = tbl.shardMap(opts.shards);
+        const std::size_t tasks = 2 * smap.shards();
+        const std::uint32_t nworkers = pool ? pool->workers() : 1;
+        std::vector<std::optional<SubWorker>> states(nworkers);
+        auto stateFor = [&](std::uint32_t w) -> SubWorker & {
+            if (!states[w])
+                states[w].emplace(store, spec);
+            return *states[w];
+        };
+
+        auto processMorsel = [&](SubWorker &st, const Morsel &m) {
+            visibleRows(store, m, st.sel);
+            st.preds.apply(m, st.sel);
+            if (st.sel.empty())
                 return;
-            for (std::size_t c = 0; c < key_rd.size(); ++c)
-                key_rd[c].gatherInts(m, sel.span(), keys[c]);
-            ctx.begin(m, sel);
-            for (std::size_t a = 0; a < inputs.size(); ++a)
-                evalExprBatch(*inputs[a], ctx, vals[a]);
+            for (std::size_t c = 0; c < st.keyRd.size(); ++c)
+                st.keyRd[c].gatherInts(m, st.sel.span(),
+                                       st.keys[c]);
+            st.ctx.begin(m, st.sel);
+            for (std::size_t a = 0; a < st.inputs.size(); ++a)
+                evalExprBatch(*st.inputs[a], st.ctx, st.vals[a]);
             InlineKey key;
-            key.n = static_cast<std::uint32_t>(key_rd.size());
-            for (std::size_t i = 0; i < sel.size(); ++i) {
-                for (std::size_t c = 0; c < key_rd.size(); ++c)
-                    key.v[c] = keys[c].ints[i];
-                auto &acc = groups[key];
+            key.n = static_cast<std::uint32_t>(st.keyRd.size());
+            for (std::size_t i = 0; i < st.sel.size(); ++i) {
+                for (std::size_t c = 0; c < st.keyRd.size(); ++c)
+                    key.v[c] = st.keys[c].ints[i];
+                auto &acc = st.groups[key];
                 if (acc.count == 0)
                     acc.aggs.assign(spec.aggs.size(), 0);
                 for (std::size_t a = 0; a < spec.aggs.size(); ++a)
                     accumulateValue(acc, a, spec.aggs[a].kind,
-                                    vals[a][i]);
+                                    st.vals[a][i]);
                 ++acc.count;
             }
-            },
-            morsel_rows);
+        };
+
+        if (pool && nworkers > 1) {
+            pool->parallelFor(
+                tasks, [&](std::uint32_t w, std::size_t t) {
+                    forEachMorselInScanTask(
+                        smap, t, opts.morselRows,
+                        [&](const Morsel &m) {
+                            processMorsel(stateFor(w), m);
+                        });
+                });
+        } else {
+            for (std::size_t t = 0; t < tasks; ++t)
+                forEachMorselInScanTask(
+                    smap, t, opts.morselRows, [&](const Morsel &m) {
+                        processMorsel(stateFor(0), m);
+                    });
+        }
+
+        std::unordered_map<InlineKey, Accum, InlineKeyHash> groups;
+        for (auto &st : states) {
+            if (!st)
+                continue;
+            for (auto &[key, acc] : st->groups)
+                combineAccum(spec.aggs, groups[key], acc);
+        }
 
         out[s].slots = spec.aggs.size();
         for (auto &[key, acc] : groups)
@@ -1059,15 +1160,43 @@ class RefVecExprContext final : public BatchExprContext
         likes_;
 };
 
-/** One join's built hash table over inline keys: payload buckets
- *  for inner joins, a bare key set for semi/anti existence. */
+/** Hash-partition count of the parallel join builds (power of
+ *  two): enough partitions to keep every pool worker busy through
+ *  the stitch phase without fragmenting small build sides. */
+constexpr std::size_t kBuildPartitions = 16;
+
+/** Partition of an inline key: the top bits of the same hash the
+ *  bucket maps use, so partitioning never correlates with
+ *  in-partition bucket placement. */
+inline std::size_t
+buildPartitionOf(const InlineKey &k)
+{
+    return InlineKeyHash{}(k) >> 60 & (kBuildPartitions - 1);
+}
+
+/**
+ * One join's built hash table over inline keys, hash-partitioned
+ * for the parallel build: payload buckets for inner joins (probed
+ * through find()), with semi/anti existence keys flattened into a
+ * simd::FlatKeySet by the caller instead. Built once by the
+ * partitioned parallel build, then probed strictly read-only by
+ * every worker.
+ */
 struct BatchBuildSide
 {
-    std::unordered_map<InlineKey,
-                       std::vector<std::vector<std::int64_t>>,
-                       InlineKeyHash>
-        buckets;
-    std::unordered_set<InlineKey, InlineKeyHash> exists;
+    using Bucket = std::vector<std::vector<std::int64_t>>;
+
+    std::array<std::unordered_map<InlineKey, Bucket, InlineKeyHash>,
+               kBuildPartitions>
+        parts;
+
+    const Bucket *
+    find(const InlineKey &k) const
+    {
+        const auto &m = parts[buildPartitionOf(k)];
+        const auto it = m.find(k);
+        return it == m.end() ? nullptr : &it->second;
+    }
 };
 
 /** ColRef resolved for the batch probe: an index into the morsel's
@@ -1245,22 +1374,6 @@ fitsBatchEngine(const QueryPlan &plan)
     return true;
 }
 
-/** Fold @p from into @p into per the plan's aggregate kinds (the
- *  cross-worker merge; every step is commutative, and the merge runs
- *  in worker order anyway, so results are deterministic). */
-void
-combineAccum(const std::vector<AggSpec> &specs, Accum &into,
-             const Accum &from)
-{
-    if (from.count == 0)
-        return;
-    if (into.count == 0)
-        into.aggs.assign(specs.size(), 0);
-    for (std::size_t a = 0; a < specs.size(); ++a)
-        accumulateValue(into, a, specs[a].kind, from.aggs[a]);
-    into.count += from.count;
-}
-
 PlanExecution
 executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                  const ExecOptions &opts, WorkerPool *pool)
@@ -1268,74 +1381,186 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     const auto &probe_tbl = db.table(plan.probe.table);
     const auto &probe_store = probe_tbl.store();
 
-    // Scalar-subquery pre-pass: materialized once before the
-    // fan-out, probed strictly read-only by every worker's
-    // predicate chain.
+    using Clock = std::chrono::steady_clock;
+    const auto phaseNs = [](Clock::time_point a,
+                            Clock::time_point b) {
+        return std::chrono::duration<double, std::nano>(b - a)
+            .count();
+    };
+    const auto t_start = Clock::now();
+
+    // Scalar-subquery pre-pass: materialized through the sharded
+    // morsel pipeline before the fan-out, then probed strictly
+    // read-only by every worker's predicate chain.
     const auto subqueries =
-        materializeSubqueriesBatch(db, plan, opts.morselRows);
+        materializeSubqueriesBatch(db, plan, opts, pool);
+    const auto t_subq = Clock::now();
 
-    // Build phase: hash each (filtered) build table, morsel by
-    // morsel — keys and payloads decoded once per morsel. Built once
-    // here, then probed strictly read-only by every worker.
+    // Build phase: partitioned parallel build of each join's hash
+    // table. Workers scan whole scan tasks (shard x region ranges
+    // of the build input) through the normal morsel pipeline into
+    // per-task partial partitions keyed by the top bits of the key
+    // hash; the stitch then concatenates each partition's chunks in
+    // task order — exactly the serial scan's row order — so bucket
+    // contents (and therefore inner-join match expansion) stay
+    // byte-identical to the serial build. Built once here, then
+    // probed strictly read-only by every worker.
     std::vector<BatchBuildSide> builds(plan.joins.size());
-    for (std::size_t k = 0; k < plan.joins.size(); ++k) {
-        const auto &join = plan.joins[k];
-        const auto &store = db.table(join.build.table).store();
-        BatchPredicates preds(store, join.build);
-        std::vector<BatchColumnReader> key_rd;
-        for (const auto &[build_col, ref] : join.keys) {
-            (void)ref;
-            key_rd.emplace_back(store, build_col);
-        }
-        std::vector<BatchColumnReader> pay_rd;
-        for (const auto &col : join.payload)
-            pay_rd.emplace_back(store, col);
-
-        const bool inner = join.kind == JoinKind::Inner;
-        SelectionVector sel;
-        std::vector<ColumnBatch> keys(key_rd.size());
-        std::vector<ColumnBatch> pays(pay_rd.size());
-        forEachMorsel(
-            store,
-            [&](const Morsel &m) {
-            visibleRows(store, m, sel);
-            preds.apply(m, sel);
-            if (sel.empty())
-                return;
-            for (std::size_t c = 0; c < key_rd.size(); ++c)
-                key_rd[c].gatherInts(m, sel.span(), keys[c]);
-            for (std::size_t c = 0; c < pay_rd.size(); ++c)
-                pay_rd[c].gatherInts(m, sel.span(), pays[c]);
-            for (std::size_t i = 0; i < sel.size(); ++i) {
-                InlineKey hk;
-                hk.n = static_cast<std::uint32_t>(key_rd.size());
-                for (std::size_t c = 0; c < key_rd.size(); ++c)
-                    hk.v[c] = keys[c].ints[i];
-                if (inner) {
-                    std::vector<std::int64_t> tuple(pay_rd.size());
-                    for (std::size_t c = 0; c < pay_rd.size(); ++c)
-                        tuple[c] = pays[c].ints[i];
-                    builds[k].buckets[hk].push_back(
-                        std::move(tuple));
-                } else {
-                    builds[k].exists.insert(hk);
-                }
-            }
-            },
-            opts.morselRows);
-    }
-
-    // Flatten each semi/anti existence set into an open-addressing
-    // probe table (simd::FlatKeySet): built once here, probed
-    // strictly read-only by every worker.
     std::vector<simd::FlatKeySet> exist_sets(plan.joins.size());
     for (std::size_t k = 0; k < plan.joins.size(); ++k) {
-        if (plan.joins[k].kind == JoinKind::Inner)
-            continue;
-        exist_sets[k].reserve(builds[k].exists.size());
-        for (const auto &key : builds[k].exists)
-            exist_sets[k].insert(key);
+        const auto &join = plan.joins[k];
+        const auto &btbl = db.table(join.build.table);
+        const auto &store = btbl.store();
+        const bool inner = join.kind == JoinKind::Inner;
+        const std::size_t keyw = join.keys.size();
+        const std::size_t payw = inner ? join.payload.size() : 0;
+
+        /** Per-worker build-scan state: private readers and
+         *  predicate chain, built lazily on the worker's first
+         *  claimed task. */
+        struct BuildWorker
+        {
+            BuildWorker(const storage::TableStore &st,
+                        const JoinSpec &jn)
+                : preds(st, jn.build)
+            {
+                for (const auto &[build_col, ref] : jn.keys) {
+                    (void)ref;
+                    keyRd.emplace_back(st, build_col);
+                }
+                if (jn.kind == JoinKind::Inner)
+                    for (const auto &col : jn.payload)
+                        payRd.emplace_back(st, col);
+                keys.resize(keyRd.size());
+                pays.resize(payRd.size());
+            }
+            BatchPredicates preds;
+            std::vector<BatchColumnReader> keyRd, payRd;
+            SelectionVector sel;
+            std::vector<ColumnBatch> keys, pays;
+        };
+
+        /** One (task, partition) cell: surviving build keys in scan
+         *  order, payload values flattened payw-at-a-time
+         *  alongside. */
+        struct BuildChunk
+        {
+            std::vector<InlineKey> keys;
+            std::vector<std::int64_t> vals;
+        };
+
+        const storage::ShardMap bmap = btbl.shardMap(opts.shards);
+        const std::size_t tasks = 2 * bmap.shards();
+        const std::uint32_t nworkers = pool ? pool->workers() : 1;
+        std::vector<std::optional<BuildWorker>> bstates(nworkers);
+        auto bstateFor = [&](std::uint32_t w) -> BuildWorker & {
+            if (!bstates[w])
+                bstates[w].emplace(store, join);
+            return *bstates[w];
+        };
+        std::vector<std::array<BuildChunk, kBuildPartitions>> cells(
+            tasks);
+
+        auto scanTask = [&](std::uint32_t w, std::size_t t) {
+            auto &bw = bstateFor(w);
+            auto &out_cells = cells[t];
+            forEachMorselInScanTask(
+                bmap, t, opts.morselRows, [&](const Morsel &m) {
+                    visibleRows(store, m, bw.sel);
+                    bw.preds.apply(m, bw.sel);
+                    if (bw.sel.empty())
+                        return;
+                    for (std::size_t c = 0; c < bw.keyRd.size();
+                         ++c)
+                        bw.keyRd[c].gatherInts(m, bw.sel.span(),
+                                               bw.keys[c]);
+                    for (std::size_t c = 0; c < bw.payRd.size();
+                         ++c)
+                        bw.payRd[c].gatherInts(m, bw.sel.span(),
+                                               bw.pays[c]);
+                    for (std::size_t i = 0; i < bw.sel.size();
+                         ++i) {
+                        InlineKey hk;
+                        hk.n = static_cast<std::uint32_t>(keyw);
+                        for (std::size_t c = 0; c < keyw; ++c)
+                            hk.v[c] = bw.keys[c].ints[i];
+                        auto &cell =
+                            out_cells[buildPartitionOf(hk)];
+                        cell.keys.push_back(hk);
+                        for (std::size_t c = 0; c < payw; ++c)
+                            cell.vals.push_back(bw.pays[c].ints[i]);
+                    }
+                });
+        };
+        if (pool && nworkers > 1) {
+            pool->parallelFor(tasks, scanTask);
+        } else {
+            for (std::size_t t = 0; t < tasks; ++t)
+                scanTask(0, t);
+        }
+
+        // Stitch: each partition concatenates its chunks in task
+        // order. Inner joins append payload tuples into the
+        // partition's bucket map (a partition is owned by exactly
+        // one stitch task, so the maps build race-free); semi/anti
+        // joins dedupe keys per partition, then bulk-insert the
+        // survivors into the flat existence set serially —
+        // FlatKeySet::contains is insertion-order independent, so
+        // the serial build's insert order never mattered.
+        if (inner) {
+            auto stitch = [&](std::size_t p) {
+                auto &map = builds[k].parts[p];
+                for (std::size_t t = 0; t < tasks; ++t) {
+                    const auto &cell = cells[t][p];
+                    for (std::size_t i = 0; i < cell.keys.size();
+                         ++i) {
+                        const std::int64_t *v =
+                            payw == 0 ? nullptr
+                                      : cell.vals.data() + i * payw;
+                        map[cell.keys[i]].emplace_back(v, v + payw);
+                    }
+                }
+            };
+            if (pool && nworkers > 1) {
+                pool->parallelFor(
+                    kBuildPartitions,
+                    [&](std::uint32_t, std::size_t p) {
+                        stitch(p);
+                    });
+            } else {
+                for (std::size_t p = 0; p < kBuildPartitions; ++p)
+                    stitch(p);
+            }
+        } else {
+            std::array<std::vector<InlineKey>, kBuildPartitions>
+                uniq;
+            auto dedupe = [&](std::size_t p) {
+                std::unordered_set<InlineKey, InlineKeyHash> seen;
+                for (std::size_t t = 0; t < tasks; ++t)
+                    for (const auto &key : cells[t][p].keys)
+                        if (seen.insert(key).second)
+                            uniq[p].push_back(key);
+            };
+            if (pool && nworkers > 1) {
+                pool->parallelFor(
+                    kBuildPartitions,
+                    [&](std::uint32_t, std::size_t p) {
+                        dedupe(p);
+                    });
+            } else {
+                for (std::size_t p = 0; p < kBuildPartitions; ++p)
+                    dedupe(p);
+            }
+            std::size_t total = 0;
+            for (const auto &u : uniq)
+                total += u.size();
+            exist_sets[k].reserve(total);
+            for (const auto &u : uniq)
+                for (const auto &key : u)
+                    exist_sets[k].insert(key);
+        }
     }
+    const auto t_build = Clock::now();
 
     // Probe-side references: every referenced probe column is
     // gathered exactly once per morsel (per worker), shared across
@@ -1770,10 +1995,10 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                     st.etupNext[l].clear();
                 st.etupNext[k].clear();
                 for (std::size_t e = 0; e < erow.size(); ++e) {
-                    const auto it = builds[k].buckets.find(keyAt(e));
-                    if (it == builds[k].buckets.end())
+                    const auto *bucket = builds[k].find(keyAt(e));
+                    if (!bucket)
                         continue;
-                    for (const auto &tuple : it->second) {
+                    for (const auto &tuple : *bucket) {
                         st.erowNext.push_back(erow[e]);
                         for (const auto l : st.activeTup)
                             st.etupNext[l].push_back(st.etup[l][e]);
@@ -1897,6 +2122,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         for (std::uint32_t s = 0; s < smap.shards(); ++s)
             processShard(stateFor(0), smap.range(s));
     }
+    const auto t_probe = Clock::now();
 
     // CPU-side merge: fold the per-worker partial accumulators in
     // worker order. Every fold is commutative (sum/min/max/count),
@@ -1908,6 +2134,9 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         if (st)
             engaged.push_back(&*st);
     PlanExecution out;
+    out.subqueryNs = phaseNs(t_start, t_subq);
+    out.buildNs = phaseNs(t_subq, t_build);
+    out.probeNs = phaseNs(t_build, t_probe);
     for (const auto *st : engaged)
         out.rowsVisible += st->visible;
     if (plan.joins.empty()) {
@@ -1926,6 +2155,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         out.result.rows.push_back(ResultRow{
             {}, std::move(total.aggs), total.count});
         sortAndLimit(out, plan);
+        out.mergeNs = phaseNs(t_probe, Clock::now());
         return out;
     }
 
@@ -1964,6 +2194,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                                       key.v.begin() + key.n),
             std::move(acc.aggs), acc.count});
     sortAndLimit(out, plan);
+    out.mergeNs = phaseNs(t_probe, Clock::now());
     return out;
 }
 
@@ -1985,9 +2216,10 @@ executePlan(const txn::Database &db, const QueryPlan &plan,
         return executeScalarImpl(db, plan);
     WorkerPool *pool = opts.pool;
     std::optional<WorkerPool> local;
-    // A single shard can never dispatch to a pool, so don't spawn a
-    // transient one for it.
-    if (!pool && opts.shards > 1) {
+    // Even a single probe shard profits from a pool now: join
+    // builds and subquery pre-passes fan their data/delta scan
+    // tasks (and the build stitch) out over it.
+    if (!pool) {
         const std::uint32_t w = opts.workers == 0
                                     ? WorkerPool::hardwareWorkers()
                                     : opts.workers;

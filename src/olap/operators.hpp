@@ -18,12 +18,16 @@
  * conjunct ordering — that compact the selection in place,
  * bulk-hashed join probes with batched inner-join match expansion
  * into per-morsel index/payload vectors, and a filter+aggregate pass
- * fused into one loop when no join intervenes). Scalar subqueries
- * materialize once before the fan-out and are probed read-only, like
- * the join hash tables; per-worker partial accumulators are
- * consolidated by a deterministic ordered merge, so results are
- * byte-identical to the single-threaded run for every workers x
- * shards configuration.
+ * fused into one loop when no join intervenes). The pre-query
+ * phases are parallel too: join hash tables build as partitioned
+ * parallel builds (per-shard scans into hash-partitioned partial
+ * chunks, stitched in deterministic task order) and scalar
+ * subqueries materialize through the same sharded morsel pipeline
+ * (per-worker partial group accumulators, ordered merge) before
+ * either is probed strictly read-only by the fan-out. Per-worker
+ * partial accumulators are consolidated by a deterministic ordered
+ * merge, so results are byte-identical to the single-threaded run
+ * for every workers x shards configuration.
  * executePlanScalar() keeps the original row-at-a-time pipeline as
  * an independently-mechanised reference: both must produce
  * byte-identical results, and the fig9b bench reports their host
@@ -152,6 +156,18 @@ struct PlanExecution
      * input.
      */
     std::uint32_t fusedScanColumns = 0;
+    /**
+     * Host wall-clock of the batch engine's execution phases, in
+     * nanoseconds: the scalar-subquery pre-pass, the join build
+     * phase (partitioned scan + stitch + existence-set flatten), the
+     * probe fan-out, and the final cross-worker merge/materialize.
+     * Measured time, not modelled — the pricing walks never read
+     * these. All zero when the scalar reference executor ran.
+     */
+    double subqueryNs = 0.0;
+    double buildNs = 0.0;
+    double probeNs = 0.0;
+    double mergeNs = 0.0;
 };
 
 /**

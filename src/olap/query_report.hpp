@@ -49,6 +49,15 @@ struct QueryReport
      * unchanged.
      */
     TimeNs mergeNs = 0.0;
+    /**
+     * CPU-side consolidation charge of the parallel pre-query
+     * phases (stitching each join's per-shard partial build
+     * partitions, folding each subquery's per-shard partial group
+     * accumulators), already included in cpuNs. Zero when shards=1
+     * — the builds run as one serial-order scan there and the
+     * single-shard golden decompositions stay bit-for-bit.
+     */
+    TimeNs buildMergeNs = 0.0;
 
     TimeNs
     totalNs() const

@@ -255,6 +255,51 @@ filterDictCodesAvx2(std::span<const std::uint32_t> codes,
     sel.idx.resize(out);
 }
 
+/**
+ * pshufb fast path of the dict-code LUT filter: when the whole LUT
+ * fits 16 entries (1-byte codes with at most 16 distinct values —
+ * codes are < lut.size() by the dictionary contract), the match
+ * bytes resolve with one in-register byte shuffle per 8 codes
+ * instead of the latency-bound 32-bit gather. Each dword of the
+ * code vector holds its code in byte 0 and zeros elsewhere, so the
+ * shuffle leaves table[code] in byte 0 and table[0] in bytes 1-3,
+ * which the dword mask strips before the zero compare.
+ */
+__attribute__((target("avx2"))) void
+filterDictCodesPshufbAvx2(std::span<const std::uint32_t> codes,
+                          SelectionVector &sel,
+                          std::span<const std::uint32_t> lut,
+                          bool negate)
+{
+    alignas(16) std::uint8_t table[16] = {};
+    for (std::size_t v = 0; v < lut.size(); ++v)
+        table[v] = lut[v] != 0 ? 0xFF : 0x00;
+    const __m256i tbl = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i *>(table)));
+    const __m256i bytemask = _mm256_set1_epi32(0xFF);
+    const __m256i zero = _mm256_setzero_si256();
+    std::uint32_t *idx = sel.idx.data();
+    const std::uint32_t *c = codes.data();
+    const std::size_t n = sel.idx.size();
+    std::size_t out = 0, i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i cv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c + i));
+        const __m256i g = _mm256_and_si256(
+            _mm256_shuffle_epi8(tbl, cv), bytemask);
+        const unsigned nomatch = static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(g, zero))));
+        const unsigned keep = negate ? nomatch : ~nomatch;
+        out = compactStep8(idx, out, i, keep & 0xFFu);
+    }
+    for (; i < n; ++i) {
+        idx[out] = idx[i];
+        out += static_cast<std::size_t>((lut[c[i]] != 0) != negate);
+    }
+    sel.idx.resize(out);
+}
+
 __attribute__((target("avx2"))) void
 compactByNonzeroAvx2(std::span<const std::int64_t> keep,
                      SelectionVector &sel)
@@ -434,7 +479,12 @@ filterDictCodes(std::span<const std::uint32_t> codes,
 {
 #ifdef PUSHTAP_SIMD_X86
     if (simdActive()) {
-        filterDictCodesAvx2(codes, sel, lut, negate);
+        // Tiny dictionaries (<= 16 distinct values) take the
+        // pshufb in-register table; larger ones keep the gather.
+        if (lut.size() <= 16)
+            filterDictCodesPshufbAvx2(codes, sel, lut, negate);
+        else
+            filterDictCodesAvx2(codes, sel, lut, negate);
         return;
     }
 #endif

@@ -85,7 +85,9 @@ flipCompare(ExprOp op)
 /**
  * Dictionary-code filter: keep sel[i] iff (lut[codes[i]] != 0) !=
  * negate. @p codes is parallel to @p sel; every code indexes within
- * @p lut (the sentinel entry is the last one).
+ * @p lut (the sentinel entry is the last one). LUTs of at most 16
+ * entries dispatch to a pshufb in-register truth table (one byte
+ * shuffle per 8 codes); larger LUTs take the 32-bit gather.
  */
 void filterDictCodes(std::span<const std::uint32_t> codes,
                      SelectionVector &sel,

@@ -85,11 +85,18 @@ TEST_F(ConcurrentIngest, QueryDuringIngestMatchesSerialOracle)
     constexpr Timestamp kMinFrontier = 120;
 
     // Concurrent side: four writers drain the schedule while the
-    // analytical engine snapshots and queries mid-flight.
+    // analytical engine snapshots and queries mid-flight. The
+    // analytical engine itself runs at shards=4 / workers=4 so the
+    // partitioned parallel join builds, sharded subquery
+    // materialization and per-table parallel snapshot all execute
+    // against live ingest (and under TSan in CI). The serial oracle
+    // below stays at the default single-shard config.
     txn::Database par_db(config());
     auto group = makeGroup(par_db, 4);
-    olap::OlapEngine par_olap(par_db,
-                              olap::OlapConfig::pushtapDimm());
+    auto par_cfg = olap::OlapConfig::pushtapDimm();
+    par_cfg.shards = 4;
+    par_cfg.workers = 4;
+    olap::OlapEngine par_olap(par_db, par_cfg);
 
     group->start(kTxns);
     Timestamp frontier = 0;

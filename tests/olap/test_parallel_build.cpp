@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "common/worker_pool.hpp"
+#include "olap/olap_engine.hpp"
+#include "olap/operators.hpp"
+#include "olap/simd_kernels.hpp"
+#include "txn/tpcc_engine.hpp"
+#include "workload/query_catalog.hpp"
+
+namespace pushtap::olap {
+namespace {
+
+using txn::Database;
+using txn::DatabaseConfig;
+using txn::InstanceFormat;
+using txn::TpccEngine;
+
+DatabaseConfig
+smallConfig()
+{
+    DatabaseConfig cfg;
+    cfg.scale = 0.0002;
+    // 64-row blocks: build-side shard boundaries land mid-morsel, so
+    // the per-task scan walk of the partitioned build is exercised.
+    cfg.blockRows = 64;
+    cfg.deltaFraction = 3.0;
+    cfg.insertHeadroom = 1.0;
+    return cfg;
+}
+
+void
+expectSameExecution(const PlanExecution &got,
+                    const PlanExecution &want,
+                    const std::string &what)
+{
+    EXPECT_EQ(got.rowsVisible, want.rowsVisible) << what;
+    ASSERT_EQ(got.result.rows.size(), want.result.rows.size())
+        << what;
+    for (std::size_t i = 0; i < want.result.rows.size(); ++i) {
+        EXPECT_EQ(got.result.rows[i].keys, want.result.rows[i].keys)
+            << what << " row " << i;
+        EXPECT_EQ(got.result.rows[i].aggs, want.result.rows[i].aggs)
+            << what << " row " << i;
+        EXPECT_EQ(got.result.rows[i].count,
+                  want.result.rows[i].count)
+            << what << " row " << i;
+    }
+}
+
+/** Force the scalar reference kernels for one scope. */
+struct ScalarGuard
+{
+    explicit ScalarGuard(bool on) { simd::forceScalarKernels(on); }
+    ~ScalarGuard() { simd::forceScalarKernels(false); }
+};
+
+/**
+ * Byte-identity of the partitioned parallel build phase: every
+ * catalog plan with a join or subquery, every InstanceFormat, swept
+ * across workers x shards against the scalar reference pipeline.
+ * In-flight deltas (transactions ingested after the snapshot) stay
+ * in the delta region and stress the two-tasks-per-shard scan order.
+ */
+class ParallelBuildTest
+    : public ::testing::TestWithParam<InstanceFormat>
+{
+  protected:
+    ParallelBuildTest()
+        : db(smallConfig()),
+          bw(8, 8, true),
+          timing(dram::Geometry::dimmDefault(),
+                 dram::TimingParams::ddr5_3200()),
+          oltp(db, GetParam(), bw, timing, 31),
+          engine(db, OlapConfig::pushtapDimm())
+    {
+        for (int i = 0; i < 40; ++i)
+            oltp.executeMixed();
+        engine.prepareSnapshot(db.now());
+        // In-flight rows: invisible to the snapshot, present in the
+        // delta region the build tasks walk.
+        for (int i = 0; i < 10; ++i)
+            oltp.executeMixed();
+    }
+
+    Database db;
+    format::BandwidthModel bw;
+    dram::BatchTimingModel timing;
+    TpccEngine oltp;
+    OlapEngine engine;
+};
+
+TEST_P(ParallelBuildTest, BuildPlansMatchScalarAcrossWorkersAndShards)
+{
+    const std::uint32_t hw = WorkerPool::hardwareWorkers();
+    for (const std::uint32_t workers : {1u, 2u, 4u, hw}) {
+        WorkerPool pool(workers);
+        for (const std::uint32_t shards : {1u, 2u, 4u}) {
+            ExecOptions opts;
+            opts.shards = shards;
+            opts.workers = workers;
+            opts.pool = workers > 1 ? &pool : nullptr;
+            for (const auto &q : workload::chExecutablePlans()) {
+                if (q.plan.joins.empty() &&
+                    q.plan.subqueries.empty())
+                    continue;
+                const auto what =
+                    q.plan.name + " w" + std::to_string(workers) +
+                    " s" + std::to_string(shards);
+                expectSameExecution(
+                    executePlan(db, q.plan, opts),
+                    executePlanScalar(db, q.plan), what);
+            }
+        }
+    }
+}
+
+TEST_P(ParallelBuildTest, ForcedScalarDispatchStaysByteIdentical)
+{
+    // Parallel builds must not depend on the SIMD kernels: force the
+    // scalar reference kernels and sweep the aggressive corner.
+    ScalarGuard g(true);
+    WorkerPool pool(4);
+    ExecOptions opts;
+    opts.shards = 4;
+    opts.workers = 4;
+    opts.pool = &pool;
+    for (const auto &q : workload::chExecutablePlans())
+        expectSameExecution(executePlan(db, q.plan, opts),
+                            executePlanScalar(db, q.plan),
+                            q.plan.name + " forced-scalar");
+}
+
+TEST_P(ParallelBuildTest, MorselRowsSweepIsBuildInvariant)
+{
+    WorkerPool pool(4);
+    for (const std::uint32_t morsel : {256u, 2048u, 8192u}) {
+        ExecOptions opts;
+        opts.shards = 4;
+        opts.workers = 4;
+        opts.morselRows = morsel;
+        opts.pool = &pool;
+        for (const auto &q : workload::chExecutablePlans()) {
+            if (q.plan.joins.empty() && q.plan.subqueries.empty())
+                continue;
+            expectSameExecution(
+                executePlan(db, q.plan, opts),
+                executePlanScalar(db, q.plan),
+                q.plan.name + " morsel " + std::to_string(morsel));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, ParallelBuildTest,
+    ::testing::Values(InstanceFormat::Unified,
+                      InstanceFormat::RowStore,
+                      InstanceFormat::ColumnStore),
+    [](const ::testing::TestParamInfo<InstanceFormat> &info)
+        -> std::string {
+        switch (info.param) {
+          case InstanceFormat::Unified: return "Unified";
+          case InstanceFormat::RowStore: return "RowStore";
+          case InstanceFormat::ColumnStore: return "ColumnStore";
+        }
+        return "Unknown";
+    });
+
+/**
+ * Bit-identity of the parallel snapshot/defrag passes: the modelled
+ * charges and merged stats fold serially in table order, so a
+ * workers=4 engine must reproduce the workers=1 engine exactly.
+ */
+class ParallelMaintenanceTest : public ::testing::Test
+{
+  protected:
+    /** Two identically-populated databases (same seed, same ops). */
+    struct Instance
+    {
+        explicit Instance(std::uint32_t workers)
+            : db(smallConfig()),
+              bw(8, 8, true),
+              timing(dram::Geometry::dimmDefault(),
+                     dram::TimingParams::ddr5_3200()),
+              oltp(db, InstanceFormat::Unified, bw, timing, 17),
+              engine(db, config(workers))
+        {
+            for (int i = 0; i < 40; ++i)
+                oltp.executeMixed();
+        }
+
+        static OlapConfig
+        config(std::uint32_t workers)
+        {
+            auto cfg = OlapConfig::pushtapDimm();
+            cfg.workers = workers;
+            return cfg;
+        }
+
+        Database db;
+        format::BandwidthModel bw;
+        dram::BatchTimingModel timing;
+        TpccEngine oltp;
+        OlapEngine engine;
+    };
+};
+
+TEST_F(ParallelMaintenanceTest, SnapshotChargeAndStatsBitIdentical)
+{
+    Instance serial(1), parallel(4);
+    const auto ts = serial.db.now();
+    ASSERT_EQ(ts, parallel.db.now());
+    const auto t1 = serial.engine.prepareSnapshot(ts);
+    const auto t4 = parallel.engine.prepareSnapshot(ts);
+    EXPECT_DOUBLE_EQ(t4, t1);
+    const auto &s1 = serial.engine.lastSnapshotStats();
+    const auto &s4 = parallel.engine.lastSnapshotStats();
+    EXPECT_EQ(s4.versionsScanned, s1.versionsScanned);
+    EXPECT_EQ(s4.versionsSkipped, s1.versionsSkipped);
+    EXPECT_EQ(s4.bitsFlipped, s1.bitsFlipped);
+    EXPECT_EQ(s4.metadataBytesRead, s1.metadataBytesRead);
+    EXPECT_EQ(s4.bitmapBytesWritten, s1.bitmapBytesWritten);
+}
+
+TEST_F(ParallelMaintenanceTest, DefragChargeStatsAndAnswersIdentical)
+{
+    Instance serial(1), parallel(4);
+    serial.engine.prepareSnapshot(serial.db.now());
+    parallel.engine.prepareSnapshot(parallel.db.now());
+    const auto t1 = serial.engine.runDefragmentation(
+        mvcc::DefragStrategy::Hybrid);
+    const auto t4 = parallel.engine.runDefragmentation(
+        mvcc::DefragStrategy::Hybrid);
+    EXPECT_DOUBLE_EQ(t4, t1);
+    const auto &d1 = serial.engine.lastDefragStats();
+    const auto &d4 = parallel.engine.lastDefragStats();
+    EXPECT_EQ(d4.deltaRows, d1.deltaRows);
+    EXPECT_EQ(d4.rowsCopied, d1.rowsCopied);
+    EXPECT_EQ(d4.chainSteps, d1.chainSteps);
+    EXPECT_EQ(d4.bytesMoved, d1.bytesMoved);
+    EXPECT_DOUBLE_EQ(d4.timeNs, d1.timeNs);
+    EXPECT_DOUBLE_EQ(d4.breakdown.get("traverse"),
+                     d1.breakdown.get("traverse"));
+    EXPECT_DOUBLE_EQ(d4.breakdown.get("copy"),
+                     d1.breakdown.get("copy"));
+
+    // Post-defrag queries agree row for row.
+    serial.engine.prepareSnapshot(serial.db.now());
+    parallel.engine.prepareSnapshot(parallel.db.now());
+    for (const auto &q : workload::chExecutablePlans()) {
+        QueryResult r1, r4;
+        serial.engine.runQuery(q.plan, &r1);
+        parallel.engine.runQuery(q.plan, &r4);
+        ASSERT_EQ(r1.rows.size(), r4.rows.size()) << q.plan.name;
+        for (std::size_t i = 0; i < r1.rows.size(); ++i) {
+            EXPECT_EQ(r1.rows[i].keys, r4.rows[i].keys);
+            EXPECT_EQ(r1.rows[i].aggs, r4.rows[i].aggs);
+            EXPECT_EQ(r1.rows[i].count, r4.rows[i].count);
+        }
+    }
+}
+
+} // namespace
+} // namespace pushtap::olap

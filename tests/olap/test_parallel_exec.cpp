@@ -215,6 +215,7 @@ TEST_F(ShardPricingTest, SingleShardDecompositionUnchangedByWorkers)
             << q.plan.name;
         EXPECT_EQ(prep.rowsVisible, grep.rowsVisible) << q.plan.name;
         EXPECT_DOUBLE_EQ(prep.mergeNs, 0.0) << q.plan.name;
+        EXPECT_DOUBLE_EQ(prep.buildMergeNs, 0.0) << q.plan.name;
         ASSERT_EQ(gres.rows.size(), pres.rows.size()) << q.plan.name;
         for (std::size_t i = 0; i < gres.rows.size(); ++i) {
             EXPECT_EQ(gres.rows[i].keys, pres.rows[i].keys);
@@ -247,10 +248,17 @@ TEST_F(ShardPricingTest, ShardBytesComposeAdditively)
             << q.plan.name;
 
         // Partitioning pays per-shard scan fixed costs plus the
-        // cross-shard merge — never less than the single scan.
+        // cross-shard merge and (for plans with builds) the
+        // build-consolidation charge — never less than the single
+        // scan.
         EXPECT_GE(rep4.pimNs, rep1.pimNs) << q.plan.name;
         EXPECT_GT(rep4.mergeNs, 0.0) << q.plan.name;
-        EXPECT_DOUBLE_EQ(rep4.cpuNs, rep1.cpuNs + rep4.mergeNs)
+        if (q.plan.joins.empty() && q.plan.subqueries.empty())
+            EXPECT_DOUBLE_EQ(rep4.buildMergeNs, 0.0) << q.plan.name;
+        else
+            EXPECT_GT(rep4.buildMergeNs, 0.0) << q.plan.name;
+        EXPECT_DOUBLE_EQ(rep4.cpuNs, rep1.cpuNs + rep4.mergeNs +
+                                         rep4.buildMergeNs)
             << q.plan.name;
     }
 }

@@ -160,6 +160,39 @@ TEST(SimdKernels, FilterDictCodesMatchesScalarWithSentinel)
     }
 }
 
+TEST(SimdKernels, FilterDictCodesSmallLutTakesPshufbPath)
+{
+    // LUTs of <= 16 entries dispatch to the pshufb in-register
+    // truth table instead of the gather; same keep semantics,
+    // checked across sizes, negation and every boundary
+    // cardinality around the 16-entry cutoff.
+    Rng rng(111);
+    for (const std::uint32_t card : {1u, 2u, 11u, 15u, 16u, 17u}) {
+        std::vector<std::uint32_t> lut(card, 0);
+        for (std::uint32_t c = 0; c < card; c += 2)
+            lut[c] = 1;
+        for (const auto n : kSizes) {
+            std::vector<std::uint32_t> codes(n);
+            for (auto &c : codes)
+                c = static_cast<std::uint32_t>(rng.below(card));
+            for (const bool negate : {false, true}) {
+                const auto kept =
+                    bothDispatches(n, [&](SelectionVector &sel) {
+                        simd::filterDictCodes(codes, sel, lut,
+                                              negate);
+                    });
+                std::vector<std::uint32_t> want;
+                for (std::uint32_t i = 0; i < n; ++i)
+                    if ((lut[codes[i]] != 0) != negate)
+                        want.push_back(i);
+                EXPECT_EQ(kept, want) << "card=" << card
+                                      << " n=" << n
+                                      << " neg=" << negate;
+            }
+        }
+    }
+}
+
 TEST(SimdKernels, CompactByNonzeroMatchesScalar)
 {
     Rng rng(109);
