@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "olap/operators.hpp"
+#include "olap/optimizer.hpp"
 
 #include "common/table_printer.hpp"
 #include "common/worker_pool.hpp"
@@ -72,7 +73,8 @@ struct Measured
 /** One row of the JSON report. */
 struct JsonRow
 {
-    /** "sweep", "suite", "scaling", "phases" or "morsel_default". */
+    /** "sweep", "suite", "scaling", "phases", "morsel_default" or
+     *  "optimizer". */
     std::string section;
     std::uint64_t paperTxns = 0;
     std::string system;
@@ -84,6 +86,8 @@ struct JsonRow
     std::uint32_t workers = 1; ///< Executor worker threads.
     std::uint32_t shards = 1;  ///< Probe-table shards.
     std::uint32_t morselRows = olap::kMorselRows;
+    /** Modelled pim+cpu cost of the plan ("optimizer" section). */
+    double pricedNs = 0.0;
     /** Host wall-clock per execution phase ("phases" section). */
     double phaseSubqueryNs = 0.0;
     double phaseBuildNs = 0.0;
@@ -168,6 +172,7 @@ writeJson(const std::vector<JsonRow> &rows, const char *path)
             "\"host_batch_ns\": %.0f, \"host_scalar_ns\": %.0f, "
             "\"workers\": %u, \"shards\": %u, "
             "\"morsel_rows\": %u, "
+            "\"priced_ns\": %.1f, "
             "\"phase_subquery_ns\": %.0f, "
             "\"phase_build_ns\": %.0f, "
             "\"phase_probe_ns\": %.0f, "
@@ -178,7 +183,7 @@ writeJson(const std::vector<JsonRow> &rows, const char *path)
             r.t.consistency, r.t.total(),
             static_cast<unsigned long long>(r.rows),
             r.hostBatchNs, r.hostScalarNs, r.workers, r.shards,
-            r.morselRows, r.phaseSubqueryNs, r.phaseBuildNs,
+            r.morselRows, r.pricedNs, r.phaseSubqueryNs, r.phaseBuildNs,
             r.phaseProbeNs, r.phaseMergeNs,
             i + 1 < rows.size() ? "," : "");
     }
@@ -312,6 +317,86 @@ main()
     std::printf("\n(host columns: wall-clock of the morsel-driven "
                 "batch executor vs the row-at-a-time reference "
                 "pipeline, best of 5; checksum %zu)\n", sink);
+
+    // Cost-based optimizer: the same suite through an optimize-on
+    // instance with identical transaction history. Per query, the
+    // modelled (priced) pim+cpu cost of the hand-built plan vs the
+    // chosen physical plan, and host wall-clock of executing each —
+    // the chosen plan must never price above hand-built, and answers
+    // must not change.
+    std::printf("\nAdaptive optimizer: hand-built vs chosen plan "
+                "(same 1000-txn population)\n\n");
+    auto opt_opts = pushtapOptions(false);
+    opt_opts.olap.optimize = true;
+    htap::PushtapDB opt_db(opt_opts);
+    opt_db.mixed(1'000);
+    TablePrinter op({"query", "priced hand (us)", "priced chosen (us)",
+                     "host hand (us)", "host chosen (us)", "plan"});
+    for (const auto &q : workload::chExecutablePlans()) {
+        olap::QueryResult hand_res, opt_res;
+        suite_db.runQuery(q.plan, &hand_res);
+        const auto orep = opt_db.runQuery(q.plan, &opt_res);
+        if (hand_res.rows.size() != opt_res.rows.size())
+            std::printf("!! %s: optimizer changed the answer "
+                        "(%zu vs %zu rows)\n",
+                        q.plan.name.c_str(), hand_res.rows.size(),
+                        opt_res.rows.size());
+        if (orep.pricedChosenNs > orep.pricedHandBuiltNs)
+            std::printf("!! %s: chosen plan priced above "
+                        "hand-built\n",
+                        q.plan.name.c_str());
+        // The second optimizePlan call sees the stats the run above
+        // fed back, i.e. the plan the engine would pick next time.
+        const auto oq = opt_db.olap().optimizePlan(q.plan);
+        WorkerPool opt_pool(oq.workers);
+        olap::ExecOptions oexec;
+        oexec.shards = oq.shards;
+        oexec.workers = oq.workers;
+        oexec.morselRows = oq.morselRows;
+        oexec.pool = oq.workers > 1 ? &opt_pool : nullptr;
+        const double host_hand = wallNs([&] {
+            sink += olap::executePlan(opt_db.database(), q.plan)
+                        .result.rows.size();
+        });
+        const double host_chosen = wallNs([&] {
+            sink += olap::executePlan(opt_db.database(), oq.plan,
+                                      oexec)
+                        .result.rows.size();
+        });
+        op.addRow({q.plan.name,
+                   TablePrinter::num(orep.pricedHandBuiltNs / us, 1),
+                   TablePrinter::num(orep.pricedChosenNs / us, 1),
+                   TablePrinter::num(host_hand / us, 1),
+                   TablePrinter::num(host_chosen / us, 1),
+                   orep.planSummary});
+        JsonRow hand_row;
+        hand_row.section = "optimizer";
+        hand_row.paperTxns = 1'000'000;
+        hand_row.system = "hand-built";
+        hand_row.query = q.plan.name;
+        hand_row.rows = hand_res.rows.size();
+        hand_row.hostBatchNs = host_hand;
+        hand_row.pricedNs = orep.pricedHandBuiltNs;
+        json.push_back(hand_row);
+        JsonRow opt_row;
+        opt_row.section = "optimizer";
+        opt_row.paperTxns = 1'000'000;
+        opt_row.system = "optimized";
+        opt_row.query = q.plan.name;
+        opt_row.rows = opt_res.rows.size();
+        opt_row.hostBatchNs = host_chosen;
+        opt_row.pricedNs = orep.pricedChosenNs;
+        opt_row.workers = oq.workers;
+        opt_row.shards = oq.shards;
+        opt_row.morselRows = oq.morselRows;
+        json.push_back(opt_row);
+    }
+    op.print();
+    std::printf("\n(priced = modelled pim+cpu of each physical plan "
+                "over the same snapshot; host columns execute the "
+                "hand-built plan at default knobs vs the chosen plan "
+                "at its resolved knobs, best of 5; checksum %zu)\n",
+                sink);
 
     // Thread/shard scaling of the parallel executor: per-config
     // host wall-clock over the same populated suite database.

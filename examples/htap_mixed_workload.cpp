@@ -23,6 +23,7 @@
 #include <cstdlib>
 
 #include "htap/pushtap_db.hpp"
+#include "olap/optimizer.hpp"
 #include "workload/query_catalog.hpp"
 
 using namespace pushtap;
@@ -122,6 +123,19 @@ main(int argc, char **argv)
                         res.rows.front().count),
                     static_cast<long long>(res.rows.front().aggs[0]),
                     rep.totalNs() / 1e6);
+    }
+
+    // EXPLAIN the Q9 join chain: the hand-built logical plan next
+    // to what the cost-based optimizer would run — join order ranked
+    // by modelled row flow, scans placed CPU-vs-PIM by the priced
+    // Eq. (3) crossover, host knobs resolved from cardinalities.
+    {
+        const auto &plan = *workload::executableQueryPlan(9);
+        std::printf("\nhand-built Q9 plan:\n%s",
+                    olap::describePlan(plan).c_str());
+        std::printf("\noptimized Q9 plan (PushtapDB::explainQuery):"
+                    "\n%s",
+                    db.explainQuery(9).c_str());
     }
 
     // Same suite on a shard-partitioned parallel instance: four

@@ -5,19 +5,17 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "olap/optimizer.hpp"
 #include "workload/query_catalog.hpp"
 
 namespace pushtap::htap {
 
 PushtapDB::PushtapDB(const PushtapOptions &opts) : opts_(opts)
 {
-    // The facade knows the instance format the engine does not:
-    // resolve an auto morselRows against it here, before the engine
-    // would fall back to the Unified default. Explicitly set values
-    // pass through untouched.
-    if (opts_.olap.morselRows == olap::OlapConfig::kMorselRowsAuto)
-        opts_.olap.morselRows =
-            olap::OlapConfig::defaultMorselRows(opts_.format);
+    // Tell the engine which instance format it is pricing for, so
+    // an auto morselRows resolves against this facade's format (and
+    // the optimizer's knob pass retunes from the right default).
+    opts_.olap.instanceFormat = opts_.format;
     db_ = std::make_unique<txn::Database>(opts_.database);
     bw_ = std::make_unique<format::BandwidthModel>(
         opts_.database.devices,
@@ -113,6 +111,25 @@ PushtapDB::runQuery(int ch_query_no, olap::QueryResult *result)
               "in the catalog yet)",
               ch_query_no);
     return runQuery(*plan, result);
+}
+
+std::string
+PushtapDB::explainQuery(const olap::QueryPlan &plan)
+{
+    olap_->prepareSnapshot(db_->now());
+    const auto oq = olap_->optimizePlan(plan);
+    return olap::describePlan(plan, oq);
+}
+
+std::string
+PushtapDB::explainQuery(int ch_query_no)
+{
+    const auto *plan = workload::executableQueryPlan(ch_query_no);
+    if (!plan)
+        fatal("CH query Q{} is footprint-only (no executable plan "
+              "in the catalog yet)",
+              ch_query_no);
+    return explainQuery(*plan);
 }
 
 olap::QueryReport

@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -114,6 +115,18 @@ class PushtapDB
      */
     olap::QueryReport runQuery(int ch_query_no,
                                olap::QueryResult *result = nullptr);
+
+    /**
+     * EXPLAIN: snapshot at the current commit timestamp, run the
+     * adaptive optimizer over @p plan (regardless of the configured
+     * `optimize` flag — this only describes, it never executes) and
+     * return the describePlan() dump of the chosen physical plan and
+     * decision record.
+     */
+    std::string explainQuery(const olap::QueryPlan &plan);
+
+    /** EXPLAIN the catalog plan of CH query @p ch_query_no. */
+    std::string explainQuery(int ch_query_no);
 
     /** Q1/Q6/Q9 convenience wrappers over runQuery(). */
     olap::QueryReport q1(std::int64_t delivery_after,

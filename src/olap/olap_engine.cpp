@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -32,6 +34,17 @@ OlapConfig::defaultMorselRows(txn::InstanceFormat f)
         return kMorselRows;
     }
     return kMorselRows;
+}
+
+bool
+OlapConfig::optimizeForcedByEnv()
+{
+    // Same run-time switch shape as PUSHTAP_FORCE_SCALAR_KERNELS:
+    // set (to anything but "0") forces the optimizer on, letting CI
+    // drive whole existing suites through the optimized path without
+    // touching their code.
+    const char *v = std::getenv("PUSHTAP_OLAP_OPTIMIZE");
+    return v != nullptr && std::string_view(v) != "0";
 }
 
 OlapConfig
@@ -73,12 +86,17 @@ OlapEngine::OlapEngine(txn::Database &db, const OlapConfig &cfg)
           timing_.pimAggregateBandwidth(cfg.pimConfig.streamBandwidth),
           db.config().devices)
 {
-    // kMorselRowsAuto resolves to the baked per-format default; a
-    // bare engine (no PushtapDB resolving its instance format first)
-    // takes the Unified value.
+    // kMorselRowsAuto resolves to the baked default of the
+    // configured instance format (the facade sets `instanceFormat`
+    // to its own; a bare engine keeps the Unified hint). The
+    // optimizer may only retune a defaulted morsel size — explicit
+    // settings stay authoritative.
+    morselAuto_ = cfg_.morselRows == OlapConfig::kMorselRowsAuto;
     if (cfg_.morselRows == OlapConfig::kMorselRowsAuto)
-        cfg_.morselRows = OlapConfig::defaultMorselRows(
-            txn::InstanceFormat::Unified);
+        cfg_.morselRows =
+            OlapConfig::defaultMorselRows(cfg_.instanceFormat);
+    if (OlapConfig::optimizeForcedByEnv())
+        cfg_.optimize = true;
     if ((cfg_.morselRows & (cfg_.morselRows - 1)) != 0)
         fatal("OlapConfig: morselRows must be a power of two "
               "(got {})",
@@ -310,6 +328,15 @@ OlapEngine::priceCpuGather(const txn::TableRuntime &tbl,
         static_cast<double>(tbl.usedDataRows())));
 }
 
+bool
+OlapEngine::demotedToCpu(const txn::TableRuntime &tbl,
+                         const std::string &column) const
+{
+    return activePlacements_ != nullptr &&
+           activePlacements_->count(
+               ScanSite{tbl.schema().name(), column}) > 0;
+}
+
 void
 OlapEngine::priceColumnRead(const txn::TableRuntime &tbl,
                             const std::string &column, pim::OpType op,
@@ -318,7 +345,8 @@ OlapEngine::priceColumnRead(const txn::TableRuntime &tbl,
     const ColumnId c = tbl.schema().columnId(column);
     const auto &col = tbl.schema().column(c);
     if (col.type == format::ColType::Int &&
-        tbl.layout().singlePlacement(c) != nullptr) {
+        tbl.layout().singlePlacement(c) != nullptr &&
+        !demotedToCpu(tbl, column)) {
         const auto &pl = tbl.layout().keyPlacement(c);
         priceShardedScan(tbl, tbl.layout().parts()[pl.part].rowWidth,
                          op, rep);
@@ -409,12 +437,53 @@ OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
         scannedDataRows(probe_tbl) +
         probe_tbl.versions().deltaUsed();
 
-    if (fuse_probe_scans && plan.joins.empty()) {
+    // Predicate filters: one serial PIM scan per pushed-down Int
+    // predicate column, the CPU gather path for Char predicates and
+    // the expression predicates' column sets.
+    auto price_input = [&](const TableInput &in) {
+        const auto &tbl = db_.table(in.table);
+        for (const auto &p : in.charPredicates)
+            priceCpuGather(tbl, p.column, rep);
+        for (const auto &p : in.intPredicates)
+            priceColumnRead(tbl, p.column, pim::OpType::Filter, rep);
+        priceExprColumns(tbl, in.exprPredicates, pim::OpType::Filter,
+                         rep);
+    };
+
+    // One hash-join leg: PIM hashes both key columns, the CPU
+    // fetches the hashes, partitions buckets and pushes them back
+    // (4 B per value each way), then the PIM units probe within
+    // buckets. Fused plans skip the probe-side key Hash scans — the
+    // fused probe pass already streams those columns (they are part
+    // of fusedProbeColumns whenever the pass fuses).
+    auto price_join = [&](const JoinSpec &join,
+                          bool price_probe_keys) {
+        price_input(join.build);
+        const auto &build_tbl = db_.table(join.build.table);
+        for (const auto &[build_col, ref] : join.keys) {
+            priceColumnRead(build_tbl, build_col, pim::OpType::Hash,
+                            rep);
+            if (price_probe_keys)
+                priceColumnRead(db_.table(tableOf(plan, ref)),
+                                ref.column, pim::OpType::Hash, rep);
+        }
+        const std::uint64_t build_rows = build_tbl.usedDataRows();
+        rep.cpuNs += 2.0 * busTime((build_rows + probe_rows) * 4);
+        pim::CostModel cm(cfg_.pimConfig);
+        rep.pimNs += cm.computeTime(
+            pim::OpType::Join,
+            (build_rows + probe_rows) / cfg_.geom.totalPimUnits() +
+                1);
+    };
+
+    if (fuse_probe_scans && planFusesProbePass(plan)) {
         // Modelled fusion: every PIM-scannable probe column of the
         // fused pass in one serial scan; Char predicates (prefix and
         // LIKE) and fragmented columns keep the CPU gather path. The
         // subquery pre-pass stays its own scan set; its probe-side
-        // key columns ride the fused pass.
+        // key columns ride the fused pass, as do the probe-side keys
+        // of the filter joins (semi/anti selection kernels) — the
+        // pass the batch executor actually runs.
         priceSubqueries(plan, /*probe_keys_fused=*/true, rep);
         for (const auto &p : plan.probe.charPredicates)
             priceCpuGather(probe_tbl, p.column, rep);
@@ -430,51 +499,27 @@ OlapEngine::priceQuery(const QueryPlan &plan, bool fuse_probe_scans,
             const ColumnId c = probe_tbl.schema().columnId(name);
             if (probe_tbl.schema().column(c).type ==
                     format::ColType::Int &&
-                probe_tbl.layout().singlePlacement(c) != nullptr)
+                probe_tbl.layout().singlePlacement(c) != nullptr &&
+                !demotedToCpu(probe_tbl, name))
                 fusable.push_back(c);
             else
                 priceCpuGather(probe_tbl, name, rep);
         }
         priceFusedScan(probe_tbl, fusable, rep);
+        // The join legs beyond the probe-side keys — build filters,
+        // build hash scans, partition shuffle, in-bucket probe — are
+        // not fusable and charge exactly as in the per-operator
+        // walk.
+        for (const auto &join : plan.joins)
+            price_join(join, /*price_probe_keys=*/false);
         return;
     }
 
     priceSubqueries(plan, /*probe_keys_fused=*/false, rep);
-
-    // Predicate filters: one serial PIM scan per pushed-down Int
-    // predicate column, the CPU gather path for Char predicates and
-    // the expression predicates' column sets.
-    auto price_input = [&](const TableInput &in) {
-        const auto &tbl = db_.table(in.table);
-        for (const auto &p : in.charPredicates)
-            priceCpuGather(tbl, p.column, rep);
-        for (const auto &p : in.intPredicates)
-            priceColumnRead(tbl, p.column, pim::OpType::Filter, rep);
-        priceExprColumns(tbl, in.exprPredicates, pim::OpType::Filter,
-                         rep);
-    };
     price_input(plan.probe);
 
-    // Hash joins: PIM hashes both key columns, the CPU fetches the
-    // hashes, partitions buckets and pushes them back (4 B per value
-    // each way), then the PIM units probe within buckets.
-    for (const auto &join : plan.joins) {
-        price_input(join.build);
-        const auto &build_tbl = db_.table(join.build.table);
-        for (const auto &[build_col, ref] : join.keys) {
-            priceColumnRead(build_tbl, build_col, pim::OpType::Hash,
-                            rep);
-            priceColumnRead(db_.table(tableOf(plan, ref)), ref.column,
-                            pim::OpType::Hash, rep);
-        }
-        const std::uint64_t build_rows = build_tbl.usedDataRows();
-        rep.cpuNs += 2.0 * busTime((build_rows + probe_rows) * 4);
-        pim::CostModel cm(cfg_.pimConfig);
-        rep.pimNs += cm.computeTime(
-            pim::OpType::Join,
-            (build_rows + probe_rows) / cfg_.geom.totalPimUnits() +
-                1);
-    }
+    for (const auto &join : plan.joins)
+        price_join(join, /*price_probe_keys=*/true);
 
     // Grouped aggregation: one Group scan per key, one Aggregation
     // scan per aggregated column — every distinct column an
@@ -580,8 +625,77 @@ OlapEngine::priceBuildMerge(const QueryPlan &plan,
 }
 
 QueryReport
+OlapEngine::pricePlan(const QueryPlan &plan, bool fuse_probe_scans,
+                      const PlacementSet *cpu_demotions,
+                      std::uint64_t visible_rows) const
+{
+    // The optimizer's cost function: the exact modelled walk
+    // runQuery charges, minus execution and the consistency share.
+    // The placement set is active only for the duration of this walk.
+    QueryReport rep;
+    rep.name = plan.name;
+    rep.shardBytes.assign(cfg_.shards, 0);
+    activePlacements_ = cpu_demotions;
+    priceQuery(plan, fuse_probe_scans, rep);
+    activePlacements_ = nullptr;
+    priceMerge(plan, visible_rows, rep);
+    priceShardMerge(plan, rep);
+    priceBuildMerge(plan, rep);
+    return rep;
+}
+
+std::uint64_t
+OlapEngine::pimCrossoverRows(const txn::TableRuntime &tbl,
+                             const std::string &column,
+                             pim::OpType op) const
+{
+    const ColumnId c = tbl.schema().columnId(column);
+    const auto &col = tbl.schema().column(c);
+    if (col.type != format::ColType::Int ||
+        tbl.layout().singlePlacement(c) == nullptr)
+        return 0; // Always the CPU gather path; no crossover.
+    const auto &pl = tbl.layout().keyPlacement(c);
+    const std::uint32_t width =
+        tbl.layout().parts()[pl.part].rowWidth;
+    const auto access = format::BandwidthModel(
+                            db_.config().devices,
+                            cfg_.geom.interleaveGranularity,
+                            cfg_.geom.stripedLines)
+                            .columnSetAccess(tbl.layout(), {c});
+    auto pimWins = [&](std::uint64_t rows) {
+        const TimeNs pim =
+            scanCostForRows(rows, width, op).schedule.total();
+        const TimeNs cpu = busTime(static_cast<Bytes>(
+            access.fetchedBytes * static_cast<double>(rows)));
+        return pim <= cpu;
+    };
+    if (pimWins(1))
+        return 1;
+    // The offload fixed costs amortize with scale while the gather
+    // transfer grows linearly, so the win threshold is found by
+    // doubling then bisecting. Capped: a scan that has not caught
+    // the gather by 2^40 rows never profitably offloads (returns 0,
+    // like a non-eligible column).
+    std::uint64_t hi = 2;
+    while (!pimWins(hi)) {
+        if (hi >= (1ull << 40))
+            return 0;
+        hi *= 2;
+    }
+    std::uint64_t lo = hi / 2; // !pimWins(lo), pimWins(hi).
+    while (hi - lo > 1) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        (pimWins(mid) ? hi : lo) = mid;
+    }
+    return hi;
+}
+
+QueryReport
 OlapEngine::runQuery(const QueryPlan &plan, QueryResult *result)
 {
+    if (cfg_.optimize)
+        return runQueryOptimized(plan, result);
+
     QueryReport rep;
     rep.name = plan.name;
     rep.consistencyNs = takeConsistency();

@@ -18,7 +18,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,10 +49,13 @@ struct OlapConfig
     bool blockCirculant = true;
     /**
      * Model intra-query operator fusion: when the batch executor
-     * reports a fused predicate+group+aggregate pass (no join
-     * intervened), charge one serial PIM scan streaming every fused
-     * column's slot bytes together instead of one scan per operator
-     * input. Off by default — section 6.2's pricing charges one
+     * reports a fused predicate+join-filter+group+aggregate pass
+     * (join-free, or probe-keyed semi/anti filter joins only — see
+     * planFusesProbePass), charge one serial PIM scan streaming
+     * every fused column's slot bytes together instead of one scan
+     * per operator input; the non-fusable join legs (build scans,
+     * partition shuffle, in-bucket probe) keep their per-operator
+     * charges. Off by default — section 6.2's pricing charges one
      * serial scan per input and all golden decompositions assume it.
      */
     bool fuseScans = false;
@@ -79,12 +84,36 @@ struct OlapConfig
      * Rows per morsel of the batch executor. Must be a power of two
      * when set explicitly (validated at engine construction);
      * kMorselRowsAuto (the default) resolves through
-     * defaultMorselRows() — PushtapDB resolves it against its
-     * instance format before constructing the engine, a bare
-     * OlapEngine resolves against the Unified default. Explicitly
-     * set values are always authoritative.
+     * defaultMorselRows() against `instanceFormat` at engine
+     * construction. Explicitly set values are always authoritative —
+     * the adaptive optimizer only retunes a defaulted morsel size.
      */
     std::uint32_t morselRows = kMorselRowsAuto;
+    /**
+     * Instance-format hint resolving the per-format morsel default
+     * (PushtapDB sets its configured format; a bare engine keeps
+     * Unified). Purely a knob-resolution input — execution and
+     * pricing read the actual table layouts.
+     */
+    txn::InstanceFormat instanceFormat = txn::InstanceFormat::Unified;
+    /**
+     * Cost-based adaptive optimizer (olap/optimizer.hpp): every
+     * runQuery() first prices candidate physical plans through the
+     * ScanCost walk — join order, inner-to-semi demotion, per-scan
+     * CPU-vs-PIM placement, probe-pass fusion — resolves the host
+     * execution knobs (shards/workers/morselRows) from table
+     * cardinalities and hardware threads, and executes the chosen
+     * plan. Results are byte-identical to the hand-built plan (only
+     * result-preserving transforms are ever candidates) and the
+     * chosen plan's priced cost is never above the hand-built
+     * plan's. Off by default: all golden QueryReport decompositions
+     * assume the hand-built plans. The PUSHTAP_OLAP_OPTIMIZE
+     * environment variable (any value but "0") forces it on, the
+     * same switch shape as PUSHTAP_FORCE_SCALAR_KERNELS.
+     */
+    bool optimize = false;
+    /** True when PUSHTAP_OLAP_OPTIMIZE forces the optimizer on. */
+    static bool optimizeForcedByEnv();
     /**
      * Per-format default morsel size, baked from the
      * BENCH_fig9b.json per-format sweep (the sweep's argmin). Every
@@ -103,6 +132,52 @@ struct OlapConfig
     /** Original software-managed PIM architecture (Fig. 12(b)). */
     static OlapConfig originalArchDimm();
 };
+
+/**
+ * One scan site of a plan: a (table, column) pair named by schema
+ * name. The optimizer's placement pass demotes sites from the PIM
+ * scan path to the CPU gather path when the priced plan total drops
+ * — the runtime counterpart of the Eq. (3) CPU/PIM crossover.
+ */
+struct ScanSite
+{
+    std::string table; ///< Schema name (TableSchema::name()).
+    std::string column;
+
+    auto operator<=>(const ScanSite &) const = default;
+};
+
+/** Scan sites priced on the CPU gather path instead of PIM. */
+using PlacementSet = std::set<ScanSite>;
+
+/**
+ * Observed statistics of one plan's past optimized runs — the
+ * per-plan stats cache closing the optimizer's feedback loop.
+ * Populated from the batch executor's measured counts (ExecStats)
+ * after every optimized run, read by the next optimizePlan() so
+ * repeated runs rank join orders from observed, not assumed,
+ * selectivities.
+ */
+struct PlanStats
+{
+    std::uint64_t runs = 0;
+    /** Snapshot-visible probe rows of the last run. */
+    std::uint64_t probeVisible = 0;
+    /** Probe rows surviving the predicate chain in the last run. */
+    std::uint64_t probeFiltered = 0;
+    struct JoinObserved
+    {
+        std::uint64_t in = 0, out = 0;
+    };
+    /** Keyed by join signature (build table / kind / key columns),
+     *  so the observation survives reordering between runs. */
+    std::map<std::string, JoinObserved> joins;
+    /** (seen, kept) per probe expression conjunct, original order —
+     *  the adaptive reorderer's measured pass rates. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> conjuncts;
+};
+
+struct OptimizedQuery;
 
 /** Cost of scanning one column once. */
 struct ScanCost
@@ -179,6 +254,50 @@ class OlapEngine
     /** Q9: item/stock/orders x orderline joins (plan wrapper). */
     QueryReport q9(std::vector<Q9Row> *rows = nullptr);
 
+    /**
+     * Run the cost-based optimizer over @p plan without executing
+     * it: returns the chosen physical plan, resolved knobs, scan
+     * placements and priced costs (olap/optimizer.hpp). runQuery()
+     * calls this when cfg_.optimize is on; callable directly for
+     * EXPLAIN (describePlan) regardless of the flag.
+     */
+    OptimizedQuery optimizePlan(const QueryPlan &plan) const;
+
+    /**
+     * Price @p plan through the full modelled walk (priceQuery +
+     * merge/shard/build consolidation) without executing anything:
+     * the optimizer's cost function. @p cpu_demotions (may be null)
+     * prices those scan sites on the CPU gather path;
+     * @p visible_rows feeds the visible-row-dependent merge terms
+     * (identical across candidate plans, so it never affects the
+     * ranking). consistencyNs is left zero.
+     */
+    QueryReport pricePlan(const QueryPlan &plan,
+                          bool fuse_probe_scans,
+                          const PlacementSet *cpu_demotions,
+                          std::uint64_t visible_rows) const;
+
+    /**
+     * Eq. (3)-style crossover of one PIM-eligible column scan: the
+     * smallest scanned-row count at which the PIM schedule (with its
+     * per-scan offload fixed costs) beats the CPU gather transfer.
+     * 0 when no such count exists: the column is not PIM-eligible
+     * (Char or fragmented — always CPU), or the schedule never
+     * catches the gather within the searched range. An EXPLAIN aid;
+     * the placement pass itself prices whole plans.
+     */
+    std::uint64_t pimCrossoverRows(const txn::TableRuntime &tbl,
+                                   const std::string &column,
+                                   pim::OpType op) const;
+
+    /** Observed stats of @p plan_name's past optimized runs (null
+     *  when it never ran with the optimizer on). */
+    const PlanStats *planStats(const std::string &plan_name) const
+    {
+        const auto it = statsCache_.find(plan_name);
+        return it == statsCache_.end() ? nullptr : &it->second;
+    }
+
     /** Price one scan of @p column of table @p t as operator @p op. */
     ScanCost columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
                             pim::OpType op) const;
@@ -191,6 +310,13 @@ class OlapEngine
     ScanCost scanCostForWidth(const txn::TableRuntime &tbl,
                               std::uint32_t width,
                               pim::OpType op) const;
+
+    /** Scan cost of streaming @p rows rows of @p width bytes —
+     *  the row-count-parametric core pimCrossoverRows() bisects
+     *  over; public so tests can check the crossover point against
+     *  the actual schedules. */
+    ScanCost scanCostForRows(std::uint64_t rows, std::uint32_t width,
+                             pim::OpType op) const;
 
     /** Last defragmentation's statistics (Fig. 11(d)). */
     const mvcc::DefragStats &lastDefragStats() const
@@ -246,10 +372,6 @@ class OlapEngine
                          bool probe_keys_fused,
                          QueryReport &rep) const;
 
-    /** Scan cost of streaming @p rows rows of @p width bytes. */
-    ScanCost scanCostForRows(std::uint64_t rows, std::uint32_t width,
-                             pim::OpType op) const;
-
     /**
      * Price one serial scan of @p width bytes per row as one
      * ScanCost schedule per shard, composed additively: shard s
@@ -283,10 +405,22 @@ class OlapEngine
     void priceBuildMerge(const QueryPlan &plan,
                          QueryReport &rep) const;
 
-    /** PIM scan when unfragmented, CPU gather otherwise. */
+    /** PIM scan when unfragmented (and not demoted by the active
+     *  placement set), CPU gather otherwise. */
     void priceColumnRead(const txn::TableRuntime &tbl,
                          const std::string &column, pim::OpType op,
                          QueryReport &rep) const;
+
+    /** True when the active placement set routes this scan site to
+     *  the CPU gather path. */
+    bool demotedToCpu(const txn::TableRuntime &tbl,
+                      const std::string &column) const;
+
+    /** runQuery with cfg_.optimize on: optimize, execute the chosen
+     *  plan with the resolved knobs, feed observed stats back into
+     *  the cache, and price chosen vs hand-built. */
+    QueryReport runQueryOptimized(const QueryPlan &plan,
+                                  QueryResult *result);
 
     /** CPU fragment-gather of one column (normal-column path). */
     void priceCpuGather(const txn::TableRuntime &tbl,
@@ -305,11 +439,24 @@ class OlapEngine
     /** Reused across queries and the snapshot/defrag passes; null
      *  when the config is one worker. */
     std::unique_ptr<WorkerPool> pool_;
+    /** Lazily created when the optimizer tunes workers above the
+     *  configured count and no configured pool exists. */
+    std::unique_ptr<WorkerPool> optPool_;
     std::vector<mvcc::Snapshotter> snapshotters_;
     mvcc::Defragmenter defragmenter_;
     TimeNs pendingConsistency_ = 0.0;
     mvcc::DefragStats lastDefrag_;
     mvcc::SnapshotStats lastSnapshot_;
+    /** True when morselRows came from the per-format default (auto)
+     *  rather than an explicit user setting — the only case the
+     *  optimizer may tune it. */
+    bool morselAuto_ = false;
+    /** Placement set consulted by priceColumnRead during a
+     *  pricePlan walk (null outside one); mutable because pricing
+     *  is logically const. */
+    mutable const PlacementSet *activePlacements_ = nullptr;
+    /** Per-plan observed-stats cache, keyed by plan name. */
+    std::map<std::string, PlanStats> statsCache_;
 };
 
 } // namespace pushtap::olap

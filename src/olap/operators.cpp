@@ -860,6 +860,19 @@ class BatchPredicates
         }
     }
 
+    /** Observed (seen, kept) counts per expression conjunct, in the
+     *  input's original predicate order — the measured selectivities
+     *  the optimizer's per-plan stats cache feeds on. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    conjunctStats() const
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        out.reserve(exprs_.size());
+        for (const auto &c : exprs_)
+            out.emplace_back(c.seen, c.kept);
+        return out;
+    }
+
   private:
     static constexpr std::uint64_t kReorderInterval = 32;
 
@@ -1723,6 +1736,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                 rd.emplace_back(store, name);
             batches.resize(cols.size());
             bulkKeys.resize(plan.joins.size());
+            joinStats.resize(plan.joins.size());
             etup.resize(plan.joins.size());
             etupNext.resize(plan.joins.size());
             gvals.resize(plan.groupBy.size());
@@ -1764,6 +1778,10 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         DenseGroupAggregator dense;
         bool denseActive;
         std::uint64_t visible = 0;
+        /** Rows surviving the predicate chain (ExecStats). */
+        std::uint64_t filtered = 0;
+        /** Per-join observed in/out row flow (ExecStats). */
+        std::vector<JoinExecStats> joinStats;
         InlineKey fk; ///< Filter-join probe key, reused across rows.
     };
 
@@ -1833,12 +1851,15 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         visibleRows(probe_store, m, st.sel);
         st.visible += st.sel.size();
         st.preds.apply(m, st.sel);
+        st.filtered += st.sel.size();
 
         // Filter joins: bulk-probe the built existence tables and
         // compact the selection in place.
         for (const auto k : filter_joins) {
             if (st.sel.empty())
                 break;
+            auto &js = st.joinStats[k];
+            js.in += st.sel.size();
             const auto &refs = join_key_refs[k];
             for (const auto &ref : refs)
                 st.rd[ref.idx].gatherInts(m, st.sel.span(),
@@ -1850,6 +1871,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                 // Bulk probe: vectorized key hashing + compaction.
                 exists.filterContains1(
                     st.batches[refs[0].idx].ints, st.sel, anti);
+                js.out += st.sel.size();
                 continue;
             }
             st.fk.n = static_cast<std::uint32_t>(refs.size());
@@ -1863,6 +1885,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                 n += static_cast<std::size_t>(found != anti);
             }
             st.sel.idx.resize(n);
+            js.out += st.sel.size();
         }
         if (st.sel.empty())
             return;
@@ -1957,6 +1980,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         st.activeTup.clear();
 
         for (const auto k : descend_joins) {
+            st.joinStats[k].in += erow.size();
             const auto &refs = join_key_refs[k];
             auto keyAt = [&](std::size_t e) {
                 if (probe_keyed[k])
@@ -2011,6 +2035,7 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                 std::swap(st.etup[k], st.etupNext[k]);
                 st.activeTup.push_back(k);
             }
+            st.joinStats[k].out += erow.size();
             if (erow.empty())
                 return;
         }
@@ -2139,12 +2164,34 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     out.probeNs = phaseNs(t_build, t_probe);
     for (const auto *st : engaged)
         out.rowsVisible += st->visible;
-    if (plan.joins.empty()) {
-        // The whole probe pass ran fused (predicates + grouping +
-        // aggregation in one morsel loop): report how many probe Int
-        // columns that single serial pass streamed.
+    if (no_descend) {
+        // The whole probe pass ran fused (predicates + filter joins
+        // + grouping + aggregation in one morsel loop): report how
+        // many probe Int columns that single serial pass streamed —
+        // probe-keyed semi/anti joins are selection kernels inside
+        // the same loop, so they fuse like any other predicate.
         out.fusedScanColumns = static_cast<std::uint32_t>(
             fusedProbeColumns(plan).size());
+    }
+
+    // Observed selectivities for the optimizer's stats cache: all
+    // deterministic integer sums over the per-worker partials.
+    out.stats.collected = true;
+    out.stats.probeVisible = out.rowsVisible;
+    out.stats.joins.resize(plan.joins.size());
+    out.stats.conjuncts.assign(plan.probe.exprPredicates.size(),
+                               {0, 0});
+    for (const auto *st : engaged) {
+        out.stats.probeFiltered += st->filtered;
+        for (std::size_t k = 0; k < plan.joins.size(); ++k) {
+            out.stats.joins[k].in += st->joinStats[k].in;
+            out.stats.joins[k].out += st->joinStats[k].out;
+        }
+        const auto cs = st->preds.conjunctStats();
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+            out.stats.conjuncts[i].first += cs[i].first;
+            out.stats.conjuncts[i].second += cs[i].second;
+        }
     }
 
     if (fused_ungrouped) {
@@ -2199,6 +2246,28 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
 }
 
 } // namespace
+
+bool
+planFusesProbePass(const QueryPlan &plan)
+{
+    // Mirrors executeBatchImpl's classification exactly: the fused
+    // probe pass runs when no join descends — every join is a
+    // non-inner join keyed purely on probe columns — and the plan
+    // fits the inline-key engine (otherwise the scalar reference
+    // executor runs and nothing fuses).
+    if (!fitsBatchEngine(plan))
+        return false;
+    for (const auto &join : plan.joins) {
+        if (join.kind == JoinKind::Inner)
+            return false;
+        for (const auto &[build_col, ref] : join.keys) {
+            (void)build_col;
+            if (ref.side != ColRef::kProbe)
+                return false;
+        }
+    }
+    return true;
+}
 
 PlanExecution
 executePlan(const txn::Database &db, const QueryPlan &plan,

@@ -143,6 +143,38 @@ struct QueryResult
     std::vector<ResultRow> rows;
 };
 
+/** Observed row flow through one join of the batch engine. */
+struct JoinExecStats
+{
+    std::uint64_t in = 0;  ///< Entries probed into the join.
+    std::uint64_t out = 0; ///< Entries surviving (or expanded) out.
+};
+
+/**
+ * Measured execution statistics of the batch engine — observed, not
+ * modelled. The cost-based optimizer's per-plan stats cache feeds on
+ * these so repeated runs re-optimize from measured selectivities
+ * (probe filter pass rates, per-join survival/expansion ratios)
+ * instead of assumed ones. All counts are deterministic sums over
+ * the per-worker partials, so they are identical for every workers x
+ * shards configuration. Left at the defaults (collected == false)
+ * when the scalar reference executor ran.
+ */
+struct ExecStats
+{
+    bool collected = false;
+    /** Snapshot-visible probe rows entering the predicate chain. */
+    std::uint64_t probeVisible = 0;
+    /** Probe rows surviving the pushed-down predicate chain. */
+    std::uint64_t probeFiltered = 0;
+    /** Per plan join index (filter joins and descend joins alike). */
+    std::vector<JoinExecStats> joins;
+    /** (seen, kept) per probe expression conjunct, in the plan's
+     *  original predicate order — the adaptive reorderer's measured
+     *  selectivities. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> conjuncts;
+};
+
 struct PlanExecution
 {
     QueryResult result;
@@ -168,6 +200,8 @@ struct PlanExecution
     double buildNs = 0.0;
     double probeNs = 0.0;
     double mergeNs = 0.0;
+    /** Observed selectivity statistics (batch engine only). */
+    ExecStats stats;
 };
 
 /**
@@ -205,6 +239,18 @@ struct ExecOptions
 PlanExecution executePlan(const txn::Database &db,
                           const QueryPlan &plan,
                           const ExecOptions &opts = {});
+
+/**
+ * True when the batch engine runs @p plan's whole probe pass fused
+ * (predicates + filter joins + grouping + aggregation in one morsel
+ * loop): the plan fits the inline-key engine (no scalar fallback)
+ * and every join is a probe-keyed selection kernel — a semi or anti
+ * join keyed purely on probe columns. Inner joins and payload-keyed
+ * joins descend through the match expansion instead. Defined next to
+ * the executor's own classification so the OlapConfig::fuseScans
+ * pricing gate and the fusedScanColumns report cannot drift.
+ */
+bool planFusesProbePass(const QueryPlan &plan);
 
 /**
  * Row-at-a-time reference executor (the pre-batching pipeline):

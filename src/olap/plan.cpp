@@ -100,6 +100,14 @@ fusedProbeColumns(const QueryPlan &plan)
     for (const auto &sub : plan.subqueries)
         for (const auto &key : sub.keys)
             cols.insert(key.column);
+    // Probe-keyed filter joins (semi/anti selection kernels) gather
+    // their probe key columns inside the same fused loop. Join keys
+    // are always Int columns. No-op for join-free plans, so the
+    // original fused set is unchanged there.
+    for (const auto &join : plan.joins)
+        for (const auto &[build_col, ref] : join.keys)
+            if (ref.side == ColRef::kProbe)
+                cols.insert(ref.column);
     for (const auto &key : plan.groupBy)
         cols.insert(key.column);
     for (const auto &agg : plan.aggregates) {

@@ -199,11 +199,13 @@ std::set<std::pair<workload::ChTable, std::string>>
 touchedColumns(const QueryPlan &plan);
 
 /**
- * The distinct probe columns a fused probe pass streams for a
- * join-free plan: pushed-down Int predicate columns, group keys and
- * aggregate inputs. Shared by the batch executor's
- * fusedScanColumns report and the OlapConfig::fuseScans pricing
- * walk so the two cannot drift.
+ * The distinct probe columns a fused probe pass streams: pushed-down
+ * Int predicate columns, probe-keyed filter-join keys, subquery
+ * lookup keys, group keys and aggregate inputs. The pass runs for
+ * any plan whose joins are all probe-keyed selection kernels
+ * (olap/operators.hpp planFusesProbePass), join-free plans included.
+ * Shared by the batch executor's fusedScanColumns report and the
+ * OlapConfig::fuseScans pricing walk so the two cannot drift.
  */
 std::set<std::string> fusedProbeColumns(const QueryPlan &plan);
 

@@ -59,6 +59,36 @@ struct QueryReport
      */
     TimeNs buildMergeNs = 0.0;
 
+    // ------ Cost-based optimizer surface (OlapConfig::optimize) ---
+    // All defaulted to the "hand-built plan ran" values, so reports
+    // from an optimize-off engine are unchanged field-for-field.
+
+    /** True when the adaptive optimizer chose the physical plan. */
+    bool optimized = false;
+    /** Modelled cost (pim + cpu) of the hand-built plan, priced over
+     *  the same snapshot and visible-row count. */
+    TimeNs pricedHandBuiltNs = 0.0;
+    /** Modelled cost of the chosen plan — never above
+     *  pricedHandBuiltNs (the optimizer only accepts strictly
+     *  cheaper transforms, priced in the hand-built summation
+     *  order). */
+    TimeNs pricedChosenNs = 0.0;
+    /** Resolved execution knobs the query actually ran with (0 when
+     *  the optimizer was off). Pricing stays at the configured shard
+     *  count — these are the host-side knobs. */
+    std::uint32_t execShards = 0;
+    std::uint32_t execWorkers = 0;
+    std::uint32_t execMorselRows = 0;
+    /** Scans the placement pass moved from PIM to the CPU gather
+     *  path (Eq. (3)-style crossover, priced per site). */
+    std::uint32_t cpuDemotedScans = 0;
+    /** Joins not at their hand-built position / inner joins demoted
+     *  to semi joins. */
+    std::uint32_t joinsReordered = 0;
+    std::uint32_t joinsDemoted = 0;
+    /** One-line physical-plan summary (EXPLAIN's short form). */
+    std::string planSummary;
+
     TimeNs
     totalNs() const
     {

@@ -65,14 +65,19 @@ TEST_F(PushtapDbTest, DefragKeepsResultsCorrect)
 TEST_F(PushtapDbTest, Q1AndQ9Run)
 {
     db.mixed(10);
+    // A forced optimizer may price this tiny table's scans entirely
+    // on the CPU gather path; the queries still run and answer.
+    const bool pim_pinned = !olap::OlapConfig::optimizeForcedByEnv();
     std::vector<olap::Q1Row> q1rows;
     const auto q1 = db.q1(workload::kDateBase, &q1rows);
     EXPECT_FALSE(q1rows.empty());
-    EXPECT_GT(q1.pimNs, 0.0);
+    if (pim_pinned)
+        EXPECT_GT(q1.pimNs, 0.0);
 
     std::vector<olap::Q9Row> q9rows;
     const auto q9 = db.q9(&q9rows);
-    EXPECT_GT(q9.pimNs, 0.0);
+    if (pim_pinned)
+        EXPECT_GT(q9.pimNs, 0.0);
 }
 
 TEST_F(PushtapDbTest, DefragIntervalZeroDisables)

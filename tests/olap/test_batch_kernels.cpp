@@ -391,8 +391,10 @@ TEST_F(BatchVsScalarTest, FusedPassEqualsUnfusedOnRandomPlans)
         const auto batch = executePlan(db, p);
         expectSameExecution(batch, executePlanScalar(db, p),
                             p.name);
-        // Fusion is reported exactly when no join intervenes.
-        if (p.joins.empty())
+        // Fusion is reported exactly when the whole probe pass
+        // stays one fused kernel: join-free, or every join a
+        // probe-keyed semi/anti existence filter.
+        if (planFusesProbePass(p))
             EXPECT_GT(batch.fusedScanColumns, 0u) << p.name;
         else
             EXPECT_EQ(batch.fusedScanColumns, 0u) << p.name;
@@ -419,8 +421,13 @@ TEST_F(BatchVsScalarTest, MinMaxAggregatesMatchAcrossExecutors)
 TEST_F(BatchVsScalarTest, FusedScanPricingReducesModelledTime)
 {
     // With fuseScans on, results stay identical and the modelled
-    // PIM time of a fused no-join plan drops (one serial scan
-    // instead of three); joined plans are unaffected.
+    // PIM time of a fused plan drops (one serial scan instead of
+    // one per probe column) — for the join-free Q6 and for the
+    // probe-keyed semi-join Q14, whose probe pass also runs fused.
+    if (OlapConfig::optimizeForcedByEnv())
+        GTEST_SKIP() << "optimizer forced on: reports are priced "
+                        "over the chosen plan, not the fuseScans "
+                        "comparison this test pins";
     auto fused_cfg = OlapConfig::pushtapDimm();
     fused_cfg.fuseScans = true;
     OlapEngine fused(db, fused_cfg);
@@ -438,8 +445,9 @@ TEST_F(BatchVsScalarTest, FusedScanPricingReducesModelledTime)
 
     const auto base_j = engine.runQuery(plans::q14(), nullptr);
     const auto opt_j = fused.runQuery(plans::q14(), nullptr);
-    EXPECT_DOUBLE_EQ(opt_j.pimNs, base_j.pimNs);
-    EXPECT_EQ(opt_j.fusedScanColumns, 0u);
+    EXPECT_GT(base_j.fusedScanColumns, 0u);
+    EXPECT_EQ(opt_j.fusedScanColumns, base_j.fusedScanColumns);
+    EXPECT_LT(opt_j.pimNs, base_j.pimNs);
 }
 
 } // namespace

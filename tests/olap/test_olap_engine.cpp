@@ -84,7 +84,10 @@ TEST_F(OlapEngineTest, Q6MatchesReferenceOnCleanData)
     EXPECT_EQ(revenue, referenceQ6(db, workload::kDateBase,
                                    workload::kDateBase + 2000, 1,
                                    10));
-    EXPECT_GT(rep.pimNs, 0.0);
+    // A forced optimizer may legitimately demote every scan of this
+    // tiny table to the CPU gather path, pricing pimNs to zero.
+    if (!OlapConfig::optimizeForcedByEnv())
+        EXPECT_GT(rep.pimNs, 0.0);
     EXPECT_EQ(rep.rowsVisible,
               db.table(ChTable::OrderLine).populatedRows());
 }
@@ -272,6 +275,10 @@ TEST_F(OlapEngineTest, BlockCirculantImprovesParallelism)
 
 TEST_F(OlapEngineTest, CpuBlockedTimeOnlyDuringLoadPhases)
 {
+    // Bank-lock time exists only while scans run on PIM; a forced
+    // optimizer may price this tiny table's scans on the CPU.
+    if (OlapConfig::optimizeForcedByEnv())
+        GTEST_SKIP() << "optimizer forced on";
     engine.prepareSnapshot(db.now());
     const auto rep = engine.q6(0, 1LL << 60, 1, 10, nullptr);
     EXPECT_GT(rep.cpuBlockedNs, 0.0);
@@ -286,6 +293,9 @@ TEST_F(OlapEngineTest, Q6TimingMatchesBespokeDecomposition)
     // Reconstruct the original hand-rolled Q6 pricing: three serial
     // scans (Filter delivery, Filter quantity, Aggregation amount)
     // plus one 8 B partial-sum merge per PIM unit.
+    if (OlapConfig::optimizeForcedByEnv())
+        GTEST_SKIP() << "optimizer forced on: report is priced over "
+                        "the chosen plan, not this hand-built pin";
     for (int i = 0; i < 20; ++i)
         oltp.executeMixed();
     engine.prepareSnapshot(db.now());
@@ -318,6 +328,9 @@ TEST_F(OlapEngineTest, Q6TimingMatchesBespokeDecomposition)
 
 TEST_F(OlapEngineTest, Q1TimingMatchesBespokeDecomposition)
 {
+    if (OlapConfig::optimizeForcedByEnv())
+        GTEST_SKIP() << "optimizer forced on: report is priced over "
+                        "the chosen plan, not this hand-built pin";
     for (int i = 0; i < 20; ++i)
         oltp.executeMixed();
     engine.prepareSnapshot(db.now());
@@ -348,6 +361,9 @@ TEST_F(OlapEngineTest, Q9TimingMatchesBespokeDecomposition)
 {
     // Q9 now carries its full CH join graph (ITEM, STOCK and ORDERS
     // legs); the decomposition mirrors priceQuery leg by leg.
+    if (OlapConfig::optimizeForcedByEnv())
+        GTEST_SKIP() << "optimizer forced on: report is priced over "
+                        "the chosen plan, not this hand-built pin";
     for (int i = 0; i < 20; ++i)
         oltp.executeMixed();
     engine.prepareSnapshot(db.now());

@@ -227,6 +227,11 @@ TEST_F(ShardPricingTest, SingleShardDecompositionUnchangedByWorkers)
 
 TEST_F(ShardPricingTest, ShardBytesComposeAdditively)
 {
+    // The optimizer prices shard counts independently, so its greedy
+    // placement may diverge between the two engines; this test pins
+    // the hand-built decomposition relation only.
+    if (OlapConfig::optimizeForcedByEnv())
+        GTEST_SKIP() << "optimizer forced on";
     OlapEngine one(db, config(1, 1));
     OlapEngine four(db, config(4, 2));
     for (const auto &q : workload::chExecutablePlans()) {
