@@ -438,6 +438,41 @@ BM_FilterDictCodesSmallLut(benchmark::State &state)
 BENCHMARK(BM_FilterDictCodesSmallLut)->Arg(0)->Arg(1);
 
 void
+BM_FilterDictCodesGatherLut(benchmark::State &state)
+{
+    // Isolates the i32-gather LUT variant: 1024 distinct values keep
+    // the dictionary far above the 16-entry pshufb ceiling, so the
+    // dispatched AVX2 path is always the latency-bound gather. This
+    // row is the pinned baseline for the PUSHTAP_SIMD_GATHER_LUT
+    // compile-probe revisit (wider in-register tables on AVX-512
+    // VBMI hardware) — see the dispatch note in filterDictCodes.
+    setKernelVariant(state);
+    if (olap::simd::simdActive())
+        state.SetLabel("avx2-gather");
+    Rng rng(23);
+    const std::uint32_t card = 1024;
+    std::vector<std::uint32_t> codes(olap::kMorselRows);
+    for (auto &c : codes)
+        c = static_cast<std::uint32_t>(rng.below(card));
+    std::vector<std::uint32_t> lut(card + 1, 0);
+    for (std::uint32_t c = 0; c < card; c += 3)
+        lut[c] = 1;
+    olap::SelectionVector all, sel;
+    for (std::uint32_t i = 0; i < olap::kMorselRows; ++i)
+        all.idx.push_back(i);
+    for (auto _ : state) {
+        sel.idx = all.idx;
+        olap::simd::filterDictCodes(codes, sel, lut, false);
+        benchmark::DoNotOptimize(sel.idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        olap::kMorselRows);
+    olap::simd::forceScalarKernels(false);
+}
+BENCHMARK(BM_FilterDictCodesGatherLut)->Arg(0)->Arg(1);
+
+void
 BM_CharLikeRaw(benchmark::State &state)
 {
     // LIKE over raw Char bytes: gather 24-byte payloads, per-row

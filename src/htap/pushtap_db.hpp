@@ -104,7 +104,13 @@ class PushtapDB
      * Fresh analytical query: snapshot at the current commit
      * timestamp first, then execute @p plan through the operator
      * pipeline. Data freshness is exact: every committed transaction
-     * is visible.
+     * is visible. With opts.olap.resultCache on, repeated plans may
+     * be served from the frontier-keyed result cache — freshness is
+     * unaffected, because any commit, snapshot flip or
+     * defragmentation move since the cached run changes the frontier
+     * vector and forces re-execution; a served answer is always
+     * byte-identical to a cold run at the current snapshot
+     * (QueryReport::cacheHit / incrementalRows record the path).
      */
     olap::QueryReport runQuery(const olap::QueryPlan &plan,
                                olap::QueryResult *result = nullptr);

@@ -33,6 +33,7 @@
 #include "olap/operators.hpp"
 #include "olap/plan.hpp"
 #include "olap/query_report.hpp"
+#include "olap/result_cache.hpp"
 #include "pim/two_phase.hpp"
 #include "txn/database.hpp"
 
@@ -114,6 +115,22 @@ struct OlapConfig
     bool optimize = false;
     /** True when PUSHTAP_OLAP_OPTIMIZE forces the optimizer on. */
     static bool optimizeForcedByEnv();
+    /**
+     * Frontier-keyed result cache with delta-incremental aggregate
+     * re-execution (olap/result_cache.hpp): repeated queries whose
+     * footprint frontier is unchanged are answered from the cache
+     * without executing, and eligible plans whose probe table moved
+     * by pure appends re-scan only the appended rows, folding them
+     * into the cached group accumulators. Answers are always
+     * byte-identical to a cold run at the same frontier. Off by
+     * default: all golden QueryReport decompositions assume cold
+     * runs. The PUSHTAP_OLAP_RESULT_CACHE environment variable (any
+     * value but "0") forces it on, the same switch shape as
+     * PUSHTAP_OLAP_OPTIMIZE.
+     */
+    bool resultCache = false;
+    /** True when PUSHTAP_OLAP_RESULT_CACHE forces the cache on. */
+    static bool resultCacheForcedByEnv();
     /**
      * Per-format default morsel size, baked from the
      * BENCH_fig9b.json per-format sweep (the sweep's argmin). Every
@@ -210,6 +227,13 @@ class OlapEngine
   public:
     OlapEngine(txn::Database &db, const OlapConfig &cfg);
 
+    /**
+     * Persists the optimizer's per-plan stats cache to the file
+     * named by PUSHTAP_OLAP_STATS_FILE (when set and any stats were
+     * observed) so knob learning survives engine instances.
+     */
+    ~OlapEngine();
+
     const OlapConfig &config() const { return cfg_; }
 
     /**
@@ -297,6 +321,10 @@ class OlapEngine
         const auto it = statsCache_.find(plan_name);
         return it == statsCache_.end() ? nullptr : &it->second;
     }
+
+    /** The result cache, when cfg_.resultCache is on (else null) —
+     *  benches and tests read its hit/incremental counters. */
+    const ResultCache *resultCache() const { return cache_.get(); }
 
     /** Price one scan of @p column of table @p t as operator @p op. */
     ScanCost columnScanCost(const txn::TableRuntime &tbl, ColumnId c,
@@ -418,9 +446,39 @@ class OlapEngine
 
     /** runQuery with cfg_.optimize on: optimize, execute the chosen
      *  plan with the resolved knobs, feed observed stats back into
-     *  the cache, and price chosen vs hand-built. */
+     *  the cache, and price chosen vs hand-built. When @p exec_out
+     *  is non-null, the execution captures group accumulators into
+     *  it (for the result cache). */
     QueryReport runQueryOptimized(const QueryPlan &plan,
-                                  QueryResult *result);
+                                  QueryResult *result,
+                                  PlanExecution *exec_out = nullptr);
+
+    /** The cache-off runQuery body: optimized or plain execution
+     *  plus the full pricing walk. When @p exec_out is non-null the
+     *  run captures group accumulators into it and *exec_out keeps
+     *  the executed PlanExecution (result included). */
+    QueryReport runQueryUncached(const QueryPlan &plan,
+                                 QueryResult *result,
+                                 PlanExecution *exec_out);
+
+    /** runQuery with cfg_.resultCache on: exact-hit lookup, then
+     *  delta-incremental re-execution, then full-run fallback (which
+     *  refreshes the entry). */
+    QueryReport runQueryCached(const QueryPlan &plan,
+                               QueryResult *result);
+
+    /** Delta-incremental re-execution against @p entry: scan only
+     *  the probe rows appended since the cached baseline, fold into
+     *  the cached accumulators, refresh the entry at @p current. */
+    QueryReport runQueryIncremental(const QueryPlan &plan,
+                                    QueryResult *result,
+                                    ResultCache::Entry &entry,
+                                    htap::FrontierVector current);
+
+    /** Load/save the optimizer stats cache from the
+     *  PUSHTAP_OLAP_STATS_FILE path (no-ops when unset). */
+    void loadStatsFile();
+    void saveStatsFile() const;
 
     /** CPU fragment-gather of one column (normal-column path). */
     void priceCpuGather(const txn::TableRuntime &tbl,
@@ -457,6 +515,24 @@ class OlapEngine
     mutable const PlacementSet *activePlacements_ = nullptr;
     /** Per-plan observed-stats cache, keyed by plan name. */
     std::map<std::string, PlanStats> statsCache_;
+    /**
+     * Scanned-row override consulted by scannedDataRows /
+     * scannedDeltaRows while pricing an incremental run: the probe
+     * table is charged its delta-only row counts (the rows actually
+     * scanned) while every other table keeps its full counts — the
+     * delta-only ScanCost schedule the report and the optimizer's
+     * stats see. Null outside an incremental pricing walk; mutable
+     * for the same reason as activePlacements_.
+     */
+    mutable const txn::TableRuntime *scanOverrideTbl_ = nullptr;
+    mutable std::uint64_t scanOverrideDataRows_ = 0;
+    mutable std::uint64_t scanOverrideDeltaRows_ = 0;
+    /** The frontier-keyed result cache (null unless
+     *  cfg_.resultCache). */
+    std::unique_ptr<ResultCache> cache_;
+    /** PUSHTAP_OLAP_STATS_FILE value at construction (empty when
+     *  unset): the optimizer stats persistence path. */
+    std::string statsFile_;
 };
 
 } // namespace pushtap::olap

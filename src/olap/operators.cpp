@@ -1376,17 +1376,6 @@ class DenseGroupAggregator
     std::vector<std::vector<std::int64_t>> aggs_; ///< [agg][group].
 };
 
-bool
-fitsBatchEngine(const QueryPlan &plan)
-{
-    if (plan.groupBy.size() > InlineKey::kMaxKeys)
-        return false;
-    for (const auto &join : plan.joins)
-        if (join.keys.size() > InlineKey::kMaxKeys)
-            return false;
-    return true;
-}
-
 PlanExecution
 executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
                  const ExecOptions &opts, WorkerPool *pool)
@@ -1848,7 +1837,23 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     };
 
     auto processMorsel = [&](WorkerState &st, const Morsel &m) {
-        visibleRows(probe_store, m, st.sel);
+        if (opts.probeBaselineData != nullptr) {
+            // Delta-incremental scan: only rows visible now but not
+            // in the caller's baseline bitmaps (the rows appended
+            // since the cached frontier) enter the pipeline, and
+            // `visible` counts exactly those.
+            st.sel.clear();
+            const Bitmap &vis = m.reg == Region::Data
+                                    ? probe_store.dataVisible()
+                                    : probe_store.deltaVisible();
+            const Bitmap &base = m.reg == Region::Data
+                                     ? *opts.probeBaselineData
+                                     : *opts.probeBaselineDelta;
+            vis.collectSetBitsExcluding(m.base, m.base + m.count,
+                                        base, st.sel.idx);
+        } else {
+            visibleRows(probe_store, m, st.sel);
+        }
         st.visible += st.sel.size();
         st.preds.apply(m, st.sel);
         st.filtered += st.sel.size();
@@ -2199,6 +2204,12 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
         total.aggs.assign(plan.aggregates.size(), 0);
         for (const auto *st : engaged)
             combineAccum(plan.aggregates, total, st->fusedTotal);
+        if (opts.captureGroups) {
+            out.groupsCaptured = true;
+            if (total.count > 0)
+                out.groups.push_back(
+                    GroupAccum{InlineKey{}, total.aggs, total.count});
+        }
         out.result.rows.push_back(ResultRow{
             {}, std::move(total.aggs), total.count});
         sortAndLimit(out, plan);
@@ -2215,6 +2226,18 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
     for (std::size_t w = 1; w < engaged.size(); ++w)
         for (auto &[key, acc] : engaged[w]->groups)
             combineAccum(plan.aggregates, groups[key], acc);
+
+    // Capture the merged accumulators before the placeholder
+    // insertion and materialization move them away: these are the
+    // partials a later delta-incremental run folds new rows into.
+    if (opts.captureGroups) {
+        out.groupsCaptured = true;
+        out.groups.reserve(groups.size());
+        for (const auto &[key, acc] : groups)
+            if (acc.count > 0)
+                out.groups.push_back(
+                    GroupAccum{key, acc.aggs, acc.count});
+    }
 
     // An ungrouped query always yields exactly one row (zero sums
     // and count when nothing matched).
@@ -2246,6 +2269,72 @@ executeBatchImpl(const txn::Database &db, const QueryPlan &plan,
 }
 
 } // namespace
+
+bool
+fitsBatchEngine(const QueryPlan &plan)
+{
+    if (plan.groupBy.size() > InlineKey::kMaxKeys)
+        return false;
+    for (const auto &join : plan.joins)
+        if (join.keys.size() > InlineKey::kMaxKeys)
+            return false;
+    return true;
+}
+
+void
+foldGroups(const QueryPlan &plan, std::vector<GroupAccum> &into,
+           const std::vector<GroupAccum> &from)
+{
+    // Same numeric semantics as combineAccum: wrapping sums, counts,
+    // min/max with the count==0 first-value rule. Quadratic matching
+    // is fine — group counts are result-sized, not row-sized.
+    for (const auto &f : from) {
+        if (f.count == 0)
+            continue;
+        GroupAccum *hit = nullptr;
+        for (auto &g : into)
+            if (g.key == f.key) {
+                hit = &g;
+                break;
+            }
+        if (!hit) {
+            into.push_back(f);
+            continue;
+        }
+        Accum merged{hit->aggs, hit->count};
+        combineAccum(plan.aggregates, merged,
+                     Accum{f.aggs, f.count});
+        hit->aggs = std::move(merged.aggs);
+        hit->count = merged.count;
+    }
+}
+
+QueryResult
+materializeGroups(const QueryPlan &plan,
+                  std::vector<GroupAccum> groups)
+{
+    // Mirrors executeBatchImpl's tail exactly: the ungrouped
+    // zero-placeholder when a grouped-empty plan produced nothing,
+    // ascending inline-key materialization order, then sort/limit.
+    if (plan.groupBy.empty() && groups.empty())
+        groups.push_back(GroupAccum{
+            InlineKey{},
+            std::vector<std::int64_t>(plan.aggregates.size(), 0),
+            0});
+    std::sort(groups.begin(), groups.end(),
+              [](const GroupAccum &a, const GroupAccum &b) {
+                  return a.key < b.key;
+              });
+    PlanExecution out;
+    out.result.rows.reserve(groups.size());
+    for (auto &g : groups)
+        out.result.rows.push_back(ResultRow{
+            std::vector<std::int64_t>(g.key.v.begin(),
+                                      g.key.v.begin() + g.key.n),
+            std::move(g.aggs), g.count});
+    sortAndLimit(out, plan);
+    return std::move(out.result);
+}
 
 bool
 planFusesProbePass(const QueryPlan &plan)

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitmap.hpp"
 #include "common/types.hpp"
 #include "olap/batch.hpp"
 #include "olap/plan.hpp"
@@ -175,6 +176,24 @@ struct ExecStats
     std::vector<std::pair<std::uint64_t, std::uint64_t>> conjuncts;
 };
 
+/**
+ * One group's partial accumulator state, captured from the batch
+ * engine's cross-worker merge before materialization. The key is the
+ * inline group key (empty key, n == 0, for ungrouped plans), `aggs`
+ * holds one partial per plan aggregate in plan order, `count` the
+ * rows folded in. Folding two captures with foldGroups() and
+ * materializing with materializeGroups() is byte-identical to one
+ * cold run over the union of their input rows — every aggregate kind
+ * is a commutative, associative fold (wrapping sums, counts,
+ * min/max), which is what makes delta-incremental re-execution exact.
+ */
+struct GroupAccum
+{
+    InlineKey key;
+    std::vector<std::int64_t> aggs;
+    std::uint64_t count = 0;
+};
+
 struct PlanExecution
 {
     QueryResult result;
@@ -202,6 +221,15 @@ struct PlanExecution
     double mergeNs = 0.0;
     /** Observed selectivity statistics (batch engine only). */
     ExecStats stats;
+    /**
+     * Filled when ExecOptions::captureGroups was set and the batch
+     * engine ran: the merged cross-worker group accumulators exactly
+     * as they stood before the ungrouped-placeholder insertion and
+     * materialization (count > 0 entries only, unsorted). False when
+     * the scalar fallback executed — scalar runs never capture.
+     */
+    bool groupsCaptured = false;
+    std::vector<GroupAccum> groups;
 };
 
 /**
@@ -226,6 +254,27 @@ struct ExecOptions
      * a transient pool when workers resolves to more than one.
      */
     WorkerPool *pool = nullptr;
+    /**
+     * Capture the merged group accumulators into
+     * PlanExecution::groups (batch engine only; the scalar fallback
+     * ignores it). The result cache sets this on cold and
+     * incremental runs so the accumulators can seed later
+     * delta-incremental re-executions.
+     */
+    bool captureGroups = false;
+    /**
+     * Baseline visibility bitmaps of the probe table (both or
+     * neither). When set, the probe pass scans only rows visible now
+     * but NOT in the baseline — the rows appended since the baseline
+     * was captured — and PlanExecution::rowsVisible counts just
+     * those. Join builds and subquery pre-passes still scan their
+     * full tables. Only sound when the probe table changed by pure
+     * appends since the baseline (no previously visible bit cleared,
+     * no defragmentation); the result cache checks exactly that
+     * before setting these.
+     */
+    const Bitmap *probeBaselineData = nullptr;
+    const Bitmap *probeBaselineDelta = nullptr;
 };
 
 /**
@@ -251,6 +300,34 @@ PlanExecution executePlan(const txn::Database &db,
  * pricing gate and the fusedScanColumns report cannot drift.
  */
 bool planFusesProbePass(const QueryPlan &plan);
+
+/**
+ * True when @p plan fits the inline-key batch engine (group-by and
+ * every join's key set within InlineKey capacity). Plans that don't
+ * fit fall back to the scalar executor, which cannot capture group
+ * accumulators — the result cache uses this as an eligibility gate
+ * for delta-incremental re-execution.
+ */
+bool fitsBatchEngine(const QueryPlan &plan);
+
+/**
+ * Fold @p from into @p into with the batch engine's cross-worker
+ * merge semantics (wrapping sums, counts, min/max with the
+ * first-value rule), matching groups by key and appending unmatched
+ * ones. Entries must carry aggs sized to @p plan's aggregate list.
+ */
+void foldGroups(const QueryPlan &plan, std::vector<GroupAccum> &into,
+                const std::vector<GroupAccum> &from);
+
+/**
+ * Materialize @p groups into result rows exactly as the batch
+ * engine's tail does: ascending inline-key order, the ungrouped
+ * zero-placeholder row when a grouped plan produced no groups, then
+ * the plan's sort/limit. Byte-identical to a cold executePlan() fed
+ * the same accumulator state.
+ */
+QueryResult materializeGroups(const QueryPlan &plan,
+                              std::vector<GroupAccum> groups);
 
 /**
  * Row-at-a-time reference executor (the pre-batching pipeline):

@@ -645,7 +645,8 @@ OlapEngine::optimizePlan(const QueryPlan &plan) const
 
 QueryReport
 OlapEngine::runQueryOptimized(const QueryPlan &plan,
-                              QueryResult *result)
+                              QueryResult *result,
+                              PlanExecution *exec_out)
 {
     OptimizedQuery oq = optimizePlan(plan);
 
@@ -657,6 +658,11 @@ OlapEngine::runQueryOptimized(const QueryPlan &plan,
     opts.shards = oq.shards;
     opts.workers = oq.workers;
     opts.morselRows = oq.morselRows;
+    // Group-accumulator capture for the result cache. The optimizer
+    // only applies result-preserving transforms, so the accumulators
+    // of the chosen plan equal the hand-built plan's and can seed
+    // later delta-incremental runs of either.
+    opts.captureGroups = exec_out != nullptr;
     opts.pool = pool_.get();
     if (opts.pool == nullptr && oq.workers > 1) {
         if (!optPool_)
@@ -719,7 +725,9 @@ OlapEngine::runQueryOptimized(const QueryPlan &plan,
     rep.planSummary = summaryLine(oq);
 
     if (result)
-        *result = std::move(exec.result);
+        *result = exec_out ? exec.result : std::move(exec.result);
+    if (exec_out)
+        *exec_out = std::move(exec);
     return rep;
 }
 

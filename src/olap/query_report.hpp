@@ -89,6 +89,23 @@ struct QueryReport
     /** One-line physical-plan summary (EXPLAIN's short form). */
     std::string planSummary;
 
+    // ------ Result-cache surface (OlapConfig::resultCache) --------
+    // All defaulted to the "cold full run" values, so reports from a
+    // cache-off engine are unchanged field-for-field.
+
+    /** True when the answer was served from the frontier-keyed cache
+     *  without executing (exact hit: the footprint frontier vector
+     *  matched the cached entry's). */
+    bool cacheHit = false;
+    /** Rows the delta-incremental path actually scanned — the rows
+     *  appended to the probe table since the cached baseline. Zero on
+     *  cold runs and exact hits. */
+    std::uint64_t incrementalRows = 0;
+    /** Measured wall-clock of the delta re-execution (scan of the
+     *  appended rows + fold into the cached accumulators). Zero on
+     *  cold runs and exact hits. */
+    TimeNs deltaScanNs = 0.0;
+
     TimeNs
     totalNs() const
     {

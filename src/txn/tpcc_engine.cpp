@@ -134,6 +134,7 @@ TpccEngine::updateRow(ChTable t, RowId row,
     const RowId slot = tbl.versions().allocDeltaSlot(row);
     tbl.store().writeRow(storage::Region::Delta, slot, data);
     tbl.versions().addVersion(row, slot, ts);
+    tbl.bumpWriteEpoch();
     ++stats_.versionsCreated;
 
     stats_.cpu.add("allocation", cost_.allocNsPerVersion);

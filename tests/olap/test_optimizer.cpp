@@ -3,6 +3,7 @@
 #include "common/log.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -173,6 +174,55 @@ TEST_P(OptimizerPropertyTest, KnobSweepIsResultInvariant)
             EXPECT_EQ(rep.execWorkers, 2u) << what;
         }
     }
+}
+
+TEST(OptimizerStatsPersistence, SurvivesEngineInstances)
+{
+    // PUSHTAP_OLAP_STATS_FILE carries the per-plan stats cache
+    // across engine instances: the first engine observes, persists
+    // at destruction; a second engine loads at construction and
+    // re-optimizes from the observed selectivities immediately.
+    Database db(smallConfig());
+    format::BandwidthModel bw(8, 8, true);
+    dram::BatchTimingModel timing(dram::Geometry::dimmDefault(),
+                                  dram::TimingParams::ddr5_3200());
+    TpccEngine oltp(db, InstanceFormat::Unified, bw, timing, 29);
+    for (int i = 0; i < 20; ++i)
+        oltp.executeMixed();
+
+    const std::string path =
+        ::testing::TempDir() + "pushtap_stats_roundtrip.txt";
+    std::remove(path.c_str());
+    ::setenv("PUSHTAP_OLAP_STATS_FILE", path.c_str(), 1);
+
+    PlanStats want;
+    {
+        OlapEngine opt(db, optimizedConfig());
+        opt.prepareSnapshot(db.now());
+        for (const auto &q : workload::chExecutablePlans()) {
+            QueryResult r;
+            opt.runQuery(q.plan, &r);
+        }
+        const auto *st = opt.planStats("Q6");
+        ASSERT_NE(st, nullptr);
+        want = *st;
+    } // Destructor persists the cache.
+
+    {
+        OlapEngine fresh(db, optimizedConfig());
+        const auto *st = fresh.planStats("Q6");
+        ASSERT_NE(st, nullptr);
+        EXPECT_EQ(st->runs, want.runs);
+        EXPECT_EQ(st->probeVisible, want.probeVisible);
+        EXPECT_EQ(st->probeFiltered, want.probeFiltered);
+        EXPECT_EQ(st->conjuncts, want.conjuncts);
+        const auto *st9 = fresh.planStats("Q9");
+        ASSERT_NE(st9, nullptr);
+        EXPECT_FALSE(st9->joins.empty());
+    }
+
+    ::unsetenv("PUSHTAP_OLAP_STATS_FILE");
+    std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(
